@@ -1,0 +1,133 @@
+//! The Apache and Mod-Apache request-path models (§9.2).
+//!
+//! "We implemented our test application both as a standard CGI process,
+//! written in C, and as an Apache module written in C. In both cases,
+//! Apache keeps a pool of pre-forked processes to answer requests. Apache
+//! with CGI processes additionally forks and executes the CGI binary for
+//! each request. ... Mod-Apache is efficient but provides no isolation."
+//!
+//! Each model composes its per-request *serialized* (CPU) cycles from the
+//! Unix primitives, plus a non-serialized path component (scheduling and
+//! network time that overlaps other requests' CPU work) used for latency.
+
+use crate::unix::{UnixCosts, UnixSim};
+
+/// A baseline server's per-request cost profile.
+#[derive(Clone, Debug)]
+pub struct BaselineModel {
+    /// Display name.
+    pub name: &'static str,
+    /// Mean serialized CPU cycles per request (the throughput bound).
+    pub serialized_cycles: u64,
+    /// Relative jitter applied to the serialized portion (fork-heavy paths
+    /// vary much more than in-process handlers).
+    pub jitter_frac: f64,
+    /// Non-serialized per-request path cycles (queue hand-offs between the
+    /// pool and the kernel, NIC and client stack time): adds latency, not
+    /// load.
+    pub path_extra_cycles: u64,
+    /// Private pages per concurrently active request (the §6 fork-model
+    /// memory contrast).
+    pub pages_per_active_request: usize,
+}
+
+/// Builds the Apache + CGI model from Unix primitives.
+///
+/// Per request: accept, parse, **fork**, **exec**, handler (in the CGI),
+/// two pipe transfers, exit/reap, several context switches, TCP work.
+pub fn apache_cgi(costs: &UnixCosts) -> BaselineModel {
+    let serialized = costs.accept
+        + costs.http_parse
+        + costs.fork
+        + costs.exec
+        + costs.handler
+        + 2 * costs.pipe_transfer
+        + costs.exit_reap
+        + 6 * costs.context_switch
+        + costs.tcp_per_request;
+    BaselineModel {
+        name: "Apache",
+        serialized_cycles: serialized,
+        jitter_frac: 0.35,
+        // The CGI round trip bounces through the pool scheduler twice and
+        // waits on pipe readiness; these overlap other requests' CPU.
+        path_extra_cycles: 5_450_000,
+        pages_per_active_request: 96, // forked CGI image
+    }
+}
+
+/// Builds the Mod-Apache (in-process module) model from Unix primitives.
+///
+/// Per request: accept, parse, handler, TCP work, one context switch —
+/// "a server that can handle Web requests with simple library calls".
+pub fn mod_apache(costs: &UnixCosts) -> BaselineModel {
+    let serialized = costs.accept
+        + costs.http_parse
+        + costs.handler
+        + 2 * costs.context_switch
+        + costs.tcp_per_request;
+    BaselineModel {
+        name: "Mod-Apache",
+        serialized_cycles: serialized,
+        jitter_frac: 0.013,
+        path_extra_cycles: 1_800_000,
+        pages_per_active_request: 4,
+    }
+}
+
+/// Runs `n` requests through the model's fork path against a [`UnixSim`]
+/// (exercises the process-table accounting; the closed-form cycle total
+/// must match the model's serialized composition).
+pub fn run_apache_cgi_against_sim(sim: &mut UnixSim, n: u64) -> u64 {
+    let mut total = 0;
+    for _ in 0..n {
+        let costs = sim.costs.clone();
+        total += costs.accept + costs.http_parse;
+        let (child, fork_cycles) = sim.fork(2, 96);
+        total += fork_cycles;
+        total += sim.exec(child);
+        total += costs.handler + 2 * costs.pipe_transfer;
+        total += sim.exit(child);
+        total += 6 * costs.context_switch + costs.tcp_per_request;
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn apache_is_slower_than_mod_apache() {
+        let costs = UnixCosts::default();
+        let apache = apache_cgi(&costs);
+        let module = mod_apache(&costs);
+        assert!(apache.serialized_cycles > module.serialized_cycles * 2);
+        assert!(apache.jitter_frac > module.jitter_frac);
+    }
+
+    #[test]
+    fn sim_composition_matches_model() {
+        let costs = UnixCosts::default();
+        let model = apache_cgi(&costs);
+        let mut sim = UnixSim::new(costs);
+        let total = run_apache_cgi_against_sim(&mut sim, 10);
+        assert_eq!(total, 10 * model.serialized_cycles);
+        assert_eq!(sim.forks, 10);
+        assert_eq!(sim.execs, 10);
+        assert_eq!(sim.live_processes(), 1, "all CGIs reaped");
+    }
+
+    #[test]
+    fn throughput_anchors_are_close_to_paper() {
+        // §9.2.1: Mod-Apache ≈ 2 800 conn/s, Apache ≈ half of that.
+        let costs = UnixCosts::default();
+        let module = mod_apache(&costs);
+        let apache = apache_cgi(&costs);
+        let thr = |m: &BaselineModel| 2.8e9 / m.serialized_cycles as f64;
+        let mod_thr = thr(&module);
+        let apache_thr = thr(&apache);
+        assert!((2_500.0..3_400.0).contains(&mod_thr), "Mod-Apache: {mod_thr}");
+        assert!((1_200.0..1_700.0).contains(&apache_thr), "Apache: {apache_thr}");
+    }
+}

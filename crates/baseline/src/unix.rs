@@ -1,0 +1,162 @@
+//! A miniature Unix cost model: processes, fork/exec, context switches.
+//!
+//! Substitutes for the Linux box the paper benchmarks Apache on (§9.2).
+//! The model is deliberately small: a process table plus cycle costs for
+//! the operations a pre-forked web server performs per request. Costs are
+//! calibrated for a 2.8 GHz Pentium 4 era system (see EXPERIMENTS.md) and
+//! the *composition* of each server's request path is spelled out in
+//! [`crate::apache`], so changing one primitive cost flows through both
+//! baselines consistently.
+
+/// Cycle costs of Unix primitives (2.8 GHz, 2005-era kernel).
+#[derive(Clone, Debug)]
+pub struct UnixCosts {
+    /// `accept(2)` plus socket setup.
+    pub accept: u64,
+    /// Copying a typical server address space for `fork(2)` (COW setup,
+    /// page-table duplication).
+    pub fork: u64,
+    /// `execve(2)` of a small CGI binary (ELF load, dynamic linking).
+    pub exec: u64,
+    /// Tearing down an exited process and `wait(2)`ing on it.
+    pub exit_reap: u64,
+    /// One scheduler context switch.
+    pub context_switch: u64,
+    /// Shuttling one request/response through a pipe (per direction).
+    pub pipe_transfer: u64,
+    /// Parsing an HTTP request in the server.
+    pub http_parse: u64,
+    /// The trivial dynamic handler itself (builds the 144-byte response).
+    pub handler: u64,
+    /// Kernel TCP work per request (send/receive path).
+    pub tcp_per_request: u64,
+}
+
+impl Default for UnixCosts {
+    fn default() -> UnixCosts {
+        UnixCosts {
+            accept: 60_000,
+            fork: 550_000,
+            exec: 380_000,
+            exit_reap: 120_000,
+            context_switch: 15_000,
+            pipe_transfer: 45_000,
+            http_parse: 110_000,
+            handler: 70_000,
+            tcp_per_request: 700_000,
+        }
+    }
+}
+
+/// A simulated process (bookkeeping for fork-per-request accounting).
+#[derive(Clone, Debug)]
+pub struct UnixProcess {
+    /// Process id.
+    pub pid: u32,
+    /// Parent pid.
+    pub ppid: u32,
+    /// Resident pages (a forked CGI shares text; counts private pages).
+    pub private_pages: usize,
+    /// Whether the process is alive.
+    pub alive: bool,
+}
+
+/// The process table of the simulated Unix.
+pub struct UnixSim {
+    /// Primitive costs.
+    pub costs: UnixCosts,
+    procs: Vec<UnixProcess>,
+    /// Total forks performed (stat).
+    pub forks: u64,
+    /// Total execs performed (stat).
+    pub execs: u64,
+}
+
+impl UnixSim {
+    /// Boots a Unix with an init process.
+    pub fn new(costs: UnixCosts) -> UnixSim {
+        UnixSim {
+            costs,
+            procs: vec![UnixProcess {
+                pid: 1,
+                ppid: 0,
+                private_pages: 64,
+                alive: true,
+            }],
+            forks: 0,
+            execs: 0,
+        }
+    }
+
+    /// Forks `parent`, returning `(child_pid, cycles)`.
+    pub fn fork(&mut self, parent: u32, child_private_pages: usize) -> (u32, u64) {
+        let pid = self.procs.len() as u32 + 1;
+        self.procs.push(UnixProcess {
+            pid,
+            ppid: parent,
+            private_pages: child_private_pages,
+            alive: true,
+        });
+        self.forks += 1;
+        (pid, self.costs.fork)
+    }
+
+    /// Execs in `pid`, returning cycles.
+    pub fn exec(&mut self, _pid: u32) -> u64 {
+        self.execs += 1;
+        self.costs.exec
+    }
+
+    /// Exits and reaps `pid`, returning cycles.
+    pub fn exit(&mut self, pid: u32) -> u64 {
+        if let Some(p) = self.procs.iter_mut().find(|p| p.pid == pid) {
+            p.alive = false;
+        }
+        self.costs.exit_reap
+    }
+
+    /// Live process count.
+    pub fn live_processes(&self) -> usize {
+        self.procs.iter().filter(|p| p.alive).count()
+    }
+
+    /// Total private pages across live processes (the fork-model memory
+    /// cost that §6 contrasts event processes against).
+    pub fn private_pages(&self) -> usize {
+        self.procs
+            .iter()
+            .filter(|p| p.alive)
+            .map(|p| p.private_pages)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fork_exec_exit_lifecycle() {
+        let mut sim = UnixSim::new(UnixCosts::default());
+        let (child, fork_cycles) = sim.fork(1, 8);
+        assert_eq!(fork_cycles, sim.costs.fork);
+        assert_eq!(sim.live_processes(), 2);
+        let exec_cycles = sim.exec(child);
+        assert_eq!(exec_cycles, sim.costs.exec);
+        let exit_cycles = sim.exit(child);
+        assert_eq!(exit_cycles, sim.costs.exit_reap);
+        assert_eq!(sim.live_processes(), 1);
+        assert_eq!(sim.forks, 1);
+        assert_eq!(sim.execs, 1);
+    }
+
+    #[test]
+    fn private_pages_accumulate_per_process() {
+        let mut sim = UnixSim::new(UnixCosts::default());
+        let base = sim.private_pages();
+        for _ in 0..10 {
+            sim.fork(1, 8);
+        }
+        assert_eq!(sim.private_pages() - base, 80);
+    }
+}

@@ -1,0 +1,189 @@
+//! Workload runners for the baseline servers.
+//!
+//! Two load shapes, matching the paper's two experiments:
+//!
+//! * **Closed loop** (throughput, §9.2.1): `c` clients, each issuing its
+//!   next request when the previous one completes; throughput is the
+//!   serialized-CPU bound.
+//! * **Open loop** (latency, §9.2.2): paced arrivals below capacity, so
+//!   reported latencies reflect the request path rather than saturation.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::apache::BaselineModel;
+
+/// Simulated CPU frequency (the paper's 2.8 GHz Pentium 4).
+pub const CYCLES_PER_SEC: f64 = 2.8e9;
+
+/// Result of a workload run.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// Requests completed.
+    pub completed: u64,
+    /// Virtual time elapsed, cycles.
+    pub elapsed_cycles: u64,
+    /// Per-request latencies, microseconds, sorted ascending.
+    pub latencies_us: Vec<f64>,
+}
+
+impl RunResult {
+    /// Completed connections per second.
+    pub fn throughput(&self) -> f64 {
+        if self.elapsed_cycles == 0 {
+            return 0.0;
+        }
+        self.completed as f64 / (self.elapsed_cycles as f64 / CYCLES_PER_SEC)
+    }
+
+    /// Latency percentile (nearest rank), microseconds.
+    pub fn percentile_us(&self, p: f64) -> f64 {
+        if self.latencies_us.is_empty() {
+            return 0.0;
+        }
+        let rank = ((p / 100.0) * self.latencies_us.len() as f64).ceil().max(1.0) as usize;
+        self.latencies_us[rank.min(self.latencies_us.len()) - 1]
+    }
+}
+
+fn exp_sample(rng: &mut StdRng) -> f64 {
+    let u: f64 = rng.gen_range(0.0..1.0f64);
+    -(1.0 - u).ln()
+}
+
+/// One request through the shared CPU: returns `(new_cpu_free, latency_cycles)`.
+fn serve(
+    model: &BaselineModel,
+    rng: &mut StdRng,
+    cpu_free: u64,
+    ready: u64,
+) -> (u64, u64) {
+    let start = cpu_free.max(ready);
+    let done_cpu = start + model.serialized_cycles;
+    // Path time (scheduling hand-offs, NIC, client stack) overlaps other
+    // requests' CPU; long-tailed jitter models fork/scheduling variance.
+    let path = model.path_extra_cycles as f64 * (1.0 + model.jitter_frac * exp_sample(rng));
+    let finish = done_cpu + path as u64;
+    (done_cpu, finish - ready)
+}
+
+/// Closed-loop run: `clients` concurrent clients, `requests` total.
+pub fn run_closed_loop(
+    model: &BaselineModel,
+    clients: usize,
+    requests: u64,
+    seed: u64,
+) -> RunResult {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut client_ready = vec![0u64; clients.max(1)];
+    let mut cpu_free = 0u64;
+    let mut latencies = Vec::with_capacity(requests as usize);
+    let mut elapsed = 0u64;
+    for i in 0..requests {
+        // The next request comes from the client that became ready first.
+        let (idx, &ready) = client_ready
+            .iter()
+            .enumerate()
+            .min_by_key(|&(_, &t)| t)
+            .expect("at least one client");
+        let (new_cpu_free, latency) = serve(model, &mut rng, cpu_free, ready);
+        cpu_free = new_cpu_free;
+        let finish = ready + latency;
+        client_ready[idx] = finish;
+        latencies.push(latency as f64 * 1e6 / CYCLES_PER_SEC);
+        elapsed = elapsed.max(finish);
+        let _ = i;
+    }
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    RunResult {
+        completed: requests,
+        elapsed_cycles: elapsed,
+        latencies_us: latencies,
+    }
+}
+
+/// Open-loop run at `rate_frac` of the serialized-CPU capacity.
+pub fn run_open_loop(
+    model: &BaselineModel,
+    rate_frac: f64,
+    requests: u64,
+    seed: u64,
+) -> RunResult {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let spacing = (model.serialized_cycles as f64 / rate_frac) as u64;
+    let mut cpu_free = 0u64;
+    let mut latencies = Vec::with_capacity(requests as usize);
+    let mut elapsed = 0u64;
+    for i in 0..requests {
+        let arrival_jitter = (spacing as f64 * 0.2 * rng.gen_range(0.0..1.0f64)) as u64;
+        let ready = i * spacing + arrival_jitter;
+        let (new_cpu_free, latency) = serve(model, &mut rng, cpu_free, ready);
+        cpu_free = new_cpu_free;
+        latencies.push(latency as f64 * 1e6 / CYCLES_PER_SEC);
+        elapsed = elapsed.max(ready + latency);
+    }
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    RunResult {
+        completed: requests,
+        elapsed_cycles: elapsed,
+        latencies_us: latencies,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apache::{apache_cgi, mod_apache};
+    use crate::unix::UnixCosts;
+
+    #[test]
+    fn closed_loop_throughput_is_cpu_bound() {
+        let costs = UnixCosts::default();
+        for model in [apache_cgi(&costs), mod_apache(&costs)] {
+            let result = run_closed_loop(&model, 16, 2_000, 42);
+            let expected = CYCLES_PER_SEC / model.serialized_cycles as f64;
+            let got = result.throughput();
+            assert!(
+                (got - expected).abs() / expected < 0.05,
+                "{}: {got:.0} vs cpu bound {expected:.0}",
+                model.name
+            );
+        }
+    }
+
+    #[test]
+    fn latency_table_shape_matches_figure8() {
+        // Figure 8 anchor check: Mod-Apache ≈ 1 ms median with a tight
+        // distribution; Apache ≈ 3.4 ms with a long tail.
+        let costs = UnixCosts::default();
+        let module = run_open_loop(&mod_apache(&costs), 0.5, 4_000, 7);
+        let apache = run_open_loop(&apache_cgi(&costs), 0.5, 4_000, 7);
+        let m50 = module.percentile_us(50.0);
+        let m90 = module.percentile_us(90.0);
+        let a50 = apache.percentile_us(50.0);
+        let a90 = apache.percentile_us(90.0);
+        assert!((850.0..1_150.0).contains(&m50), "Mod-Apache median {m50}");
+        assert!(m90 < m50 * 1.1, "Mod-Apache tail is tight: {m90} vs {m50}");
+        assert!((2_800.0..4_000.0).contains(&a50), "Apache median {a50}");
+        assert!(a90 > a50 * 1.3, "Apache tail is long: {a90} vs {a50}");
+    }
+
+    #[test]
+    fn open_loop_below_capacity_has_bounded_queueing() {
+        let costs = UnixCosts::default();
+        let result = run_open_loop(&mod_apache(&costs), 0.3, 2_000, 3);
+        // At 30% load, p99 stays within a small multiple of the median.
+        let p50 = result.percentile_us(50.0);
+        let p99 = result.percentile_us(99.0);
+        assert!(p99 < p50 * 2.0, "p99 {p99} vs p50 {p50}");
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let costs = UnixCosts::default();
+        let model = apache_cgi(&costs);
+        let a = run_closed_loop(&model, 4, 500, 11);
+        let b = run_closed_loop(&model, 4, 500, 11);
+        assert_eq!(a.latencies_us, b.latencies_us);
+    }
+}

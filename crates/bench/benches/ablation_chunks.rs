@@ -1,0 +1,78 @@
+//! Ablation: the §5.6 chunked, min/max-cached label representation versus
+//! a naive `BTreeMap` implementation, over the operation mix the kernel
+//! actually performs. Validates the paper's representation choice.
+
+use asbestos_labels::naive::NaiveLabel;
+use asbestos_labels::{Handle, Label, Level};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn chunked(n: usize, level: Level) -> Label {
+    let pairs: Vec<(Handle, Level)> = (0..n)
+        .map(|i| (Handle::from_raw(i as u64 * 3 + 1), level))
+        .collect();
+    Label::from_pairs(Level::L1, &pairs)
+}
+
+fn naive(n: usize, level: Level) -> NaiveLabel {
+    let mut l = NaiveLabel::new(Level::L1);
+    for i in 0..n {
+        l.set(Handle::from_raw(i as u64 * 3 + 1), level);
+    }
+    l
+}
+
+/// The kernel's delivery-time mix: one ⊑ against a big receive label, one
+/// ⊔ for the decontamination effect, one point update.
+fn bench_delivery_mix(c: &mut Criterion) {
+    for &n in &[1024usize, 10_000] {
+        let mut group = c.benchmark_group(format!("ablation_delivery_mix_{n}"));
+
+        let es_c = chunked(4, Level::L3);
+        let qr_c = chunked(n, Level::L3);
+        let dr_c = Label::bottom();
+        group.bench_function("chunked", |bench| {
+            bench.iter(|| {
+                let ok = es_c.leq(&qr_c);
+                let merged = qr_c.lub(&dr_c); // fast path applies
+                let mut updated = merged.clone();
+                updated.set(Handle::from_raw(5), Level::L2);
+                black_box((ok, updated.entry_count()))
+            })
+        });
+
+        let es_n = naive(4, Level::L3);
+        let qr_n = naive(n, Level::L3);
+        let dr_n = NaiveLabel::new(Level::Star);
+        group.bench_function("naive", |bench| {
+            bench.iter(|| {
+                let ok = es_n.leq(&qr_n);
+                let merged = qr_n.lub(&dr_n); // no fast path: full rebuild
+                let mut updated = merged.clone();
+                updated.set(Handle::from_raw(5), Level::L2);
+                black_box((ok, updated.entry_count()))
+            })
+        });
+        group.finish();
+    }
+}
+
+/// Clone cost: chunked labels share chunks (Arc bumps); naive labels deep-
+/// copy the whole map. This is the §5.6 copy-on-write claim.
+fn bench_clone(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_clone");
+    for &n in &[1024usize, 10_000] {
+        let c_label = chunked(n, Level::L3);
+        let n_label = naive(n, Level::L3);
+        group.bench_with_input(BenchmarkId::new("chunked", n), &n, |bench, _| {
+            bench.iter(|| black_box(c_label.clone()))
+        });
+        group.bench_with_input(BenchmarkId::new("naive", n), &n, |bench, _| {
+            bench.iter(|| black_box(n_label.clone()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_delivery_mix, bench_clone);
+criterion_main!(benches);

@@ -1,0 +1,100 @@
+//! Event-process microbenchmarks: creation, resume, and copy-on-write
+//! page costs (§6.2's efficiency claims, measured on the simulator).
+
+use asbestos_kernel::util::ep_service_fn;
+use asbestos_kernel::{Category, Kernel, Label, Value};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_ep_create(c: &mut Criterion) {
+    c.bench_function("ep_create_and_run", |bench| {
+        let mut kernel = Kernel::new(3);
+        kernel.spawn_ep_service(
+            "worker",
+            Category::Okws,
+            ep_service_fn(
+                |sys| {
+                    let p = sys.new_port(Label::top());
+                    sys.set_port_label(p, Label::top()).unwrap();
+                    sys.publish_env("w.port", Value::Handle(p));
+                },
+                |sys, _msg| {
+                    let n = sys.mem_read_u64(0x1000).unwrap();
+                    sys.mem_write_u64(0x1000, n + 1).unwrap();
+                },
+            ),
+        );
+        let port = kernel.global_env("w.port").unwrap().as_handle().unwrap();
+        bench.iter(|| {
+            kernel.inject(port, Value::Unit);
+            black_box(kernel.run())
+        });
+    });
+}
+
+fn bench_ep_resume(c: &mut Criterion) {
+    c.bench_function("ep_resume", |bench| {
+        let mut kernel = Kernel::new(4);
+        kernel.spawn_ep_service(
+            "worker",
+            Category::Okws,
+            ep_service_fn(
+                |sys| {
+                    let p = sys.new_port(Label::top());
+                    sys.set_port_label(p, Label::top()).unwrap();
+                    sys.publish_env("w.port", Value::Handle(p));
+                },
+                |sys, _msg| {
+                    // First activation creates a session port and reports it.
+                    if sys.is_new_ep() {
+                        let p = sys.new_port(Label::top());
+                        sys.set_port_label(p, Label::top()).unwrap();
+                        sys.publish_env("session.port", Value::Handle(p));
+                    }
+                    let n = sys.mem_read_u64(0x1000).unwrap();
+                    sys.mem_write_u64(0x1000, n + 1).unwrap();
+                },
+            ),
+        );
+        let base = kernel.global_env("w.port").unwrap().as_handle().unwrap();
+        kernel.inject(base, Value::Unit);
+        kernel.run();
+        let session = kernel.global_env("session.port").unwrap().as_handle().unwrap();
+        bench.iter(|| {
+            kernel.inject(session, Value::Unit);
+            black_box(kernel.run())
+        });
+    });
+}
+
+fn bench_cow_write(c: &mut Criterion) {
+    // Cost of dirtying a base-backed page in an event process (one page
+    // copy) and reverting it with ep_clean.
+    c.bench_function("ep_cow_first_write_then_clean", |bench| {
+        let mut kernel = Kernel::new(5);
+        kernel.spawn_ep_service(
+            "worker",
+            Category::Okws,
+            ep_service_fn(
+                |sys| {
+                    let p = sys.new_port(Label::top());
+                    sys.set_port_label(p, Label::top()).unwrap();
+                    sys.publish_env("w.port", Value::Handle(p));
+                    sys.mem_write(0x0, &[7u8; 4096]).unwrap();
+                },
+                |sys, _msg| {
+                    sys.mem_write(0x10, b"dirty").unwrap();
+                    sys.ep_clean(0x0, 4096).unwrap();
+                },
+            ),
+        );
+        let port = kernel.global_env("w.port").unwrap().as_handle().unwrap();
+        bench.iter(|| {
+            kernel.inject(port, Value::Unit);
+            black_box(kernel.run())
+        });
+    });
+}
+
+criterion_group!(benches, bench_ep_create, bench_ep_resume, bench_cow_write);
+criterion_main!(benches);

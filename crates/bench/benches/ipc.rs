@@ -1,0 +1,52 @@
+//! IPC round-trip microbenchmarks: kernel send/deliver costs in host time
+//! (the virtual-cycle costs are what the figures use; these measure the
+//! simulator itself).
+
+use asbestos_kernel::util::{service_with_start, Recorder};
+use asbestos_kernel::{Category, Kernel, Label, Value};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_send_deliver(c: &mut Criterion) {
+    c.bench_function("ipc_send_deliver", |bench| {
+        let mut kernel = Kernel::new(1);
+        let (rec, _log) = Recorder::new("r.port");
+        kernel.spawn("receiver", Category::Other, Box::new(rec));
+        let port = kernel.global_env("r.port").unwrap().as_handle().unwrap();
+        bench.iter(|| {
+            kernel.inject(port, Value::U64(7));
+            black_box(kernel.run())
+        });
+    });
+}
+
+fn bench_ping_pong(c: &mut Criterion) {
+    c.bench_function("ipc_ping_pong", |bench| {
+        let mut kernel = Kernel::new(2);
+        let (rec, _log) = Recorder::new("sink.port");
+        kernel.spawn("sink", Category::Other, Box::new(rec));
+        kernel.spawn(
+            "echo",
+            Category::Other,
+            service_with_start(
+                |sys| {
+                    let p = sys.new_port(Label::top());
+                    sys.set_port_label(p, Label::top()).unwrap();
+                    sys.publish_env("echo.port", Value::Handle(p));
+                },
+                |sys, msg| {
+                    let sink = sys.env("sink.port").unwrap().as_handle().unwrap();
+                    sys.send(sink, msg.body.clone()).unwrap();
+                },
+            ),
+        );
+        let port = kernel.global_env("echo.port").unwrap().as_handle().unwrap();
+        bench.iter(|| {
+            kernel.inject(port, Value::U64(1));
+            black_box(kernel.run())
+        });
+    });
+}
+
+criterion_group!(benches, bench_send_deliver, bench_ping_pong);
+criterion_main!(benches);

@@ -1,0 +1,101 @@
+//! Microbenchmarks of the label algebra: `⊑`/`⊔`/`⊓` and the fused
+//! delivery check at the label sizes the OKWS evaluation produces
+//! (§5.6's linear scaling, measured on the host).
+
+use asbestos_labels::{ops, Handle, Label, Level};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn label_with_entries(n: usize, level: Level) -> Label {
+    let pairs: Vec<(Handle, Level)> = (0..n)
+        .map(|i| (Handle::from_raw(i as u64 * 7 + 1), level))
+        .collect();
+    Label::from_pairs(Level::L1, &pairs)
+}
+
+fn bench_leq(c: &mut Criterion) {
+    let mut group = c.benchmark_group("label_leq");
+    for &n in &[1usize, 64, 1024, 10_000, 20_000] {
+        let a = label_with_entries(n, Level::Star);
+        let b = label_with_entries(n, Level::L3);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| black_box(a.leq(black_box(&b))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_lub(c: &mut Criterion) {
+    let mut group = c.benchmark_group("label_lub");
+    for &n in &[64usize, 1024, 10_000] {
+        let a = label_with_entries(n, Level::Star);
+        let b = label_with_entries(n, Level::L3);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| black_box(a.lub(black_box(&b))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_lub_fast_path(c: &mut Criterion) {
+    // The §5.6 min/max fast path: L ⊔ {⋆} clones instead of merging.
+    let big = label_with_entries(10_000, Level::L3);
+    let bottom = Label::bottom();
+    c.bench_function("label_lub_fast_path_10000", |bench| {
+        bench.iter(|| black_box(big.lub(black_box(&bottom))))
+    });
+}
+
+fn bench_delivery_check(c: &mut Criterion) {
+    // The kernel's hot path: E_S ⊑ (Q_R ⊔ D_R) ⊓ V ⊓ p_R with a
+    // netd-shaped receive label (one taint handle raised per session).
+    let mut group = c.benchmark_group("check_delivery");
+    for &sessions in &[1usize, 1000, 10_000] {
+        let es = label_with_entries(4, Level::L3);
+        let qr = {
+            let pairs: Vec<(Handle, Level)> = (0..sessions)
+                .map(|i| (Handle::from_raw(i as u64 * 7 + 1), Level::L3))
+                .collect();
+            Label::from_pairs(Level::L2, &pairs)
+        };
+        let dr = Label::bottom();
+        let v = Label::top();
+        let pr = Label::top();
+        group.bench_with_input(BenchmarkId::from_parameter(sessions), &sessions, |bench, _| {
+            bench.iter(|| black_box(ops::check_delivery(&es, &qr, &dr, &v, &pr)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_contamination(c: &mut Criterion) {
+    let mut group = c.benchmark_group("apply_contamination");
+    for &n in &[64usize, 1024, 10_000] {
+        let qs = label_with_entries(n, Level::Star);
+        let ds = Label::top();
+        let es = label_with_entries(4, Level::L3);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| black_box(ops::apply_receive_contamination(&qs, &ds, &es)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_handle_alloc(c: &mut Criterion) {
+    use asbestos_labels::HandleAllocator;
+    c.bench_function("handle_alloc", |bench| {
+        let mut alloc = HandleAllocator::new(7);
+        bench.iter(|| black_box(alloc.alloc()))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_leq,
+    bench_lub,
+    bench_lub_fast_path,
+    bench_delivery_check,
+    bench_contamination,
+    bench_handle_alloc
+);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Regenerates Figure 6: "Memory used by active and cached Web sessions as
+//! a function of the number of sessions."
+//!
+//! Usage: `cargo run --release -p asbestos-bench --bin fig6_memory [--quick]`
+
+use asbestos_bench::{fig6_baseline, fig6_memory, quick_mode};
+
+fn main() {
+    let sweep: Vec<usize> = if quick_mode() {
+        vec![0, 100, 250, 500, 1000]
+    } else {
+        vec![0, 1000, 2000, 3000, 4000, 5000, 6000, 7000, 8000, 9000, 10_000]
+    };
+
+    println!("# Figure 6: memory used by active and cached Web sessions");
+    println!("# (paper: ~1.5 pages per cached session; ~8 extra pages per active session)");
+    println!("{:>10} {:>16} {:>16}", "sessions", "cached (pages)", "active (pages)");
+
+    let baseline = fig6_baseline(4242);
+    let mut rows = Vec::new();
+    for &n in &sweep {
+        let cached = if n == 0 {
+            baseline
+        } else {
+            fig6_memory(n, false, 4242).pages
+        };
+        let active = if n == 0 {
+            baseline
+        } else {
+            fig6_memory(n, true, 4242).pages
+        };
+        println!("{n:>10} {cached:>16} {active:>16}");
+        rows.push((n, cached, active));
+    }
+
+    // Per-session slopes over the measured range.
+    if let (Some(&(n0, c0, a0)), Some(&(n1, c1, a1))) = (rows.first(), rows.last()) {
+        if n1 > n0 {
+            let span = (n1 - n0) as f64;
+            println!("#");
+            println!(
+                "# measured: {:.2} pages/cached session (paper: ~1.5)",
+                (c1 as f64 - c0 as f64) / span
+            );
+            println!(
+                "# measured: {:.2} pages/active session (paper: ~9.5 = 1.5 + 8)",
+                (a1 as f64 - a0 as f64) / span
+            );
+        }
+    }
+}

@@ -1,0 +1,233 @@
+//! SQL tokenizer.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Token {
+    /// Keyword or identifier (keywords are matched case-insensitively by
+    /// the parser; the original spelling is preserved here).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// String literal with SQL `''` escaping already resolved.
+    Str(String),
+    /// `?` parameter placeholder.
+    Param,
+    /// Punctuation: `( ) , * = ; < > <= >= != <>` etc.
+    Punct(&'static str),
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Int(i) => write!(f, "{i}"),
+            Token::Str(s) => write!(f, "'{s}'"),
+            Token::Param => write!(f, "?"),
+            Token::Punct(p) => write!(f, "{p}"),
+        }
+    }
+}
+
+/// A lexing error with byte position.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct LexError {
+    /// Byte offset of the offending character.
+    pub at: usize,
+    /// Description.
+    pub msg: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at byte {}: {}", self.at, self.msg)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenizes SQL text.
+pub fn lex(sql: &str) -> Result<Vec<Token>, LexError> {
+    let bytes = sql.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => i += 1,
+            '(' | ')' | ',' | '*' | ';' => {
+                out.push(Token::Punct(match c {
+                    '(' => "(",
+                    ')' => ")",
+                    ',' => ",",
+                    '*' => "*",
+                    _ => ";",
+                }));
+                i += 1;
+            }
+            '=' => {
+                out.push(Token::Punct("="));
+                i += 1;
+            }
+            '?' => {
+                out.push(Token::Param);
+                i += 1;
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token::Punct("<="));
+                    i += 2;
+                } else if bytes.get(i + 1) == Some(&b'>') {
+                    out.push(Token::Punct("!="));
+                    i += 2;
+                } else {
+                    out.push(Token::Punct("<"));
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token::Punct(">="));
+                    i += 2;
+                } else {
+                    out.push(Token::Punct(">"));
+                    i += 1;
+                }
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token::Punct("!="));
+                    i += 2;
+                } else {
+                    return Err(LexError {
+                        at: i,
+                        msg: "unexpected '!'".into(),
+                    });
+                }
+            }
+            '\'' => {
+                let (s, next) = lex_string(sql, i)?;
+                out.push(Token::Str(s));
+                i = next;
+            }
+            '-' if bytes.get(i + 1).is_some_and(|b| b.is_ascii_digit()) => {
+                let (v, next) = lex_int(sql, i)?;
+                out.push(Token::Int(v));
+                i = next;
+            }
+            _ if c.is_ascii_digit() => {
+                let (v, next) = lex_int(sql, i)?;
+                out.push(Token::Int(v));
+                i = next;
+            }
+            _ if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                out.push(Token::Ident(sql[start..i].to_string()));
+            }
+            _ => {
+                return Err(LexError {
+                    at: i,
+                    msg: format!("unexpected character {c:?}"),
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn lex_string(sql: &str, start: usize) -> Result<(String, usize), LexError> {
+    let bytes = sql.as_bytes();
+    let mut s = String::new();
+    let mut i = start + 1;
+    loop {
+        match bytes.get(i) {
+            None => {
+                return Err(LexError {
+                    at: start,
+                    msg: "unterminated string literal".into(),
+                })
+            }
+            Some(b'\'') => {
+                if bytes.get(i + 1) == Some(&b'\'') {
+                    s.push('\'');
+                    i += 2;
+                } else {
+                    return Ok((s, i + 1));
+                }
+            }
+            Some(&b) => {
+                s.push(b as char);
+                i += 1;
+            }
+        }
+    }
+}
+
+fn lex_int(sql: &str, start: usize) -> Result<(i64, usize), LexError> {
+    let bytes = sql.as_bytes();
+    let mut i = start;
+    if bytes[i] == b'-' {
+        i += 1;
+    }
+    while i < bytes.len() && bytes[i].is_ascii_digit() {
+        i += 1;
+    }
+    sql[start..i]
+        .parse::<i64>()
+        .map(|v| (v, i))
+        .map_err(|e| LexError {
+            at: start,
+            msg: format!("bad integer: {e}"),
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_statement() {
+        let toks = lex("SELECT a, b FROM t WHERE x = 'it''s' AND y >= -3").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Ident("SELECT".into()),
+                Token::Ident("a".into()),
+                Token::Punct(","),
+                Token::Ident("b".into()),
+                Token::Ident("FROM".into()),
+                Token::Ident("t".into()),
+                Token::Ident("WHERE".into()),
+                Token::Ident("x".into()),
+                Token::Punct("="),
+                Token::Str("it's".into()),
+                Token::Ident("AND".into()),
+                Token::Ident("y".into()),
+                Token::Punct(">="),
+                Token::Int(-3),
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_params_and_ops() {
+        let toks = lex("x=? AND y<>2 AND z<=3;").unwrap();
+        assert!(toks.contains(&Token::Param));
+        assert!(toks.contains(&Token::Punct("!=")));
+        assert!(toks.contains(&Token::Punct("<=")));
+        assert!(toks.contains(&Token::Punct(";")));
+    }
+
+    #[test]
+    fn errors() {
+        assert!(lex("'unterminated").is_err());
+        assert!(lex("a @ b").is_err());
+        assert!(lex("!x").is_err());
+    }
+}

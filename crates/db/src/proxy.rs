@@ -1,0 +1,447 @@
+//! ok-dbproxy: the trusted database interposer (§7.5, §7.6).
+//!
+//! "A separate process called ok-dbproxy interposes on all OKWS database
+//! accesses, converting Asbestos labels and security policies to data types
+//! and functions native to standard SQLite. ... ok-dbproxy adds a 'user ID'
+//! column to the table definition of every table accessed by OKWS workers.
+//! The workers themselves cannot access or change this column."
+//!
+//! Enforced policies:
+//!
+//! * **Writes** require a bound user `u` and `V ⊑ {uT 3, uG 0, 2}`: the
+//!   sender is uncontaminated by anyone else's data and speaks for `u`.
+//!   Accepted writes are rewritten so every row carries `u`'s user id.
+//! * **Declassifiers** prove `V(uT) = ⋆` and write rows with user id 0
+//!   (§7.6); such rows read back untainted.
+//! * **Reads** return each row as its own message contaminated with the
+//!   row owner's taint at 3, then an untainted `Done`. The kernel drops
+//!   rows the querying worker may not see; the worker cannot count them.
+
+use std::collections::BTreeMap;
+
+use asbestos_kernel::{
+    Category, Handle, Kernel, Label, Level, Message, ProcessId, SendArgs, Service, Sys, Value,
+};
+
+use crate::ast::Stmt;
+use crate::engine::Database;
+use crate::parser::parse;
+use crate::proto::DbMsg;
+use crate::value::SqlValue;
+
+/// The hidden ownership column the proxy adds to every table.
+pub const USER_ID_COLUMN: &str = "user_id";
+
+/// Environment key for the proxy's worker-facing port.
+pub const DB_PORT_ENV: &str = "db.port";
+
+/// Environment key naming the port that should receive the admin-port
+/// grant at startup (set by the launcher before spawning the proxy).
+pub const DB_TRUSTED_ENV: &str = "db.trusted";
+
+/// Base cycles charged per proxy request (parse, rewrite, policy checks).
+pub const PROXY_MSG_CYCLES: u64 = 60_000;
+
+/// Cycles charged per row slot the engine examines.
+pub const PROXY_ROW_CYCLES: u64 = 500;
+
+struct Binding {
+    uid: i64,
+    taint: Handle,
+    #[allow(dead_code)] // recorded for AFFIRM-style audits; policy uses V.
+    grant: Handle,
+}
+
+/// The ok-dbproxy service.
+pub struct DbProxy {
+    db: Database,
+    users: BTreeMap<String, Binding>,
+    uid_taint: BTreeMap<i64, Handle>,
+    next_uid: i64,
+    worker_port: Option<Handle>,
+    admin_port: Option<Handle>,
+}
+
+impl DbProxy {
+    /// Creates an empty proxy.
+    pub fn new() -> DbProxy {
+        DbProxy::with_database(Database::new())
+    }
+
+    /// Creates a proxy over a pre-loaded database — the §7.5 reboot path:
+    /// data (with its hidden ownership column) persists via
+    /// [`crate::snapshot::snapshot`], handles are re-minted after boot, and re-binding
+    /// users in the same order reconnects rows to their owners.
+    pub fn with_database(db: Database) -> DbProxy {
+        DbProxy {
+            db,
+            users: BTreeMap::new(),
+            uid_taint: BTreeMap::new(),
+            next_uid: 1,
+            worker_port: None,
+            admin_port: None,
+        }
+    }
+
+    /// Serializes the proxy's database (for §7.5 persistence).
+    pub fn snapshot(&self) -> Vec<u8> {
+        crate::snapshot::snapshot(&self.db)
+    }
+
+    /// §7.5's write gate: `V ⊑ {uT 3, uG 0, 2}`.
+    fn write_allowed(&self, user: &str, verify: &Label) -> Option<&Binding> {
+        let binding = self.users.get(user)?;
+        let bound = Label::from_pairs(
+            Level::L2,
+            &[(binding.taint, Level::L3), (binding.grant, Level::L0)],
+        );
+        if verify.leq(&bound) {
+            Some(binding)
+        } else {
+            None
+        }
+    }
+
+    /// §7.6's declassifier proof: `V(uT) = ⋆`.
+    fn declassify_allowed(&self, user: &str, verify: &Label) -> bool {
+        match self.users.get(user) {
+            Some(b) => verify.get(b.taint) == Level::Star,
+            None => false,
+        }
+    }
+
+    fn handle_admin(&mut self, sys: &mut Sys<'_>, msg: DbMsg) {
+        match msg {
+            DbMsg::Bind { user, taint, grant } => {
+                // The binder granted us taint ⋆ via D_S on this message;
+                // raise our receive label so arbitrarily-tainted workers
+                // can still reach us.
+                sys.raise_recv(taint, Level::L3)
+                    .expect("Bind must arrive with a ⋆ grant for the taint handle");
+                let uid = self.next_uid;
+                self.next_uid += 1;
+                self.uid_taint.insert(uid, taint);
+                self.users.insert(user, Binding { uid, taint, grant });
+            }
+            DbMsg::Ddl { sql } => {
+                sys.charge(PROXY_MSG_CYCLES);
+                let Ok(stmt) = parse(&sql) else { return };
+                match stmt {
+                    Stmt::CreateTable { name, mut columns } => {
+                        // Prepend the hidden ownership column and index it:
+                        // every worker query filters on it implicitly.
+                        columns.insert(0, USER_ID_COLUMN.to_string());
+                        let create = Stmt::CreateTable {
+                            name: name.clone(),
+                            columns,
+                        };
+                        if self.db.execute(&create, &[]).is_ok() {
+                            let _ = self.db.execute(
+                                &Stmt::CreateIndex {
+                                    table: name,
+                                    column: USER_ID_COLUMN.to_string(),
+                                },
+                                &[],
+                            );
+                        }
+                    }
+                    other @ Stmt::CreateIndex { .. } => {
+                        let _ = self.db.execute(&other, &[]);
+                    }
+                    _ => {} // Ddl carries schema statements only
+                }
+            }
+            // §7.4's "special access": the trusted party (idd) runs raw
+            // statements on its private tables — no hidden-column rewriting,
+            // no per-row taint. Only admin-port (⋆-granted) senders get here.
+            DbMsg::Exec {
+                sql,
+                params,
+                reply,
+                ..
+            } => {
+                sys.charge(PROXY_MSG_CYCLES);
+                let result = self.db.run_with_params(&sql, &params);
+                let (ok, affected, work) = match &result {
+                    Ok(r) => (true, r.affected as u64, r.work),
+                    Err(_) => (false, 0, 1),
+                };
+                sys.charge(work * PROXY_ROW_CYCLES);
+                if let Some(reply) = reply {
+                    let _ = sys.send(reply, DbMsg::ExecR { ok, affected }.to_value());
+                }
+            }
+            DbMsg::Query { sql, params, reply } => {
+                sys.charge(PROXY_MSG_CYCLES);
+                if let Ok(result) = self.db.run_with_params(&sql, &params) {
+                    sys.charge(result.work * PROXY_ROW_CYCLES);
+                    for row in result.rows {
+                        let _ = sys.send(reply, DbMsg::Row { values: row }.to_value());
+                    }
+                }
+                let _ = sys.send(reply, DbMsg::Done.to_value());
+            }
+            _ => {}
+        }
+    }
+
+    fn handle_exec(
+        &mut self,
+        sys: &mut Sys<'_>,
+        user: String,
+        sql: String,
+        params: Vec<SqlValue>,
+        reply: Option<Handle>,
+        verify: &Label,
+    ) {
+        sys.charge(PROXY_MSG_CYCLES);
+        let declassify = self.declassify_allowed(&user, verify);
+        let binding = self.write_allowed(&user, verify);
+        let (uid, taint) = match (&binding, declassify) {
+            // §7.6: declassifier writes land with user id 0.
+            (_, true) => {
+                let b = self.users.get(&user).expect("declassify implies binding");
+                (0i64, b.taint)
+            }
+            (Some(b), false) => (b.uid, b.taint),
+            (None, false) => {
+                // Refused: reply (if any) still flows, untainted, saying no.
+                if let Some(reply) = reply {
+                    let _ = sys.send(reply, DbMsg::ExecR { ok: false, affected: 0 }.to_value());
+                }
+                return;
+            }
+        };
+
+        let outcome = self.rewrite_and_exec(&sql, &params, uid);
+        let (ok, affected, work) = match outcome {
+            Some(r) => (true, r.0, r.1),
+            None => (false, 0, 1),
+        };
+        sys.charge(work * PROXY_ROW_CYCLES);
+        if let Some(reply) = reply {
+            // The outcome of a write to u's rows is u's information.
+            let args = SendArgs::new()
+                .contaminate(Label::from_pairs(Level::Star, &[(taint, Level::L3)]));
+            let _ = sys.send_args(
+                reply,
+                DbMsg::ExecR { ok, affected: affected as u64 }.to_value(),
+                &args,
+            );
+        }
+    }
+
+    /// Rewrites a worker write so it can only touch rows owned by `uid`,
+    /// then executes it. Returns `(affected, work)`.
+    fn rewrite_and_exec(&mut self, sql: &str, params: &[SqlValue], uid: i64) -> Option<(usize, u64)> {
+        let stmt = parse(sql).ok()?;
+        if stmt
+            .mentioned_columns()
+            .iter()
+            .any(|c| c.eq_ignore_ascii_case(USER_ID_COLUMN))
+        {
+            return None; // workers cannot access or change this column
+        }
+        use crate::ast::{CmpOp, Comparison, Expr};
+        let owner_guard = Comparison {
+            column: USER_ID_COLUMN.to_string(),
+            op: CmpOp::Eq,
+            rhs: Expr::Lit(SqlValue::Int(uid)),
+        };
+        let rewritten = match stmt {
+            Stmt::Insert {
+                table,
+                columns,
+                values,
+            } => {
+                // Prepend the owner id. With an explicit column list we add
+                // the hidden column explicitly; without one we rely on
+                // user_id being the first column.
+                let columns = columns.map(|mut cs| {
+                    cs.insert(0, USER_ID_COLUMN.to_string());
+                    cs
+                });
+                let mut vals = Vec::with_capacity(values.len() + 1);
+                vals.push(Expr::Lit(SqlValue::Int(uid)));
+                vals.extend(values);
+                Stmt::Insert {
+                    table,
+                    columns,
+                    values: vals,
+                }
+            }
+            Stmt::Update {
+                table,
+                sets,
+                mut filter,
+            } => {
+                filter.conjuncts.push(owner_guard);
+                Stmt::Update {
+                    table,
+                    sets,
+                    filter,
+                }
+            }
+            Stmt::Delete { table, mut filter } => {
+                filter.conjuncts.push(owner_guard);
+                Stmt::Delete { table, filter }
+            }
+            // Everything else is not a worker write.
+            _ => return None,
+        };
+        let result = self.db.execute(&rewritten, params).ok()?;
+        Some((result.affected, result.work))
+    }
+
+    fn handle_query(
+        &mut self,
+        sys: &mut Sys<'_>,
+        sql: String,
+        params: Vec<SqlValue>,
+        reply: Handle,
+    ) {
+        sys.charge(PROXY_MSG_CYCLES);
+        let response = self.run_select(&sql, &params);
+        if let Some((rows, work)) = response {
+            sys.charge(work * PROXY_ROW_CYCLES);
+            for (owner, values) in rows {
+                // §7.5: "If a row's user ID column contains u's ID, then
+                // ok-dbproxy returns the row's data contaminated with
+                // uT 3"; declassified rows (id 0) go out untainted. Rows
+                // belonging to other users are tainted with *their*
+                // handles — the kernel drops what the receiver may not
+                // see.
+                let args = match self.uid_taint.get(&owner) {
+                    Some(&t) if owner != 0 => SendArgs::new()
+                        .contaminate(Label::from_pairs(Level::Star, &[(t, Level::L3)])),
+                    _ => SendArgs::new(),
+                };
+                let _ = sys.send_args(reply, DbMsg::Row { values }.to_value(), &args);
+            }
+        }
+        // Untainted end-of-results marker (§7.5).
+        let _ = sys.send(reply, DbMsg::Done.to_value());
+    }
+
+    /// Runs a worker SELECT with the hidden owner column prepended to the
+    /// projection; returns `(owner_uid, visible_cells)` per row plus work.
+    fn run_select(&mut self, sql: &str, params: &[SqlValue]) -> Option<(Vec<(i64, Vec<SqlValue>)>, u64)> {
+        let stmt = parse(sql).ok()?;
+        let Stmt::Select {
+            columns,
+            table,
+            filter,
+        } = stmt
+        else {
+            return None;
+        };
+        if let crate::ast::SelectCols::Named(ref cs) = columns {
+            if cs.iter().any(|c| c.eq_ignore_ascii_case(USER_ID_COLUMN)) {
+                return None;
+            }
+        }
+        if filter
+            .conjuncts
+            .iter()
+            .any(|c| c.column.eq_ignore_ascii_case(USER_ID_COLUMN))
+        {
+            return None;
+        }
+        // Prepend user_id to the projection so we can taint per row.
+        let columns = match columns {
+            crate::ast::SelectCols::Star => crate::ast::SelectCols::Star,
+            crate::ast::SelectCols::Named(mut cs) => {
+                cs.insert(0, USER_ID_COLUMN.to_string());
+                crate::ast::SelectCols::Named(cs)
+            }
+        };
+        let result = self
+            .db
+            .execute(&Stmt::Select { columns, table, filter }, params)
+            .ok()?;
+        let rows = result
+            .rows
+            .into_iter()
+            .map(|mut row| {
+                let owner = row.remove(0).as_int().unwrap_or(0);
+                (owner, row)
+            })
+            .collect();
+        Some((rows, result.work))
+    }
+}
+
+impl Default for DbProxy {
+    fn default() -> DbProxy {
+        DbProxy::new()
+    }
+}
+
+impl Service for DbProxy {
+    fn on_start(&mut self, sys: &mut Sys<'_>) {
+        // Worker-facing port: open; taint protection comes from labels on
+        // the data, not from hiding the port.
+        let port = sys.new_port(Label::top());
+        sys.set_port_label(port, Label::top())
+            .expect("creator owns the port");
+        sys.publish_env(DB_PORT_ENV, Value::Handle(port));
+        self.worker_port = Some(port);
+
+        // Admin port: stays closed (new_port leaves p_R(admin) = 0); we
+        // grant it to the configured trusted party only.
+        let admin = sys.new_port(Label::top());
+        self.admin_port = Some(admin);
+        if let Some(trusted) = sys.env(DB_TRUSTED_ENV).and_then(|v| v.as_handle()) {
+            let grant = Label::from_pairs(Level::L3, &[(admin, Level::Star)]);
+            let _ = sys.send_args(
+                trusted,
+                DbMsg::AdminPort { port: admin }.to_value(),
+                &SendArgs::new().grant(grant),
+            );
+        }
+    }
+
+    fn on_message(&mut self, sys: &mut Sys<'_>, msg: &Message) {
+        let Some(db_msg) = DbMsg::from_value(&msg.body) else {
+            return;
+        };
+        if Some(msg.port) == self.admin_port {
+            self.handle_admin(sys, db_msg);
+            return;
+        }
+        match db_msg {
+            DbMsg::Exec {
+                user,
+                sql,
+                params,
+                reply,
+            } => self.handle_exec(sys, user, sql, params, reply, &msg.verify),
+            DbMsg::Query { sql, params, reply } => self.handle_query(sys, sql, params, reply),
+            // Admin messages on the worker port are ignored outright.
+            _ => {}
+        }
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+}
+
+/// Spawn info for a running proxy.
+pub struct DbHandle {
+    /// The proxy's process id.
+    pub pid: ProcessId,
+    /// The worker-facing port.
+    pub port: Handle,
+}
+
+/// Spawns ok-dbproxy. The `DB_TRUSTED_ENV` global should already name the
+/// trusted party's notification port (idd's, or a test harness's).
+pub fn spawn_dbproxy(kernel: &mut Kernel) -> DbHandle {
+    let pid = kernel.spawn("ok-dbproxy", Category::Okdb, Box::new(DbProxy::new()));
+    let port = kernel
+        .global_env(DB_PORT_ENV)
+        .and_then(Value::as_handle)
+        .expect("proxy publishes its worker port");
+    DbHandle { pid, port }
+}

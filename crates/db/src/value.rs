@@ -1,0 +1,108 @@
+//! SQL cell values.
+
+use std::fmt;
+
+/// A value stored in a table cell (SQLite's dynamic typing, reduced to the
+/// types OKWS uses).
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum SqlValue {
+    /// SQL NULL.
+    Null,
+    /// 64-bit signed integer.
+    Int(i64),
+    /// UTF-8 text.
+    Text(String),
+    /// Raw bytes.
+    Blob(Vec<u8>),
+}
+
+impl SqlValue {
+    /// The integer, if this is an [`SqlValue::Int`].
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            SqlValue::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The text, if this is an [`SqlValue::Text`].
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            SqlValue::Text(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// The bytes, if this is an [`SqlValue::Blob`].
+    pub fn as_blob(&self) -> Option<&[u8]> {
+        match self {
+            SqlValue::Blob(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// Whether this is NULL.
+    pub fn is_null(&self) -> bool {
+        matches!(self, SqlValue::Null)
+    }
+}
+
+impl fmt::Display for SqlValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqlValue::Null => write!(f, "NULL"),
+            SqlValue::Int(i) => write!(f, "{i}"),
+            SqlValue::Text(t) => write!(f, "'{}'", t.replace('\'', "''")),
+            SqlValue::Blob(b) => write!(f, "x'{}'", hex(b)),
+        }
+    }
+}
+
+fn hex(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+impl From<i64> for SqlValue {
+    fn from(v: i64) -> SqlValue {
+        SqlValue::Int(v)
+    }
+}
+
+impl From<&str> for SqlValue {
+    fn from(v: &str) -> SqlValue {
+        SqlValue::Text(v.to_string())
+    }
+}
+
+impl From<String> for SqlValue {
+    fn from(v: String) -> SqlValue {
+        SqlValue::Text(v)
+    }
+}
+
+impl From<Vec<u8>> for SqlValue {
+    fn from(v: Vec<u8>) -> SqlValue {
+        SqlValue::Blob(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        assert_eq!(SqlValue::Int(3).as_int(), Some(3));
+        assert_eq!(SqlValue::Text("a".into()).as_text(), Some("a"));
+        assert_eq!(SqlValue::Blob(vec![1]).as_blob(), Some(&[1u8][..]));
+        assert!(SqlValue::Null.is_null());
+        assert_eq!(SqlValue::Null.as_int(), None);
+    }
+
+    #[test]
+    fn display_quotes_text() {
+        assert_eq!(SqlValue::Text("o'hare".into()).to_string(), "'o''hare'");
+        assert_eq!(SqlValue::Blob(vec![0xab, 0x01]).to_string(), "x'ab01'");
+        assert_eq!(SqlValue::Int(-5).to_string(), "-5");
+    }
+}

@@ -1,0 +1,171 @@
+//! Property tests for the SQL engine: equivalence against a flat key-value
+//! oracle under random operation sequences, plus no-panic parsing.
+
+use std::collections::BTreeMap;
+
+use asbestos_db::{parse, Database, SqlValue};
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+enum DbOp {
+    /// `INSERT INTO kv VALUES (k, v)` — duplicate keys allowed; the oracle
+    /// keeps multiset semantics via a Vec.
+    Insert { k: u8, v: i64 },
+    /// `SELECT v FROM kv WHERE k = ?`.
+    Lookup { k: u8 },
+    /// `UPDATE kv SET v = ? WHERE k = ?`.
+    Update { k: u8, v: i64 },
+    /// `DELETE FROM kv WHERE k = ?`.
+    Delete { k: u8 },
+    /// `SELECT v FROM kv WHERE v >= ?` (range over values).
+    Range { min: i64 },
+}
+
+fn arb_op() -> impl Strategy<Value = DbOp> {
+    prop_oneof![
+        (any::<u8>(), -50i64..50).prop_map(|(k, v)| DbOp::Insert { k: k % 24, v }),
+        any::<u8>().prop_map(|k| DbOp::Lookup { k: k % 24 }),
+        (any::<u8>(), -50i64..50).prop_map(|(k, v)| DbOp::Update { k: k % 24, v }),
+        any::<u8>().prop_map(|k| DbOp::Delete { k: k % 24 }),
+        (-50i64..50).prop_map(|min| DbOp::Range { min }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn engine_matches_oracle(ops in prop::collection::vec(arb_op(), 0..80), indexed in any::<bool>()) {
+        let mut db = Database::new();
+        db.run("CREATE TABLE kv (k, v)").unwrap();
+        if indexed {
+            db.run("CREATE INDEX ON kv (k)").unwrap();
+        }
+        // Oracle: key → multiset of values (insertion-ordered).
+        let mut oracle: BTreeMap<String, Vec<i64>> = BTreeMap::new();
+
+        for op in ops {
+            match op {
+                DbOp::Insert { k, v } => {
+                    let key = format!("k{k}");
+                    db.run_with_params(
+                        "INSERT INTO kv VALUES (?, ?)",
+                        &[SqlValue::Text(key.clone()), SqlValue::Int(v)],
+                    )
+                    .unwrap();
+                    oracle.entry(key).or_default().push(v);
+                }
+                DbOp::Lookup { k } => {
+                    let key = format!("k{k}");
+                    let result = db
+                        .run_with_params(
+                            "SELECT v FROM kv WHERE k = ?",
+                            &[SqlValue::Text(key.clone())],
+                        )
+                        .unwrap();
+                    let mut got: Vec<i64> = result
+                        .rows
+                        .iter()
+                        .map(|r| r[0].as_int().unwrap())
+                        .collect();
+                    got.sort_unstable();
+                    let mut expect = oracle.get(&key).cloned().unwrap_or_default();
+                    expect.sort_unstable();
+                    prop_assert_eq!(got, expect);
+                }
+                DbOp::Update { k, v } => {
+                    let key = format!("k{k}");
+                    let result = db
+                        .run_with_params(
+                            "UPDATE kv SET v = ? WHERE k = ?",
+                            &[SqlValue::Int(v), SqlValue::Text(key.clone())],
+                        )
+                        .unwrap();
+                    let entry = oracle.entry(key).or_default();
+                    prop_assert_eq!(result.affected, entry.len());
+                    for slot in entry.iter_mut() {
+                        *slot = v;
+                    }
+                }
+                DbOp::Delete { k } => {
+                    let key = format!("k{k}");
+                    let result = db
+                        .run_with_params(
+                            "DELETE FROM kv WHERE k = ?",
+                            &[SqlValue::Text(key.clone())],
+                        )
+                        .unwrap();
+                    let removed = oracle.remove(&key).unwrap_or_default();
+                    prop_assert_eq!(result.affected, removed.len());
+                }
+                DbOp::Range { min } => {
+                    let result = db
+                        .run_with_params(
+                            "SELECT v FROM kv WHERE v >= ?",
+                            &[SqlValue::Int(min)],
+                        )
+                        .unwrap();
+                    let mut got: Vec<i64> = result
+                        .rows
+                        .iter()
+                        .map(|r| r[0].as_int().unwrap())
+                        .collect();
+                    got.sort_unstable();
+                    let mut expect: Vec<i64> = oracle
+                        .values()
+                        .flatten()
+                        .copied()
+                        .filter(|&v| v >= min)
+                        .collect();
+                    expect.sort_unstable();
+                    prop_assert_eq!(got, expect);
+                }
+            }
+        }
+        // Row count agrees at the end.
+        let total: usize = oracle.values().map(Vec::len).sum();
+        prop_assert_eq!(db.table("kv").unwrap().len(), total);
+    }
+
+    #[test]
+    fn parser_never_panics(sql in "\\PC{0,100}") {
+        let _ = parse(&sql);
+    }
+
+    #[test]
+    fn snapshot_roundtrips_random_contents(
+        rows in prop::collection::vec(
+            (any::<u8>(), prop::option::of(-1000i64..1000), prop::collection::vec(any::<u8>(), 0..16)),
+            0..40,
+        ),
+    ) {
+        let mut db = Database::new();
+        db.run("CREATE TABLE t (k, n, b)").unwrap();
+        for (k, n, b) in &rows {
+            db.run_with_params(
+                "INSERT INTO t VALUES (?, ?, ?)",
+                &[
+                    SqlValue::Text(format!("k{k}")),
+                    n.map(SqlValue::Int).unwrap_or(SqlValue::Null),
+                    SqlValue::Blob(b.clone()),
+                ],
+            )
+            .unwrap();
+        }
+        let bytes = asbestos_db::snapshot(&db);
+        let mut restored = asbestos_db::restore(&bytes).expect("roundtrip");
+        let before = db.run("SELECT * FROM t").unwrap();
+        let after = restored.run("SELECT * FROM t").unwrap();
+        prop_assert_eq!(before.rows, after.rows);
+    }
+
+    #[test]
+    fn restore_never_panics_on_garbage(bytes in prop::collection::vec(any::<u8>(), 0..200)) {
+        let _ = asbestos_db::restore(&bytes);
+    }
+
+    #[test]
+    fn lexer_handles_any_ascii(sql in "[ -~]{0,100}") {
+        let _ = asbestos_db::lexer::lex(&sql);
+    }
+}

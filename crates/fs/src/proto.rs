@@ -1,0 +1,191 @@
+//! The file-server protocol, inspired by Plan 9's 9P as §4 notes:
+//! "to read a file, for example, the client sends a READ message to the
+//! fileserver's port and awaits the corresponding READ_R reply."
+
+use asbestos_kernel::{Handle, Value};
+
+/// A message in the file-server protocol.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FsMsg {
+    /// Register a user; the server creates taint/grant handles and replies
+    /// [`FsMsg::AddUserR`] to `reply`, granting both handles at `⋆`.
+    AddUser {
+        /// Username.
+        user: String,
+        /// Reply port.
+        reply: Handle,
+    },
+    /// Reply to `AddUser`: the user's taint and grant handles.
+    AddUserR {
+        /// The user's taint handle `uT`.
+        taint: Handle,
+        /// The user's grant handle `uG`.
+        grant: Handle,
+    },
+    /// Create a file owned by `user` (empty string = public file).
+    Create {
+        /// File name.
+        name: String,
+        /// Owning user, or empty for public.
+        user: String,
+    },
+    /// Read a file; the server replies [`FsMsg::ReadR`] to `reply`,
+    /// contaminated with the owner's taint at 3.
+    Read {
+        /// File name.
+        name: String,
+        /// Reply port.
+        reply: Handle,
+    },
+    /// Reply to `Read`.
+    ReadR {
+        /// File name.
+        name: String,
+        /// Contents; `None` if the file does not exist.
+        data: Option<Vec<u8>>,
+    },
+    /// Write a file. For owned files the sender must prove it speaks for
+    /// the owner with `V(uG) ≤ 0` (§5.4); for system files, `V(s) ≤ 1`.
+    Write {
+        /// File name.
+        name: String,
+        /// New contents.
+        data: Vec<u8>,
+        /// Optional reply port for [`FsMsg::WriteR`].
+        reply: Option<Handle>,
+    },
+    /// Reply to `Write`.
+    WriteR {
+        /// File name.
+        name: String,
+        /// Whether the write was accepted.
+        ok: bool,
+    },
+    /// Create a system file (integrity-protected by the `s` compartment).
+    CreateSystem {
+        /// File name.
+        name: String,
+    },
+}
+
+impl FsMsg {
+    /// Encodes to a [`Value`] payload.
+    pub fn to_value(&self) -> Value {
+        match self {
+            FsMsg::AddUser { user, reply } => Value::List(vec![
+                Value::Str("add-user".into()),
+                Value::Str(user.clone()),
+                Value::Handle(*reply),
+            ]),
+            FsMsg::AddUserR { taint, grant } => Value::List(vec![
+                Value::Str("add-user-r".into()),
+                Value::Handle(*taint),
+                Value::Handle(*grant),
+            ]),
+            FsMsg::Create { name, user } => Value::List(vec![
+                Value::Str("create".into()),
+                Value::Str(name.clone()),
+                Value::Str(user.clone()),
+            ]),
+            FsMsg::Read { name, reply } => Value::List(vec![
+                Value::Str("read".into()),
+                Value::Str(name.clone()),
+                Value::Handle(*reply),
+            ]),
+            FsMsg::ReadR { name, data } => Value::List(vec![
+                Value::Str("read-r".into()),
+                Value::Str(name.clone()),
+                match data {
+                    Some(d) => Value::Bytes(d.clone()),
+                    None => Value::Unit,
+                },
+            ]),
+            FsMsg::Write { name, data, reply } => Value::List(vec![
+                Value::Str("write".into()),
+                Value::Str(name.clone()),
+                Value::Bytes(data.clone()),
+                match reply {
+                    Some(r) => Value::Handle(*r),
+                    None => Value::Unit,
+                },
+            ]),
+            FsMsg::WriteR { name, ok } => Value::List(vec![
+                Value::Str("write-r".into()),
+                Value::Str(name.clone()),
+                Value::Bool(*ok),
+            ]),
+            FsMsg::CreateSystem { name } => Value::List(vec![
+                Value::Str("create-system".into()),
+                Value::Str(name.clone()),
+            ]),
+        }
+    }
+
+    /// Decodes from a [`Value`] payload.
+    pub fn from_value(value: &Value) -> Option<FsMsg> {
+        let items = value.as_list()?;
+        match items.first()?.as_str()? {
+            "add-user" => Some(FsMsg::AddUser {
+                user: items.get(1)?.as_str()?.to_string(),
+                reply: items.get(2)?.as_handle()?,
+            }),
+            "add-user-r" => Some(FsMsg::AddUserR {
+                taint: items.get(1)?.as_handle()?,
+                grant: items.get(2)?.as_handle()?,
+            }),
+            "create" => Some(FsMsg::Create {
+                name: items.get(1)?.as_str()?.to_string(),
+                user: items.get(2)?.as_str()?.to_string(),
+            }),
+            "read" => Some(FsMsg::Read {
+                name: items.get(1)?.as_str()?.to_string(),
+                reply: items.get(2)?.as_handle()?,
+            }),
+            "read-r" => Some(FsMsg::ReadR {
+                name: items.get(1)?.as_str()?.to_string(),
+                data: match items.get(2)? {
+                    Value::Bytes(b) => Some(b.clone()),
+                    _ => None,
+                },
+            }),
+            "write" => Some(FsMsg::Write {
+                name: items.get(1)?.as_str()?.to_string(),
+                data: items.get(2)?.as_bytes()?.to_vec(),
+                reply: items.get(3).and_then(Value::as_handle),
+            }),
+            "write-r" => Some(FsMsg::WriteR {
+                name: items.get(1)?.as_str()?.to_string(),
+                ok: items.get(2)?.as_bool()?,
+            }),
+            "create-system" => Some(FsMsg::CreateSystem {
+                name: items.get(1)?.as_str()?.to_string(),
+            }),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let h = Handle::from_raw(7);
+        let msgs = vec![
+            FsMsg::AddUser { user: "u".into(), reply: h },
+            FsMsg::AddUserR { taint: h, grant: h },
+            FsMsg::Create { name: "f".into(), user: "u".into() },
+            FsMsg::Read { name: "f".into(), reply: h },
+            FsMsg::ReadR { name: "f".into(), data: Some(vec![1]) },
+            FsMsg::ReadR { name: "f".into(), data: None },
+            FsMsg::Write { name: "f".into(), data: vec![2], reply: Some(h) },
+            FsMsg::Write { name: "f".into(), data: vec![], reply: None },
+            FsMsg::WriteR { name: "f".into(), ok: true },
+            FsMsg::CreateSystem { name: "passwd".into() },
+        ];
+        for m in msgs {
+            assert_eq!(FsMsg::from_value(&m.to_value()), Some(m));
+        }
+    }
+}

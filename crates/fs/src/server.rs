@@ -1,0 +1,238 @@
+//! The trusted multi-user file server of §5.2–§5.4.
+//!
+//! The server holds `⋆` for every user's taint handle, so it "can accept
+//! requests from any user without fear of contamination and can declassify
+//! user data as appropriate" — its labels are
+//!
+//! ```text
+//! FS_S = {u₁T ⋆, u₂T ⋆, …, 1}      FS_R = {u₁T 3, u₂T 3, …, 2}
+//! ```
+//!
+//! Reads return data contaminated with the owner's `uT 3`; writes to owned
+//! files require the §5.4 discretionary integrity proof `V(uG) ≤ 0`; system
+//! files use the mandatory-integrity compartment `s` with writes requiring
+//! `V(s) ≤ 1`, so any process contaminated by the network (send label
+//! `{s 2, 1}`) is excluded *by the kernel*.
+
+use std::collections::BTreeMap;
+
+use asbestos_kernel::{
+    Category, Handle, Kernel, Label, Level, Message, ProcessId, SendArgs, Service, Sys, Value,
+};
+
+use crate::proto::FsMsg;
+
+/// Environment key where the file server publishes its request port.
+pub const FS_PORT_ENV: &str = "fs.port";
+
+/// Environment key where the file server publishes the system-integrity
+/// compartment handle `s` (so infrastructure can taint e.g. netd with
+/// `{s 2, 1}`).
+pub const FS_SYSTEM_COMPARTMENT_ENV: &str = "fs.system";
+
+struct UserSec {
+    taint: Handle,
+    grant: Handle,
+}
+
+enum Owner {
+    /// Public file: no taint, no write protection.
+    Public,
+    /// Owned by a registered user.
+    User(String),
+    /// System file: mandatory integrity via the `s` compartment.
+    System,
+}
+
+struct File {
+    owner: Owner,
+    data: Vec<u8>,
+}
+
+/// The file-server service.
+pub struct FileServer {
+    users: BTreeMap<String, UserSec>,
+    files: BTreeMap<String, File>,
+    system: Option<Handle>,
+    port: Option<Handle>,
+}
+
+impl FileServer {
+    /// Creates an empty file server.
+    pub fn new() -> FileServer {
+        FileServer {
+            users: BTreeMap::new(),
+            files: BTreeMap::new(),
+            system: None,
+            port: None,
+        }
+    }
+
+    fn user_of(&self, name: &str) -> Option<&UserSec> {
+        self.users.get(name)
+    }
+
+    fn write_allowed(&self, file: &File, verify: &Label) -> bool {
+        match &file.owner {
+            Owner::Public => true,
+            // §5.4: a write to u's file must prove V(uG) ≤ 0.
+            Owner::User(u) => match self.user_of(u) {
+                Some(sec) => verify.get(sec.grant) <= Level::L0,
+                None => false,
+            },
+            // §5.4: system files require V(s) ≤ 1.
+            Owner::System => {
+                let s = self.system.expect("system compartment exists");
+                verify.get(s) <= Level::L1
+            }
+        }
+    }
+}
+
+impl Default for FileServer {
+    fn default() -> FileServer {
+        FileServer::new()
+    }
+}
+
+impl Service for FileServer {
+    fn on_start(&mut self, sys: &mut Sys<'_>) {
+        let port = sys.new_port(Label::top());
+        sys.set_port_label(port, Label::top())
+            .expect("creator owns the port");
+        sys.publish_env(FS_PORT_ENV, Value::Handle(port));
+        self.port = Some(port);
+        // The mandatory-integrity compartment for system files.
+        let s = sys.new_handle();
+        sys.publish_env(FS_SYSTEM_COMPARTMENT_ENV, Value::Handle(s));
+        self.system = Some(s);
+    }
+
+    fn on_message(&mut self, sys: &mut Sys<'_>, msg: &Message) {
+        let Some(fs_msg) = FsMsg::from_value(&msg.body) else {
+            return;
+        };
+        sys.charge(8_000); // request parsing / table lookups
+        match fs_msg {
+            FsMsg::AddUser { user, reply } => {
+                let sec = self.users.entry(user).or_insert_with(|| {
+                    let taint = sys.new_handle();
+                    let grant = sys.new_handle();
+                    // FS_R gains uT 3: the server may receive u's data.
+                    sys.raise_recv(taint, Level::L3)
+                        .expect("the server created uT and holds ⋆");
+                    UserSec { taint, grant }
+                });
+                // Set the session up as Figure 2's shells: it *speaks for*
+                // the user (uG 0 — deliberately not ⋆, so the privilege is
+                // mandatory and decays on low-integrity input, §5.4) and may
+                // *receive* the user's data (receive label raised to uT 3).
+                // Declassification privilege stays with the server alone.
+                let ds = Label::from_pairs(Level::L3, &[(sec.grant, Level::L0)]);
+                let dr = Label::from_pairs(Level::Star, &[(sec.taint, Level::L3)]);
+                let _ = sys.send_args(
+                    reply,
+                    FsMsg::AddUserR {
+                        taint: sec.taint,
+                        grant: sec.grant,
+                    }
+                    .to_value(),
+                    &SendArgs::new().grant(ds).raise_recv(dr),
+                );
+            }
+            FsMsg::Create { name, user } => {
+                let owner = if user.is_empty() {
+                    Owner::Public
+                } else if self.users.contains_key(&user) {
+                    Owner::User(user)
+                } else {
+                    return; // unknown owner: refuse silently
+                };
+                self.files.insert(name, File { owner, data: Vec::new() });
+            }
+            FsMsg::CreateSystem { name } => {
+                self.files.insert(
+                    name,
+                    File {
+                        owner: Owner::System,
+                        data: Vec::new(),
+                    },
+                );
+            }
+            FsMsg::Read { name, reply } => {
+                let (data, contaminate) = match self.files.get(&name) {
+                    Some(file) => {
+                        let cs = match &file.owner {
+                            Owner::User(u) => self.user_of(u).map(|sec| {
+                                Label::from_pairs(Level::Star, &[(sec.taint, Level::L3)])
+                            }),
+                            _ => None,
+                        };
+                        (Some(file.data.clone()), cs)
+                    }
+                    None => (None, None),
+                };
+                let mut args = SendArgs::new();
+                if let Some(cs) = contaminate {
+                    // §5.2 discretionary contamination: the reply carries
+                    // the owner's taint; the server itself stays at ⋆.
+                    args = args.contaminate(cs);
+                }
+                let _ = sys.send_args(reply, FsMsg::ReadR { name, data }.to_value(), &args);
+            }
+            FsMsg::Write { name, data, reply } => {
+                let ok = match self.files.get(&name) {
+                    Some(file) => self.write_allowed(file, &msg.verify),
+                    None => false,
+                };
+                if ok {
+                    self.files
+                        .get_mut(&name)
+                        .expect("existence checked above")
+                        .data = data;
+                }
+                if let Some(reply) = reply {
+                    // The reply is contaminated like a read would be: the
+                    // ok/failure bit for an owned file is u's business.
+                    let args = match self.files.get(&name).map(|f| &f.owner) {
+                        Some(Owner::User(u)) => match self.user_of(u) {
+                            Some(sec) => SendArgs::new().contaminate(Label::from_pairs(
+                                Level::Star,
+                                &[(sec.taint, Level::L3)],
+                            )),
+                            None => SendArgs::new(),
+                        },
+                        _ => SendArgs::new(),
+                    };
+                    let _ = sys.send_args(reply, FsMsg::WriteR { name, ok }.to_value(), &args);
+                }
+            }
+            // Replies are never sent *to* the server.
+            FsMsg::AddUserR { .. } | FsMsg::ReadR { .. } | FsMsg::WriteR { .. } => {}
+        }
+    }
+}
+
+/// Spawn info for a running file server.
+pub struct FsHandle {
+    /// The server's process id.
+    pub pid: ProcessId,
+    /// Its request port.
+    pub port: Handle,
+    /// The system-integrity compartment `s`.
+    pub system: Handle,
+}
+
+/// Spawns the file server into a kernel.
+pub fn spawn_fs(kernel: &mut Kernel) -> FsHandle {
+    let pid = kernel.spawn("fs", Category::Other, Box::new(FileServer::new()));
+    let port = kernel
+        .global_env(FS_PORT_ENV)
+        .and_then(Value::as_handle)
+        .expect("fs publishes its port");
+    let system = kernel
+        .global_env(FS_SYSTEM_COMPARTMENT_ENV)
+        .and_then(Value::as_handle)
+        .expect("fs publishes the system compartment");
+    FsHandle { pid, port, system }
+}

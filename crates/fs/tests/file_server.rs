@@ -1,0 +1,392 @@
+//! File-server integration tests: the §5.2 privacy example (Figure 2), the
+//! §5.4 integrity policies, and transitive leak prevention through the
+//! server.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use asbestos_fs::{spawn_fs, FsMsg};
+use asbestos_kernel::util::service_with_start;
+use asbestos_kernel::{Category, Handle, Kernel, Label, Level, SendArgs, Value};
+
+/// Spawns a "shell" process for a user: registers with the file server,
+/// stores its handles in its env, and then executes injected commands.
+/// Commands drive the test scenarios.
+fn spawn_shell(kernel: &mut Kernel, name: &'static str) -> Handle {
+    let env_key = format!("{name}.cmd");
+    kernel.spawn(
+        name,
+        Category::Other,
+        service_with_start(
+            {
+                let env_key = env_key.clone();
+                move |sys| {
+                    let cmd = sys.new_port(Label::top());
+                    sys.set_port_label(cmd, Label::top()).unwrap();
+                    sys.publish_env(&env_key, Value::Handle(cmd));
+                    let reply = sys.new_port(Label::top());
+                    sys.set_port_label(reply, Label::top()).unwrap();
+                    sys.set_env("reply", Value::Handle(reply));
+                    let fs = sys.env("fs.port").unwrap().as_handle().unwrap();
+                    sys.send_args(
+                        cmd, // self-note so `reply` stays alive in env
+                        Value::Unit,
+                        &SendArgs::new(),
+                    )
+                    .ok();
+                    sys.send(
+                        fs,
+                        FsMsg::AddUser {
+                            user: name.to_string(),
+                            reply,
+                        }
+                        .to_value(),
+                    )
+                    .unwrap();
+                }
+            },
+            move |sys, msg| {
+                // Handle registration replies.
+                if let Some(FsMsg::AddUserR { taint, grant }) = FsMsg::from_value(&msg.body) {
+                    sys.set_env("taint", Value::Handle(taint));
+                    sys.set_env("grant", Value::Handle(grant));
+                    // The server already raised our receive label for uT
+                    // (via D_R) and granted uG 0; nothing more to do.
+                    return;
+                }
+                // Commands: ["read", file] / ["write", file, bytes] /
+                // ["forward-to", port] — forward last read data elsewhere.
+                let Some(items) = msg.body.as_list() else { return };
+                let Some(cmd) = items.first().and_then(Value::as_str) else { return };
+                match cmd {
+                    "read" => {
+                        let file = items[1].as_str().unwrap().to_string();
+                        let fs = sys.env("fs.port").unwrap().as_handle().unwrap();
+                        let reply = sys.env("reply").unwrap().as_handle().unwrap();
+                        sys.send(fs, FsMsg::Read { name: file, reply }.to_value())
+                            .unwrap();
+                    }
+                    "write" => {
+                        let file = items[1].as_str().unwrap().to_string();
+                        let data = items[2].as_bytes().unwrap().to_vec();
+                        let fs = sys.env("fs.port").unwrap().as_handle().unwrap();
+                        let grant = sys.env("grant").unwrap().as_handle().unwrap();
+                        // §5.4: name the credential explicitly.
+                        let v = Label::from_pairs(Level::L3, &[(grant, Level::L0)]);
+                        sys.send_args(
+                            fs,
+                            FsMsg::Write { name: file, data, reply: None }.to_value(),
+                            &SendArgs::new().verify(v),
+                        )
+                        .unwrap();
+                    }
+                    "write-unproven" => {
+                        let file = items[1].as_str().unwrap().to_string();
+                        let data = items[2].as_bytes().unwrap().to_vec();
+                        let fs = sys.env("fs.port").unwrap().as_handle().unwrap();
+                        sys.send(
+                            fs,
+                            FsMsg::Write { name: file, data, reply: None }.to_value(),
+                        )
+                        .unwrap();
+                    }
+                    "forward-to" => {
+                        let target = items[1].as_handle().unwrap();
+                        let data = sys.env("last-read").unwrap_or(Value::Unit);
+                        sys.send(target, data).unwrap();
+                    }
+                    _ => {}
+                }
+                // Stash read replies for potential forwarding.
+                if let Some(FsMsg::ReadR { data: Some(d), .. }) = FsMsg::from_value(&msg.body) {
+                    sys.set_env("last-read", Value::Bytes(d));
+                }
+            },
+        ),
+    );
+    kernel.run();
+    kernel.global_env(&env_key).unwrap().as_handle().unwrap()
+}
+
+#[test]
+fn taint_on_read_and_figure2_isolation() {
+    let mut kernel = Kernel::new(51);
+    let fs = spawn_fs(&mut kernel);
+    let u_cmd = spawn_shell(&mut kernel, "u-shell");
+    let v_cmd = spawn_shell(&mut kernel, "v-shell");
+
+    // u's terminal: a sink that only u's data may reach. Its receive label
+    // is {uT 3, 2}, assigned out of band as in Figure 2.
+    let seen = Rc::new(RefCell::new(Vec::<Vec<u8>>::new()));
+    let s2 = seen.clone();
+    let term = kernel.spawn(
+        "u-terminal",
+        Category::Other,
+        service_with_start(
+            |sys| {
+                let p = sys.new_port(Label::top());
+                sys.set_port_label(p, Label::top()).unwrap();
+                sys.publish_env("term.port", Value::Handle(p));
+            },
+            move |_sys, msg| {
+                if let Some(b) = msg.body.as_bytes() {
+                    s2.borrow_mut().push(b.to_vec());
+                }
+            },
+        ),
+    );
+    kernel.run();
+    let u_shell = kernel.find_process("u-shell").unwrap();
+    let u_taint = kernel.process(u_shell).env.get("taint").unwrap().as_handle().unwrap();
+    let term_port = kernel.global_env("term.port").unwrap().as_handle().unwrap();
+    kernel.set_process_labels(
+        term,
+        None,
+        Some(Label::from_pairs(Level::L2, &[(u_taint, Level::L3)])),
+    );
+
+    // u writes a secret, reads it back (tainting the shell), forwards to
+    // the terminal: allowed (U_S ⊑ UT_R).
+    kernel.inject(
+        u_cmd,
+        Value::List(vec!["write".into(), "u-diary".into(), Value::Bytes(b"dear diary".to_vec())]),
+    );
+    kernel.run();
+    // Create the file first — writes to unknown files are refused.
+    kernel.inject(fs.port, FsMsg::Create { name: "u-diary".into(), user: "u-shell".into() }.to_value());
+    kernel.run();
+    kernel.inject(
+        u_cmd,
+        Value::List(vec!["write".into(), "u-diary".into(), Value::Bytes(b"dear diary".to_vec())]),
+    );
+    kernel.inject(u_cmd, Value::List(vec!["read".into(), "u-diary".into()]));
+    kernel.run();
+    kernel.inject(u_cmd, Value::List(vec!["forward-to".into(), Value::Handle(term_port)]));
+    kernel.run();
+    assert_eq!(*seen.borrow(), vec![b"dear diary".to_vec()]);
+
+    // u's shell is now tainted with uT 3.
+    assert_eq!(kernel.process(u_shell).send_label.get(u_taint), Level::L3);
+
+    // v reads u's diary: v's shell never raised its receive label for uT,
+    // so the tainted reply is *dropped by the kernel* — v sees nothing.
+    let drops_before = kernel.stats().dropped_label_check;
+    kernel.inject(v_cmd, Value::List(vec!["read".into(), "u-diary".into()]));
+    kernel.run();
+    assert_eq!(kernel.stats().dropped_label_check, drops_before + 1);
+
+    // Even if v's shell *did* accept u's taint (raised out of band), a
+    // shell carrying v's own data as well — V_S = {uT 3, vT 3, 1} — cannot
+    // reach u's terminal: V_S ⋢ UT_R because vT: 3 > 2 (Figure 2's claim).
+    let v_shell = kernel.find_process("v-shell").unwrap();
+    let v_taint = kernel.process(v_shell).env.get("taint").unwrap().as_handle().unwrap();
+    // v touches its own data first (vT 3)...
+    kernel.inject(fs.port, FsMsg::Create { name: "v-notes".into(), user: "v-shell".into() }.to_value());
+    kernel.run();
+    kernel.inject(
+        v_cmd,
+        Value::List(vec!["write".into(), "v-notes".into(), Value::Bytes(b"v stuff".to_vec())]),
+    );
+    kernel.inject(v_cmd, Value::List(vec!["read".into(), "v-notes".into()]));
+    kernel.run();
+    assert_eq!(kernel.process(v_shell).send_label.get(v_taint), Level::L3);
+    // ...then gets u's taint accepted out of band and reads u's diary...
+    let raised = kernel
+        .process(v_shell)
+        .recv_label
+        .lub(&Label::from_pairs(Level::Star, &[(u_taint, Level::L3)]));
+    kernel.set_process_labels(v_shell, None, Some(raised));
+    kernel.inject(v_cmd, Value::List(vec!["read".into(), "u-diary".into()]));
+    kernel.run();
+    // ...and the forward to u's terminal is dropped by the kernel.
+    let drops = kernel.stats().dropped_label_check;
+    kernel.inject(v_cmd, Value::List(vec!["forward-to".into(), Value::Handle(term_port)]));
+    kernel.run();
+    assert_eq!(kernel.stats().dropped_label_check, drops + 1);
+    assert_eq!(seen.borrow().len(), 1, "terminal saw only u's own send");
+}
+
+#[test]
+fn writes_require_speak_for_proof() {
+    let mut kernel = Kernel::new(52);
+    let fs = spawn_fs(&mut kernel);
+    let u_cmd = spawn_shell(&mut kernel, "u-shell");
+    let v_cmd = spawn_shell(&mut kernel, "v-shell");
+
+    kernel.inject(fs.port, FsMsg::Create { name: "u-file".into(), user: "u-shell".into() }.to_value());
+    kernel.run();
+
+    // u writes with proof: accepted.
+    kernel.inject(
+        u_cmd,
+        Value::List(vec!["write".into(), "u-file".into(), Value::Bytes(b"mine".to_vec())]),
+    );
+    kernel.run();
+
+    // v tries to write u's file with *its own* grant handle: the server
+    // sees V(uG) = 3 and refuses.
+    kernel.inject(
+        v_cmd,
+        Value::List(vec!["write".into(), "u-file".into(), Value::Bytes(b"overwrite".to_vec())]),
+    );
+    // u (or anyone) writing without naming the credential is also refused.
+    kernel.inject(
+        u_cmd,
+        Value::List(vec!["write-unproven".into(), "u-file".into(), Value::Bytes(b"oops".to_vec())]),
+    );
+    kernel.run();
+
+    // Verify the content through u's own read path.
+    let contents = Rc::new(RefCell::new(None));
+    let c2 = contents.clone();
+    kernel.spawn(
+        "auditor",
+        Category::Other,
+        service_with_start(
+            |sys| {
+                let p = sys.new_port(Label::top());
+                sys.set_port_label(p, Label::top()).unwrap();
+                sys.set_env("p", Value::Handle(p));
+                // The auditor accepts any taint (out-of-band trusted reader).
+                sys.publish_env("audit.port", Value::Handle(p));
+            },
+            move |_sys, msg| {
+                if let Some(FsMsg::ReadR { data, .. }) = FsMsg::from_value(&msg.body) {
+                    *c2.borrow_mut() = data;
+                }
+            },
+        ),
+    );
+    let auditor = kernel.find_process("auditor").unwrap();
+    kernel.set_process_labels(auditor, None, Some(Label::top()));
+    let audit_port = kernel.global_env("audit.port").unwrap().as_handle().unwrap();
+    kernel.inject(fs.port, FsMsg::Read { name: "u-file".into(), reply: audit_port }.to_value());
+    kernel.run();
+    assert_eq!(contents.borrow().as_deref(), Some(&b"mine"[..]));
+}
+
+#[test]
+fn system_files_mandatory_integrity() {
+    // §5.4: "The file server can allocate a compartment, s, and require
+    // V(s) ≤ 1 for writes to system files. Setting the network daemon's
+    // send label to {s 2, 1} then ensures that no process contaminated with
+    // data from the network can overwrite system files."
+    let mut kernel = Kernel::new(53);
+    let fs = spawn_fs(&mut kernel);
+    kernel.inject(fs.port, FsMsg::CreateSystem { name: "passwd".into() }.to_value());
+    kernel.run();
+
+    // A clean system daemon: writes with V = {s 1, 3}; its E_S(s) = 1 ≤ 1
+    // passes both the kernel check and the server check.
+    let s = fs.system;
+    kernel.spawn(
+        "clean-daemon",
+        Category::Other,
+        service_with_start(
+            move |sys| {
+                let fs_port = sys.env("fs.port").unwrap().as_handle().unwrap();
+                let v = Label::from_pairs(Level::L3, &[(s, Level::L1)]);
+                sys.send_args(
+                    fs_port,
+                    FsMsg::Write { name: "passwd".into(), data: b"root:x:0".to_vec(), reply: None }
+                        .to_value(),
+                    &SendArgs::new().verify(v),
+                )
+                .unwrap();
+            },
+            |_, _| {},
+        ),
+    );
+    kernel.run();
+
+    // A network-contaminated daemon ({s 2, 1}): the same write is dropped
+    // *by the kernel* — E_S(s) = 2 ⋢ V(s) = 1.
+    let drops_before = kernel.stats().dropped_label_check;
+    kernel.spawn(
+        "netd-like",
+        Category::Network,
+        service_with_start(
+            move |sys| {
+                sys.self_contaminate(&Label::from_pairs(Level::Star, &[(s, Level::L2)]));
+                let fs_port = sys.env("fs.port").unwrap().as_handle().unwrap();
+                let v = Label::from_pairs(Level::L3, &[(s, Level::L1)]);
+                sys.send_args(
+                    fs_port,
+                    FsMsg::Write { name: "passwd".into(), data: b"evil".to_vec(), reply: None }
+                        .to_value(),
+                    &SendArgs::new().verify(v),
+                )
+                .unwrap();
+                // Without the verification label the message arrives, but
+                // the server refuses: V defaults to {3}, and 3 > 1.
+                sys.send(
+                    fs_port,
+                    FsMsg::Write { name: "passwd".into(), data: b"evil2".to_vec(), reply: None }
+                        .to_value(),
+                )
+                .unwrap();
+            },
+            |_, _| {},
+        ),
+    );
+    kernel.run();
+    assert_eq!(kernel.stats().dropped_label_check, drops_before + 1);
+
+    // Contents are still the clean daemon's.
+    let contents = Rc::new(RefCell::new(None));
+    let c2 = contents.clone();
+    kernel.spawn(
+        "auditor",
+        Category::Other,
+        service_with_start(
+            |sys| {
+                let p = sys.new_port(Label::top());
+                sys.set_port_label(p, Label::top()).unwrap();
+                sys.publish_env("audit.port", Value::Handle(p));
+            },
+            move |_sys, msg| {
+                if let Some(FsMsg::ReadR { data, .. }) = FsMsg::from_value(&msg.body) {
+                    *c2.borrow_mut() = data;
+                }
+            },
+        ),
+    );
+    let audit_port = kernel.global_env("audit.port").unwrap().as_handle().unwrap();
+    kernel.inject(fs.port, FsMsg::Read { name: "passwd".into(), reply: audit_port }.to_value());
+    kernel.run();
+    assert_eq!(contents.borrow().as_deref(), Some(&b"root:x:0"[..]));
+}
+
+#[test]
+fn server_stays_unconta_minated_across_users() {
+    // FS_S keeps ⋆ for every user no matter how much tainted traffic it
+    // handles (§5.3's file-server labels).
+    let mut kernel = Kernel::new(54);
+    let fs = spawn_fs(&mut kernel);
+    let u_cmd = spawn_shell(&mut kernel, "u-shell");
+    let v_cmd = spawn_shell(&mut kernel, "v-shell");
+    kernel.inject(fs.port, FsMsg::Create { name: "fu".into(), user: "u-shell".into() }.to_value());
+    kernel.inject(fs.port, FsMsg::Create { name: "fv".into(), user: "v-shell".into() }.to_value());
+    kernel.run();
+    for (cmd, file) in [(u_cmd, "fu"), (v_cmd, "fv")] {
+        kernel.inject(
+            cmd,
+            Value::List(vec!["write".into(), file.into(), Value::Bytes(b"data".to_vec())]),
+        );
+        kernel.inject(cmd, Value::List(vec!["read".into(), file.into()]));
+    }
+    kernel.run();
+
+    let fs_proc = kernel.process(fs.pid);
+    let u_shell = kernel.find_process("u-shell").unwrap();
+    let v_shell = kernel.find_process("v-shell").unwrap();
+    let ut = kernel.process(u_shell).env.get("taint").unwrap().as_handle().unwrap();
+    let vt = kernel.process(v_shell).env.get("taint").unwrap().as_handle().unwrap();
+    assert_eq!(fs_proc.send_label.get(ut), Level::Star);
+    assert_eq!(fs_proc.send_label.get(vt), Level::Star);
+    // And the shells each carry exactly their own taint.
+    assert_eq!(kernel.process(u_shell).send_label.get(ut), Level::L3);
+    assert_eq!(kernel.process(u_shell).send_label.get(vt), Level::L1);
+    assert_eq!(kernel.process(v_shell).send_label.get(vt), Level::L3);
+    assert_eq!(kernel.process(v_shell).send_label.get(ut), Level::L1);
+}

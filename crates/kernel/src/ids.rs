@@ -1,0 +1,63 @@
+//! Process and event-process identifiers.
+
+use std::fmt;
+
+/// Identifies a process within a [`crate::Kernel`].
+///
+/// Process ids are simulator-internal bookkeeping (array indices); they are
+/// never visible to simulated programs, which name each other only through
+/// ports (§4).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ProcessId(pub(crate) u32);
+
+impl ProcessId {
+    /// The index of this process in kernel tables.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pid{}", self.0)
+    }
+}
+
+/// Identifies an event process within a [`crate::Kernel`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct EpId(pub(crate) u32);
+
+impl EpId {
+    /// The index of this event process in kernel tables.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for EpId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ep{}", self.0)
+    }
+}
+
+/// An execution context: a process, possibly narrowed to one of its event
+/// processes. Labels and receive rights resolve against the event process
+/// when one is active (§6.1).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ExecCtx {
+    /// The process being executed.
+    pub pid: ProcessId,
+    /// The active event process, if the process has entered the event realm.
+    pub ep: Option<EpId>,
+}
+
+impl fmt::Display for ExecCtx {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.ep {
+            Some(ep) => write!(f, "{}/{}", self.pid, ep),
+            None => write!(f, "{}", self.pid),
+        }
+    }
+}

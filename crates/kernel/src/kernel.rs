@@ -1,0 +1,636 @@
+//! The kernel simulator: scheduler, delivery engine, and god-mode surface.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use asbestos_labels::{ops, Handle, Label};
+
+use crate::cycles::{Category, CostModel, CycleClock, CycleSnapshot};
+use crate::event_process::EventProcess;
+use crate::handle_table::{HandleTable, PortOwner};
+use crate::ids::{EpId, ExecCtx, ProcessId};
+use crate::memory::{FramePool, PAGE_SIZE};
+use crate::message::{Message, QueuedMessage, SendArgs};
+use crate::process::{Body, EpService, Process, Service};
+use crate::stats::{DropReason, Stats};
+use crate::sys::Sys;
+use crate::value::Value;
+
+/// Default bound on queued messages (the resource-exhaustion backstop §8
+/// mentions; drops past this limit are silent, like label drops).
+pub const DEFAULT_QUEUE_LIMIT: usize = 1 << 20;
+
+/// A point-in-time memory accounting report (the Figure 6 measurement).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct KmemReport {
+    /// Process structures plus their labels.
+    pub process_bytes: usize,
+    /// Event-process structures plus their labels.
+    pub ep_bytes: usize,
+    /// Vnodes plus port labels.
+    pub handle_bytes: usize,
+    /// Queued, undelivered messages.
+    pub queue_bytes: usize,
+    /// User memory: allocated 4 KiB frames (base tables and EP deltas).
+    pub user_frame_bytes: usize,
+}
+
+impl KmemReport {
+    /// Total allocated bytes, kernel plus user.
+    pub fn total_bytes(&self) -> usize {
+        self.process_bytes
+            + self.ep_bytes
+            + self.handle_bytes
+            + self.queue_bytes
+            + self.user_frame_bytes
+    }
+
+    /// Total memory in 4 KiB pages, rounded up (Figure 6's unit).
+    pub fn total_pages(&self) -> usize {
+        self.total_bytes().div_ceil(PAGE_SIZE)
+    }
+}
+
+/// The Asbestos kernel simulator.
+///
+/// A `Kernel` owns every process, event process, port, queued message, and
+/// simulated page, plus the virtual cycle clock. It is deterministic: the
+/// same spawn order, injections, and seed produce the same schedule, cycle
+/// counts, and memory report.
+///
+/// Drive it by [`Kernel::spawn`]ing services, [`Kernel::inject`]ing external
+/// events, and calling [`Kernel::run`].
+pub struct Kernel {
+    pub(crate) cost: CostModel,
+    pub(crate) clock: CycleClock,
+    pub(crate) handles: HandleTable,
+    pub(crate) processes: Vec<Process>,
+    pub(crate) eps: Vec<EventProcess>,
+    pub(crate) frames: FramePool,
+    pub(crate) queue: VecDeque<QueuedMessage>,
+    pub(crate) queue_limit: usize,
+    pub(crate) stats: Stats,
+    pub(crate) global_env: BTreeMap<String, Value>,
+    pub(crate) last_ctx: Option<ExecCtx>,
+}
+
+impl Kernel {
+    /// Creates a kernel with the default cost model; `seed` keys the handle
+    /// cipher.
+    pub fn new(seed: u64) -> Kernel {
+        Kernel::with_cost_model(seed, CostModel::default())
+    }
+
+    /// Creates a kernel with an explicit cost model.
+    pub fn with_cost_model(seed: u64, cost: CostModel) -> Kernel {
+        Kernel {
+            cost,
+            clock: CycleClock::new(),
+            handles: HandleTable::new(seed),
+            processes: Vec::new(),
+            eps: Vec::new(),
+            frames: FramePool::new(),
+            queue: VecDeque::new(),
+            queue_limit: DEFAULT_QUEUE_LIMIT,
+            stats: Stats::default(),
+            global_env: BTreeMap::new(),
+            last_ctx: None,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Spawning.
+    // ------------------------------------------------------------------
+
+    /// Spawns an ordinary service process with default labels and empty
+    /// environment, then runs its `on_start` hook.
+    pub fn spawn(
+        &mut self,
+        name: &str,
+        category: Category,
+        service: Box<dyn Service>,
+    ) -> ProcessId {
+        self.spawn_body(name, category, Body::Plain(service), None)
+    }
+
+    /// Spawns an event-process service (§6): after `on_base_start` returns,
+    /// every message to a base-owned port forks a fresh event process.
+    pub fn spawn_ep_service(
+        &mut self,
+        name: &str,
+        category: Category,
+        service: Box<dyn EpService>,
+    ) -> ProcessId {
+        self.spawn_body(name, category, Body::Event(service), None)
+    }
+
+    pub(crate) fn spawn_body(
+        &mut self,
+        name: &str,
+        category: Category,
+        body: Body,
+        inherit_from: Option<ProcessId>,
+    ) -> ProcessId {
+        let mut proc = Process::new(name, category, body);
+        if let Some(parent) = inherit_from {
+            let p = &self.processes[parent.index()];
+            // Fork semantics: the child inherits the parent's labels (§5.3's
+            // "either by forking or using ... decontamination") and env.
+            proc.send_label = p.send_label.clone();
+            proc.recv_label = p.recv_label.clone();
+            proc.env = p.env.clone();
+        }
+        self.processes.push(proc);
+        let pid = ProcessId((self.processes.len() - 1) as u32);
+        // Run the start hook in the new process's (base) context.
+        let mut body = self.processes[pid.index()]
+            .body
+            .take()
+            .expect("freshly spawned process has a body");
+        {
+            let mut sys = Sys::new(self, ExecCtx { pid, ep: None }, false);
+            match &mut body {
+                Body::Plain(s) => s.on_start(&mut sys),
+                Body::Event(s) => s.on_base_start(&mut sys),
+            }
+        }
+        if self.processes[pid.index()].alive {
+            self.processes[pid.index()].body = Some(body);
+        }
+        pid
+    }
+
+    // ------------------------------------------------------------------
+    // External world (god-mode).
+    // ------------------------------------------------------------------
+
+    /// Injects a message from outside the label system (device interrupts,
+    /// test drivers). Injected messages carry `E_S = {⋆}` and therefore pass
+    /// every label check — they model hardware, not processes.
+    pub fn inject(&mut self, port: Handle, body: Value) {
+        self.stats.injected += 1;
+        self.queue.push_back(QueuedMessage {
+            port,
+            body,
+            es: Label::bottom(),
+            ds: Label::top(),
+            dr: Label::bottom(),
+            v: Label::top(),
+            from: None,
+        });
+    }
+
+    /// Sets a global environment entry (the §4 bootstrapping namespace,
+    /// written by init/launcher-level code).
+    pub fn set_global_env(&mut self, key: &str, value: Value) {
+        self.global_env.insert(key.to_string(), value);
+    }
+
+    /// Sets the message-queue bound. Sends past the bound drop silently,
+    /// the same way label failures do (§4, §8).
+    pub fn set_queue_limit(&mut self, limit: usize) {
+        self.queue_limit = limit;
+    }
+
+    /// Reads a global environment entry.
+    pub fn global_env(&self, key: &str) -> Option<&Value> {
+        self.global_env.get(key)
+    }
+
+    /// Assigns process labels out of band (god-mode).
+    ///
+    /// §5.2 introduces its examples with labels "assigned out of band";
+    /// tests and fixtures use this for the same purpose. Simulated services
+    /// can never do this — they go through the Figure 4 rules.
+    pub fn set_process_labels(
+        &mut self,
+        pid: ProcessId,
+        send: Option<Label>,
+        recv: Option<Label>,
+    ) {
+        let p = &mut self.processes[pid.index()];
+        if let Some(s) = send {
+            p.send_label = s;
+        }
+        if let Some(r) = recv {
+            p.recv_label = r;
+        }
+    }
+
+    /// Forcibly terminates a process (god-mode; used for failure injection).
+    pub fn kill_process(&mut self, pid: ProcessId) {
+        if self.processes[pid.index()].alive {
+            self.processes[pid.index()].alive = false;
+            self.processes[pid.index()].body = None;
+            self.cleanup_process(pid);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Scheduling.
+    // ------------------------------------------------------------------
+
+    /// Attempts one message delivery. Returns `false` when the queue is
+    /// empty (the system is idle).
+    pub fn step(&mut self) -> bool {
+        let Some(qm) = self.queue.pop_front() else {
+            return false;
+        };
+        self.clock
+            .charge(Category::KernelIpc, self.cost.recv_base);
+
+        // Resolve the destination port.
+        let Some(port_state) = self.handles.port(qm.port) else {
+            self.stats.record_drop(DropReason::NoSuchPort);
+            return true;
+        };
+        let Some(owner) = port_state.owner else {
+            self.stats.record_drop(DropReason::NoOwner);
+            return true;
+        };
+        let pr = port_state.label.clone();
+
+        // Resolve the receiving context; the labels checked are the event
+        // process's when one owns the port, otherwise the base process's
+        // (which are also what a freshly forked event process would start
+        // with, so checking base labels is exact for the to-be-created EP).
+        let (pid, existing_ep) = match owner {
+            PortOwner::Process(pid) => {
+                if !self.processes[pid.index()].alive {
+                    self.stats.record_drop(DropReason::NoOwner);
+                    return true;
+                }
+                (pid, None)
+            }
+            PortOwner::Ep(eid) => {
+                let ep = &self.eps[eid.index()];
+                if !ep.alive {
+                    self.stats.record_drop(DropReason::NoOwner);
+                    return true;
+                }
+                (ep.process, Some(eid))
+            }
+        };
+
+        let (qs, qr) = match existing_ep {
+            Some(eid) => (
+                self.eps[eid.index()].send_label.clone(),
+                self.eps[eid.index()].recv_label.clone(),
+            ),
+            None => (
+                self.processes[pid.index()].send_label.clone(),
+                self.processes[pid.index()].recv_label.clone(),
+            ),
+        };
+
+        // Charge the label checks: linear in the entries examined (§5.6).
+        let work = ops::op_work(&[&qm.es, &qr, &qm.dr, &qm.v, &pr]) + 1;
+        self.clock
+            .charge(Category::KernelIpc, work as u64 * self.cost.label_entry);
+
+        // Figure 4 requirement (4): D_R ⊑ p_R.
+        if !ops::check_decont_within_port(&qm.dr, &pr) {
+            self.stats.record_drop(DropReason::PortLabelDecont);
+            return true;
+        }
+        // Figure 4 requirement (1): E_S ⊑ (Q_R ⊔ D_R) ⊓ V ⊓ p_R.
+        if !ops::check_delivery(&qm.es, &qr, &qm.dr, &qm.v, &pr) {
+            self.stats.record_drop(DropReason::LabelCheck);
+            return true;
+        }
+
+        // The message will be delivered. Fork an event process if the
+        // destination is a base-owned port of an event-mode process (§6.1).
+        let (ep, is_new_ep) = match existing_ep {
+            Some(eid) => (Some(eid), false),
+            None if self.processes[pid.index()].ep_mode => (Some(self.create_ep(pid)), true),
+            None => (None, false),
+        };
+
+        // Context-switch accounting (§6.2: scheduling cost of an event
+        // process is little higher than a single process's).
+        let ctx = ExecCtx { pid, ep };
+        match self.last_ctx {
+            Some(prev) if prev.pid != pid => {
+                self.clock
+                    .charge(Category::KernelIpc, self.cost.context_switch);
+                self.stats.context_switches += 1;
+            }
+            Some(prev) if prev.ep != ep => {
+                self.clock.charge(Category::KernelIpc, self.cost.ep_switch);
+                self.stats.ep_switches += 1;
+            }
+            None => {
+                self.clock
+                    .charge(Category::KernelIpc, self.cost.context_switch);
+                self.stats.context_switches += 1;
+            }
+            _ => {}
+        }
+        self.last_ctx = Some(ctx);
+
+        // Figure 4 effects.
+        let new_qs = ops::apply_receive_contamination(&qs, &qm.ds, &qm.es);
+        let new_qr = ops::apply_receive_decontamination(&qr, &qm.dr);
+        let effect_work = ops::op_work(&[&qs, &qm.ds, &qm.es, &qm.dr]) + 1;
+        self.clock.charge(
+            Category::KernelIpc,
+            effect_work as u64 * self.cost.label_entry,
+        );
+        match ep {
+            Some(eid) => {
+                let e = &mut self.eps[eid.index()];
+                e.send_label = new_qs;
+                e.recv_label = new_qr;
+                e.activations += 1;
+            }
+            None => {
+                let p = &mut self.processes[pid.index()];
+                p.send_label = new_qs;
+                p.recv_label = new_qr;
+            }
+        }
+
+        // Payload copy cost.
+        self.clock.charge(
+            Category::KernelIpc,
+            qm.body.size_bytes() as u64 * self.cost.msg_byte,
+        );
+
+        self.stats.delivered += 1;
+        let msg = Message {
+            port: qm.port,
+            body: qm.body,
+            verify: qm.v,
+        };
+        self.invoke(pid, ep, is_new_ep, &msg);
+        true
+    }
+
+    /// Runs until the queue drains, with a safety bound; returns the number
+    /// of delivery attempts.
+    ///
+    /// # Panics
+    ///
+    /// Panics after `limit` steps — two services ping-ponging messages
+    /// forever is a bug in simulated code, not a state to spin in.
+    pub fn run_limited(&mut self, limit: u64) -> u64 {
+        let mut steps = 0;
+        while self.step() {
+            steps += 1;
+            assert!(
+                steps < limit,
+                "kernel did not go idle after {limit} deliveries: livelock in simulated services?"
+            );
+        }
+        steps
+    }
+
+    /// Runs until idle with a generous default bound.
+    pub fn run(&mut self) -> u64 {
+        self.run_limited(100_000_000)
+    }
+
+    // ------------------------------------------------------------------
+    // Internal machinery.
+    // ------------------------------------------------------------------
+
+    fn create_ep(&mut self, pid: ProcessId) -> EpId {
+        let p = &self.processes[pid.index()];
+        let ep = EventProcess::new(pid, p.send_label.clone(), p.recv_label.clone());
+        self.eps.push(ep);
+        let eid = EpId((self.eps.len() - 1) as u32);
+        self.processes[pid.index()].eps.push(eid);
+        self.stats.eps_created += 1;
+        self.clock
+            .charge(Category::KernelIpc, self.cost.ep_create);
+        eid
+    }
+
+    fn invoke(&mut self, pid: ProcessId, ep: Option<EpId>, is_new_ep: bool, msg: &Message) {
+        let Some(mut body) = self.processes[pid.index()].body.take() else {
+            return;
+        };
+        {
+            let mut sys = Sys::new(self, ExecCtx { pid, ep }, is_new_ep);
+            match &mut body {
+                Body::Plain(s) => s.on_message(&mut sys, msg),
+                Body::Event(s) => s.on_event(&mut sys, msg),
+            }
+        }
+        if self.processes[pid.index()].alive {
+            self.processes[pid.index()].body = Some(body);
+        } else {
+            drop(body);
+            self.cleanup_process(pid);
+            return;
+        }
+        if let Some(eid) = ep {
+            if !self.eps[eid.index()].alive {
+                self.cleanup_ep(eid);
+            }
+        }
+    }
+
+    pub(crate) fn cleanup_ep(&mut self, eid: EpId) {
+        let pid = self.eps[eid.index()].process;
+        for frame in self.eps[eid.index()].delta.drain_all() {
+            self.frames.release(frame);
+        }
+        let ports: Vec<Handle> = std::mem::take(&mut self.eps[eid.index()].ports);
+        for port in ports {
+            self.handles.dissociate(port);
+        }
+        self.eps[eid.index()].alive = false;
+        self.processes[pid.index()].eps.retain(|&e| e != eid);
+        self.stats.eps_exited += 1;
+    }
+
+    pub(crate) fn cleanup_process(&mut self, pid: ProcessId) {
+        let eps: Vec<EpId> = self.processes[pid.index()].eps.clone();
+        for eid in eps {
+            self.cleanup_ep(eid);
+        }
+        for port in self.handles.ports_owned_by(PortOwner::Process(pid)) {
+            self.handles.dissociate(port);
+        }
+        let table = std::mem::take(&mut self.processes[pid.index()].page_table);
+        for (_, frame) in table.iter() {
+            self.frames.release(frame);
+        }
+        self.processes[pid.index()].alive = false;
+    }
+
+    // ------------------------------------------------------------------
+    // God-mode observability.
+    // ------------------------------------------------------------------
+
+    /// Kernel statistics (delivery and drop counters).
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// The virtual clock.
+    pub fn clock(&self) -> &CycleClock {
+        &self.clock
+    }
+
+    /// Snapshot of the clock for interval measurements.
+    pub fn cycle_snapshot(&self) -> CycleSnapshot {
+        self.clock.snapshot()
+    }
+
+    /// Current virtual time in cycles.
+    pub fn now(&self) -> u64 {
+        self.clock.now()
+    }
+
+    /// The cost model in effect.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// Read-only access to a process.
+    pub fn process(&self, pid: ProcessId) -> &Process {
+        &self.processes[pid.index()]
+    }
+
+    /// Read-only access to an event process.
+    pub fn event_process(&self, eid: EpId) -> &EventProcess {
+        &self.eps[eid.index()]
+    }
+
+    /// All live event-process ids for a process.
+    pub fn live_eps(&self, pid: ProcessId) -> Vec<EpId> {
+        self.processes[pid.index()].eps.clone()
+    }
+
+    /// Total event processes ever created.
+    pub fn ep_count(&self) -> usize {
+        self.eps.len()
+    }
+
+    /// Number of processes ever spawned.
+    pub fn process_count(&self) -> usize {
+        self.processes.len()
+    }
+
+    /// Finds a process by debug name (god-mode test convenience).
+    pub fn find_process(&self, name: &str) -> Option<ProcessId> {
+        self.processes
+            .iter()
+            .position(|p| p.name == name)
+            .map(|i| ProcessId(i as u32))
+    }
+
+    /// The handle table (ports, vnodes).
+    pub fn handle_table(&self) -> &HandleTable {
+        &self.handles
+    }
+
+    /// Pending (sent but undelivered) messages.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Pending messages sent by a given process (god-mode; used by tests to
+    /// verify that compromised services actually attempted exfiltration).
+    pub fn queued_from(&self, pid: ProcessId) -> usize {
+        self.queue
+            .iter()
+            .filter(|m| m.from.is_some_and(|c| c.pid == pid))
+            .count()
+    }
+
+    /// Downcasts a process's service body for test inspection.
+    pub fn service_as<T: 'static>(&self, pid: ProcessId) -> Option<&T> {
+        match self.processes[pid.index()].body.as_ref()? {
+            Body::Plain(s) => s.as_any()?.downcast_ref::<T>(),
+            Body::Event(s) => s.as_any()?.downcast_ref::<T>(),
+        }
+    }
+
+    /// Memory accounting across all kernel structures and user frames
+    /// (Figure 6's measurement).
+    pub fn kmem_report(&self) -> KmemReport {
+        let process_bytes = self
+            .processes
+            .iter()
+            .filter(|p| p.alive)
+            .map(Process::kernel_bytes)
+            .sum();
+        let ep_bytes = self
+            .eps
+            .iter()
+            .filter(|e| e.alive)
+            .map(EventProcess::kernel_bytes)
+            .sum();
+        let handle_bytes = self.handles.kernel_bytes();
+        let queue_bytes = self.queue.iter().map(QueuedMessage::queue_bytes).sum();
+        let user_frame_bytes = self.frames.frames_in_use() * PAGE_SIZE;
+        KmemReport {
+            process_bytes,
+            ep_bytes,
+            handle_bytes,
+            queue_bytes,
+            user_frame_bytes,
+        }
+    }
+}
+
+// The send path lives here (rather than in `sys.rs`) so all queue policy is
+// in one file.
+impl Kernel {
+    pub(crate) fn send_from(
+        &mut self,
+        ctx: ExecCtx,
+        port: Handle,
+        body: Value,
+        args: &SendArgs,
+    ) -> Result<(), crate::error::SysError> {
+        let category = self.processes[ctx.pid.index()].category;
+        let ps = match ctx.ep {
+            Some(eid) => self.eps[eid.index()].send_label.clone(),
+            None => self.processes[ctx.pid.index()].send_label.clone(),
+        };
+
+        // Charge send cost: base + payload + label argument processing.
+        let label_work = (args.label_work() + ps.entry_count() + 1) as u64;
+        self.clock.charge(Category::KernelIpc, self.cost.send_base);
+        self.clock.charge(
+            Category::KernelIpc,
+            body.size_bytes() as u64 * self.cost.msg_byte
+                + label_work * self.cost.label_entry,
+        );
+        let _ = category;
+
+        // Figure 4 requirement (2): D_S(h) < 3 ⇒ P_S(h) = ⋆.
+        if !ops::check_decont_send_privilege(&args.decont_send, &ps) {
+            return Err(crate::error::SysError::PrivilegeViolation);
+        }
+        // Figure 4 requirement (3): D_R(h) > ⋆ ⇒ P_S(h) = ⋆.
+        if !ops::check_decont_recv_privilege(&args.decont_recv, &ps) {
+            return Err(crate::error::SysError::PrivilegeViolation);
+        }
+
+        // E_S = P_S ⊔ C_S, snapshotted now; delivery checks happen when the
+        // receiver is scheduled (§4: delivery is decided at receive time).
+        let es = ops::effective_send(&ps, &args.contaminate);
+
+        if self.queue.len() >= self.queue_limit {
+            // Resource exhaustion drops are silent, like label drops (§4).
+            self.stats.record_drop(DropReason::QueueFull);
+            return Ok(());
+        }
+        self.stats.sent += 1;
+        self.queue.push_back(QueuedMessage {
+            port,
+            body,
+            es,
+            ds: args.decont_send.clone(),
+            dr: args.decont_recv.clone(),
+            v: args.verify.clone(),
+            from: Some(ctx),
+        });
+        Ok(())
+    }
+}

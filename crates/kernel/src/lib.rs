@@ -1,0 +1,72 @@
+//! # asbestos-kernel
+//!
+//! A deterministic user-space simulator of the Asbestos kernel from *Labels
+//! and Event Processes in the Asbestos Operating System* (SOSP 2005):
+//! message-passing IPC over ports (§4), the full Figure 4 label semantics at
+//! every delivery (§5), and event processes with copy-on-write memory (§6).
+//!
+//! The simulator substitutes for the paper's bare-metal x86 kernel (see
+//! DESIGN.md): processes are Rust [`Service`]/[`EpService`] values driven by
+//! a deterministic delivery loop, time is a virtual cycle clock charged by a
+//! calibrated [`cycles::CostModel`], and memory is simulated 4 KiB pages so
+//! the paper's memory measurements (Figure 6) can be reproduced exactly.
+//!
+//! ## Shape of a service
+//!
+//! ```
+//! use asbestos_kernel::{Kernel, Message, Service, Sys, Value};
+//! use asbestos_kernel::cycles::Category;
+//! use asbestos_labels::Label;
+//!
+//! struct Echo;
+//! impl Service for Echo {
+//!     fn on_start(&mut self, sys: &mut Sys<'_>) {
+//!         // Create a public port and publish it for bootstrap (§4).
+//!         let port = sys.new_port(Label::top());
+//!         sys.set_port_label(port, Label::top()).unwrap();
+//!         sys.publish_env("echo.port", Value::Handle(port));
+//!     }
+//!     fn on_message(&mut self, sys: &mut Sys<'_>, msg: &Message) {
+//!         if let Some(reply_to) = msg.body.as_handle() {
+//!             sys.send(reply_to, Value::Str("pong".into())).unwrap();
+//!         }
+//!     }
+//! }
+//!
+//! let mut kernel = Kernel::new(42);
+//! kernel.spawn("echo", Category::Other, Box::new(Echo));
+//! let port = kernel.global_env("echo.port").unwrap().as_handle().unwrap();
+//! kernel.inject(port, Value::Unit);
+//! kernel.run();
+//! assert_eq!(kernel.stats().delivered, 1);
+//! ```
+
+pub mod cycles;
+pub mod error;
+pub mod event_process;
+pub mod handle_table;
+pub mod ids;
+pub mod kernel;
+pub mod memory;
+pub mod message;
+pub mod process;
+pub mod stats;
+pub mod sys;
+pub mod util;
+pub mod value;
+
+pub use cycles::{Category, CostModel, CYCLES_PER_SEC};
+pub use error::{SysError, SysResult};
+pub use event_process::{EventProcess, EP_STRUCT_BYTES};
+pub use handle_table::{PortOwner, VNODE_BYTES};
+pub use ids::{EpId, ExecCtx, ProcessId};
+pub use kernel::{Kernel, KmemReport};
+pub use memory::PAGE_SIZE;
+pub use message::{Message, SendArgs};
+pub use process::{EpService, Process, Service, PROCESS_STRUCT_BYTES};
+pub use stats::{DropReason, Stats};
+pub use sys::Sys;
+pub use value::Value;
+
+// Re-export the label vocabulary so downstream crates need only one import.
+pub use asbestos_labels::{Handle, Label, Level};

@@ -1,0 +1,330 @@
+//! Simulated physical and virtual memory.
+//!
+//! Event processes need real copy-on-write semantics for Figure 6's memory
+//! measurements, so the simulator models 4 KiB pages explicitly. A process
+//! owns a base page table; each event process keeps only a delta map of the
+//! pages it has modified, borrowing the base table for everything else —
+//! the optimization §6.2 describes ("event processes do not keep their own
+//! page tables ... changing it in exactly those places that differ").
+
+use std::collections::BTreeMap;
+
+use crate::error::{SysError, SysResult};
+
+/// Page size in bytes.
+pub const PAGE_SIZE: usize = 4096;
+
+/// Identifies a physical frame in the [`FramePool`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct FrameId(u32);
+
+/// A virtual page number (address divided by [`PAGE_SIZE`]).
+pub type Vpn = u64;
+
+struct Frame {
+    data: Box<[u8; PAGE_SIZE]>,
+    refcount: u32,
+}
+
+/// The pool of simulated physical frames, shared by all address spaces.
+#[derive(Default)]
+pub struct FramePool {
+    frames: Vec<Option<Frame>>,
+    free: Vec<FrameId>,
+    in_use: usize,
+}
+
+impl FramePool {
+    /// Creates an empty pool.
+    pub fn new() -> FramePool {
+        FramePool::default()
+    }
+
+    /// Number of frames currently allocated.
+    pub fn frames_in_use(&self) -> usize {
+        self.in_use
+    }
+
+    /// Allocates a zeroed frame with refcount 1.
+    pub fn alloc_zeroed(&mut self) -> FrameId {
+        self.alloc(Box::new([0u8; PAGE_SIZE]))
+    }
+
+    /// Allocates a frame holding a copy of `data`, refcount 1.
+    pub fn alloc_copy_of(&mut self, src: FrameId) -> FrameId {
+        let data = self.frame(src).data.clone();
+        self.alloc(data)
+    }
+
+    fn alloc(&mut self, data: Box<[u8; PAGE_SIZE]>) -> FrameId {
+        self.in_use += 1;
+        let frame = Frame { data, refcount: 1 };
+        if let Some(id) = self.free.pop() {
+            self.frames[id.0 as usize] = Some(frame);
+            id
+        } else {
+            self.frames.push(Some(frame));
+            FrameId((self.frames.len() - 1) as u32)
+        }
+    }
+
+    /// Increments a frame's refcount (a new page-table reference).
+    pub fn retain(&mut self, id: FrameId) {
+        self.frame_mut(id).refcount += 1;
+    }
+
+    /// Drops one reference; frees the frame when the count reaches zero.
+    pub fn release(&mut self, id: FrameId) {
+        let f = self.frame_mut(id);
+        f.refcount -= 1;
+        if f.refcount == 0 {
+            self.frames[id.0 as usize] = None;
+            self.free.push(id);
+            self.in_use -= 1;
+        }
+    }
+
+    /// Current refcount (test observability).
+    pub fn refcount(&self, id: FrameId) -> u32 {
+        self.frame(id).refcount
+    }
+
+    /// Reads bytes from a frame.
+    pub fn read(&self, id: FrameId, offset: usize, out: &mut [u8]) {
+        out.copy_from_slice(&self.frame(id).data[offset..offset + out.len()]);
+    }
+
+    /// Writes bytes into a frame. Caller must hold the only reference.
+    pub fn write(&mut self, id: FrameId, offset: usize, data: &[u8]) {
+        debug_assert_eq!(
+            self.frame(id).refcount, 1,
+            "writes require an exclusively owned frame (COW must copy first)"
+        );
+        self.frame_mut(id).data[offset..offset + data.len()].copy_from_slice(data);
+    }
+
+    fn frame(&self, id: FrameId) -> &Frame {
+        self.frames[id.0 as usize]
+            .as_ref()
+            .expect("frame id refers to a live frame")
+    }
+
+    fn frame_mut(&mut self, id: FrameId) -> &mut Frame {
+        self.frames[id.0 as usize]
+            .as_mut()
+            .expect("frame id refers to a live frame")
+    }
+}
+
+/// A base process page table: virtual page number → frame.
+#[derive(Default)]
+pub struct PageTable {
+    pages: BTreeMap<Vpn, FrameId>,
+}
+
+impl PageTable {
+    /// Creates an empty page table.
+    pub fn new() -> PageTable {
+        PageTable::default()
+    }
+
+    /// Looks up the frame mapped at `vpn`.
+    pub fn get(&self, vpn: Vpn) -> Option<FrameId> {
+        self.pages.get(&vpn).copied()
+    }
+
+    /// Maps `vpn` to `frame`, returning any previous mapping.
+    pub fn map(&mut self, vpn: Vpn, frame: FrameId) -> Option<FrameId> {
+        self.pages.insert(vpn, frame)
+    }
+
+    /// Removes the mapping at `vpn`.
+    pub fn unmap(&mut self, vpn: Vpn) -> Option<FrameId> {
+        self.pages.remove(&vpn)
+    }
+
+    /// Number of mapped pages.
+    pub fn len(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Whether no pages are mapped.
+    pub fn is_empty(&self) -> bool {
+        self.pages.is_empty()
+    }
+
+    /// Iterates `(vpn, frame)` mappings.
+    pub fn iter(&self) -> impl Iterator<Item = (Vpn, FrameId)> + '_ {
+        self.pages.iter().map(|(&v, &f)| (v, f))
+    }
+}
+
+/// The modified-pages delta kept by a dormant or running event process.
+///
+/// §6.2: "The memory state of each dormant event process includes just a
+/// list of modified pages and the modified pages themselves."
+#[derive(Default)]
+pub struct PageDelta {
+    pages: BTreeMap<Vpn, FrameId>,
+}
+
+impl PageDelta {
+    /// Creates an empty delta.
+    pub fn new() -> PageDelta {
+        PageDelta::default()
+    }
+
+    /// The private frame for `vpn`, if this event process modified it.
+    pub fn get(&self, vpn: Vpn) -> Option<FrameId> {
+        self.pages.get(&vpn).copied()
+    }
+
+    /// Records a private frame for `vpn`.
+    pub fn map(&mut self, vpn: Vpn, frame: FrameId) -> Option<FrameId> {
+        self.pages.insert(vpn, frame)
+    }
+
+    /// Number of private pages (the quantity Figure 6 measures).
+    pub fn len(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Whether the delta is empty.
+    pub fn is_empty(&self) -> bool {
+        self.pages.is_empty()
+    }
+
+    /// Removes and returns all private frames whose page lies in
+    /// `[start_vpn, end_vpn)`; used by `ep_clean`.
+    pub fn drain_range(&mut self, start_vpn: Vpn, end_vpn: Vpn) -> Vec<FrameId> {
+        let vpns: Vec<Vpn> = self
+            .pages
+            .range(start_vpn..end_vpn)
+            .map(|(&v, _)| v)
+            .collect();
+        vpns.into_iter()
+            .map(|v| self.pages.remove(&v).expect("vpn collected from the map"))
+            .collect()
+    }
+
+    /// Removes and returns all private frames; used by `ep_exit`.
+    pub fn drain_all(&mut self) -> Vec<FrameId> {
+        let out: Vec<FrameId> = self.pages.values().copied().collect();
+        self.pages.clear();
+        out
+    }
+}
+
+/// Splits a byte range into per-page segments: `(vpn, offset, len)`.
+///
+/// Returns an error for zero-length ranges or ranges that overflow.
+pub fn page_segments(addr: u64, len: usize) -> SysResult<Vec<(Vpn, usize, usize)>> {
+    if len == 0 {
+        return Err(SysError::InvalidArgument);
+    }
+    let end = addr.checked_add(len as u64).ok_or(SysError::InvalidArgument)?;
+    let mut out = Vec::new();
+    let mut cur = addr;
+    while cur < end {
+        let vpn = cur / PAGE_SIZE as u64;
+        let offset = (cur % PAGE_SIZE as u64) as usize;
+        let take = (PAGE_SIZE - offset).min((end - cur) as usize);
+        out.push((vpn, offset, take));
+        cur += take as u64;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_alloc_release() {
+        let mut pool = FramePool::new();
+        let a = pool.alloc_zeroed();
+        let b = pool.alloc_zeroed();
+        assert_eq!(pool.frames_in_use(), 2);
+        pool.release(a);
+        assert_eq!(pool.frames_in_use(), 1);
+        // Freed slots are reused.
+        let c = pool.alloc_zeroed();
+        assert_eq!(c, a);
+        assert_eq!(pool.frames_in_use(), 2);
+        pool.release(b);
+        pool.release(c);
+        assert_eq!(pool.frames_in_use(), 0);
+    }
+
+    #[test]
+    fn refcount_sharing() {
+        let mut pool = FramePool::new();
+        let f = pool.alloc_zeroed();
+        pool.retain(f);
+        assert_eq!(pool.refcount(f), 2);
+        pool.release(f);
+        assert_eq!(pool.frames_in_use(), 1);
+        pool.release(f);
+        assert_eq!(pool.frames_in_use(), 0);
+    }
+
+    #[test]
+    fn read_write_roundtrip() {
+        let mut pool = FramePool::new();
+        let f = pool.alloc_zeroed();
+        pool.write(f, 100, b"hello");
+        let mut buf = [0u8; 5];
+        pool.read(f, 100, &mut buf);
+        assert_eq!(&buf, b"hello");
+    }
+
+    #[test]
+    fn copy_of_is_independent() {
+        let mut pool = FramePool::new();
+        let f = pool.alloc_zeroed();
+        pool.write(f, 0, b"abc");
+        let g = pool.alloc_copy_of(f);
+        pool.write(g, 0, b"xyz");
+        let mut a = [0u8; 3];
+        let mut b = [0u8; 3];
+        pool.read(f, 0, &mut a);
+        pool.read(g, 0, &mut b);
+        assert_eq!(&a, b"abc");
+        assert_eq!(&b, b"xyz");
+    }
+
+    #[test]
+    fn page_segment_math() {
+        // Within one page.
+        assert_eq!(page_segments(10, 20).unwrap(), vec![(0, 10, 20)]);
+        // Crossing a boundary.
+        assert_eq!(
+            page_segments(4090, 10).unwrap(),
+            vec![(0, 4090, 6), (1, 0, 4)]
+        );
+        // Exactly page aligned, multiple pages.
+        assert_eq!(
+            page_segments(8192, 8192).unwrap(),
+            vec![(2, 0, 4096), (3, 0, 4096)]
+        );
+        assert_eq!(page_segments(0, 0), Err(SysError::InvalidArgument));
+        assert_eq!(
+            page_segments(u64::MAX, 2),
+            Err(SysError::InvalidArgument)
+        );
+    }
+
+    #[test]
+    fn delta_drain_range() {
+        let mut pool = FramePool::new();
+        let mut d = PageDelta::new();
+        for vpn in 0..10 {
+            d.map(vpn, pool.alloc_zeroed());
+        }
+        let drained = d.drain_range(3, 6);
+        assert_eq!(drained.len(), 3);
+        assert_eq!(d.len(), 7);
+        assert!(d.get(3).is_none());
+        assert!(d.get(6).is_some());
+    }
+}

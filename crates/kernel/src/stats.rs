@@ -1,0 +1,88 @@
+//! God-mode kernel statistics.
+//!
+//! Asbestos's `send` deliberately tells the *sender* nothing about delivery
+//! (§4); drops caused by label checks are visible only here, to tests and
+//! benchmarks, never to simulated processes.
+
+/// Why a queued message was dropped instead of delivered.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DropReason {
+    /// Figure 4 requirement (1) failed: `E_S ⋢ (Q_R ⊔ D_R) ⊓ V ⊓ p_R`.
+    LabelCheck,
+    /// Figure 4 requirement (4) failed: `D_R ⋢ p_R`.
+    PortLabelDecont,
+    /// The destination handle does not name a port.
+    NoSuchPort,
+    /// The port has no owner (dissociated or its owner exited).
+    NoOwner,
+    /// The kernel message queue hit its configured limit (§8's resource
+    /// exhaustion caveat made explicit).
+    QueueFull,
+}
+
+/// Counters describing kernel activity.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Stats {
+    /// Messages accepted by `send` (including ones later dropped).
+    pub sent: u64,
+    /// Messages injected by the external world (god-mode).
+    pub injected: u64,
+    /// Messages delivered to a handler.
+    pub delivered: u64,
+    /// Drops: label check (requirement 1).
+    pub dropped_label_check: u64,
+    /// Drops: decontamination exceeded the port label (requirement 4).
+    pub dropped_port_decont: u64,
+    /// Drops: destination was not a port.
+    pub dropped_no_port: u64,
+    /// Drops: port had no owner.
+    pub dropped_no_owner: u64,
+    /// Drops: queue full.
+    pub dropped_queue_full: u64,
+    /// Event processes created.
+    pub eps_created: u64,
+    /// Event processes exited.
+    pub eps_exited: u64,
+    /// Full process-to-process context switches.
+    pub context_switches: u64,
+    /// Event-process switches within one process.
+    pub ep_switches: u64,
+}
+
+impl Stats {
+    /// Total messages dropped for any reason.
+    pub fn dropped_total(&self) -> u64 {
+        self.dropped_label_check
+            + self.dropped_port_decont
+            + self.dropped_no_port
+            + self.dropped_no_owner
+            + self.dropped_queue_full
+    }
+
+    /// Records a drop.
+    pub(crate) fn record_drop(&mut self, reason: DropReason) {
+        match reason {
+            DropReason::LabelCheck => self.dropped_label_check += 1,
+            DropReason::PortLabelDecont => self.dropped_port_decont += 1,
+            DropReason::NoSuchPort => self.dropped_no_port += 1,
+            DropReason::NoOwner => self.dropped_no_owner += 1,
+            DropReason::QueueFull => self.dropped_queue_full += 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drop_accounting() {
+        let mut s = Stats::default();
+        s.record_drop(DropReason::LabelCheck);
+        s.record_drop(DropReason::LabelCheck);
+        s.record_drop(DropReason::NoOwner);
+        assert_eq!(s.dropped_label_check, 2);
+        assert_eq!(s.dropped_no_owner, 1);
+        assert_eq!(s.dropped_total(), 3);
+    }
+}

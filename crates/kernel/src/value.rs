@@ -1,0 +1,195 @@
+//! Structured message payloads.
+//!
+//! Asbestos messages carry opaque data; protocols (9P-style file access,
+//! netd's READ/WRITE, OKWS requests) layer meaning on top (§4). In this
+//! user-space reproduction, payloads are a small structured [`Value`] type
+//! rather than raw bytes, which keeps protocol code checkable while still
+//! letting the cost model charge for payload size.
+//!
+//! Handles may be carried as plain values: knowing a handle's value confers
+//! no privilege (§5.1) — privileges travel only through label grants.
+
+use std::fmt;
+
+use asbestos_labels::Handle;
+
+/// A structured message payload.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Value {
+    /// No payload.
+    Unit,
+    /// A boolean flag.
+    Bool(bool),
+    /// An unsigned integer.
+    U64(u64),
+    /// Raw bytes (network payloads, file contents).
+    Bytes(Vec<u8>),
+    /// UTF-8 text (protocol verbs, usernames, SQL).
+    Str(String),
+    /// A handle value (port names, compartments).
+    Handle(Handle),
+    /// An ordered sequence.
+    List(Vec<Value>),
+}
+
+impl Value {
+    /// Approximate wire size in bytes, used by the cost model.
+    pub fn size_bytes(&self) -> usize {
+        match self {
+            Value::Unit | Value::Bool(_) => 1,
+            Value::U64(_) | Value::Handle(_) => 8,
+            Value::Bytes(b) => 8 + b.len(),
+            Value::Str(s) => 8 + s.len(),
+            Value::List(vs) => 8 + vs.iter().map(Value::size_bytes).sum::<usize>(),
+        }
+    }
+
+    /// Extracts a `u64`, if this value is one.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::U64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Extracts a boolean, if this value is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Extracts a string slice, if this value is text.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Extracts the byte payload, if this value is bytes.
+    pub fn as_bytes(&self) -> Option<&[u8]> {
+        match self {
+            Value::Bytes(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// Extracts a handle, if this value is one.
+    pub fn as_handle(&self) -> Option<Handle> {
+        match self {
+            Value::Handle(h) => Some(*h),
+            _ => None,
+        }
+    }
+
+    /// Extracts a list slice, if this value is a list.
+    pub fn as_list(&self) -> Option<&[Value]> {
+        match self {
+            Value::List(vs) => Some(vs),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Unit => write!(f, "()"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::U64(v) => write!(f, "{v}"),
+            Value::Bytes(b) => write!(f, "<{} bytes>", b.len()),
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::Handle(h) => write!(f, "{h}"),
+            Value::List(vs) => {
+                write!(f, "[")?;
+                for (i, v) in vs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "]")
+            }
+        }
+    }
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Value {
+        Value::U64(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::Str(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::Str(v)
+    }
+}
+
+impl From<Vec<u8>> for Value {
+    fn from(v: Vec<u8>) -> Value {
+        Value::Bytes(v)
+    }
+}
+
+impl From<Handle> for Value {
+    fn from(v: Handle) -> Value {
+        Value::Handle(v)
+    }
+}
+
+impl From<Vec<Value>> for Value {
+    fn from(v: Vec<Value>) -> Value {
+        Value::List(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::U64(7).as_u64(), Some(7));
+        assert_eq!(Value::Unit.as_u64(), None);
+        assert_eq!(Value::Str("a".into()).as_str(), Some("a"));
+        assert_eq!(Value::Bool(true).as_bool(), Some(true));
+        let h = Handle::from_raw(3);
+        assert_eq!(Value::Handle(h).as_handle(), Some(h));
+        assert_eq!(Value::Bytes(vec![1, 2]).as_bytes(), Some(&[1u8, 2][..]));
+        let l = Value::List(vec![Value::Unit]);
+        assert_eq!(l.as_list().map(|v| v.len()), Some(1));
+    }
+
+    #[test]
+    fn size_estimates() {
+        assert_eq!(Value::Unit.size_bytes(), 1);
+        assert_eq!(Value::U64(0).size_bytes(), 8);
+        assert_eq!(Value::Bytes(vec![0; 100]).size_bytes(), 108);
+        assert_eq!(
+            Value::List(vec![Value::U64(1), Value::U64(2)]).size_bytes(),
+            24
+        );
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::Unit.to_string(), "()");
+        assert_eq!(Value::List(vec![Value::U64(1), Value::Bool(false)]).to_string(), "[1, false]");
+        assert_eq!(Value::Bytes(vec![0; 3]).to_string(), "<3 bytes>");
+    }
+}

@@ -1,0 +1,188 @@
+//! Chunks: the refcounted building blocks of the label representation (§5.6).
+//!
+//! "A label points to a sorted array of chunks, each of which is a sorted
+//! array of up to 64 vnode pointers. Since these pointers are 8-byte aligned,
+//! their lower 3 bits are again available for the corresponding levels. ...
+//! chunks are reference counted and updated copy-on-write, and multiple
+//! labels can share chunks. Each chunk is marked with the minimum and maximum
+//! of its vnodes' levels."
+//!
+//! In this user-space reproduction an entry packs a 61-bit handle value into
+//! the upper bits and the level into the low 3 bits, exactly the user-space
+//! label format the paper describes in §5.6.
+
+use crate::handle::Handle;
+use crate::level::Level;
+
+/// Maximum number of entries per chunk (§5.6: "up to 64 vnode pointers").
+pub const CHUNK_CAP: usize = 64;
+
+/// Packs a raw handle value and level into a 64-bit label entry.
+#[inline]
+pub fn pack(handle_raw: u64, level: Level) -> u64 {
+    (handle_raw << 3) | level.to_bits()
+}
+
+/// The handle part of a packed entry.
+#[inline]
+pub fn entry_handle(packed: u64) -> u64 {
+    packed >> 3
+}
+
+/// The level part of a packed entry.
+#[inline]
+pub fn entry_level(packed: u64) -> Level {
+    Level::from_bits(packed).expect("label entries always hold a valid level encoding")
+}
+
+/// A sorted run of up to [`CHUNK_CAP`] packed entries with cached level bounds.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Chunk {
+    /// Packed entries, strictly ascending by handle.
+    entries: Vec<u64>,
+    /// Minimum level over the entries.
+    min_level: Level,
+    /// Maximum level over the entries.
+    max_level: Level,
+}
+
+impl Chunk {
+    /// Builds a chunk from packed entries (must be non-empty, sorted strictly
+    /// ascending by handle, and at most [`CHUNK_CAP`] long).
+    pub fn from_entries(entries: Vec<u64>) -> Chunk {
+        debug_assert!(!entries.is_empty());
+        debug_assert!(entries.len() <= CHUNK_CAP);
+        debug_assert!(entries
+            .windows(2)
+            .all(|w| entry_handle(w[0]) < entry_handle(w[1])));
+        let mut c = Chunk {
+            entries,
+            min_level: Level::L3,
+            max_level: Level::Star,
+        };
+        c.recompute_bounds();
+        c
+    }
+
+    /// Recomputes the cached min/max levels after a mutation.
+    pub fn recompute_bounds(&mut self) {
+        let mut min = Level::L3;
+        let mut max = Level::Star;
+        for &e in &self.entries {
+            let lv = entry_level(e);
+            min = min.min(lv);
+            max = max.max(lv);
+        }
+        self.min_level = min;
+        self.max_level = max;
+    }
+
+    /// The packed entries.
+    #[inline]
+    pub fn entries(&self) -> &[u64] {
+        &self.entries
+    }
+
+    /// Mutable access to the packed entries; callers must re-establish the
+    /// sorted invariant and call [`Chunk::recompute_bounds`].
+    #[inline]
+    pub fn entries_mut(&mut self) -> &mut Vec<u64> {
+        &mut self.entries
+    }
+
+    /// Number of entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the chunk holds no entries (transient state during mutation).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Smallest handle in the chunk.
+    #[inline]
+    pub fn first_handle(&self) -> u64 {
+        entry_handle(self.entries[0])
+    }
+
+    /// Largest handle in the chunk.
+    #[inline]
+    pub fn last_handle(&self) -> u64 {
+        entry_handle(*self.entries.last().expect("chunks are non-empty"))
+    }
+
+    /// Minimum level over the entries.
+    #[inline]
+    pub fn min_level(&self) -> Level {
+        self.min_level
+    }
+
+    /// Maximum level over the entries.
+    #[inline]
+    pub fn max_level(&self) -> Level {
+        self.max_level
+    }
+
+    /// Looks up the level for a raw handle value, if present.
+    pub fn find(&self, handle_raw: u64) -> Option<Level> {
+        self.entries
+            .binary_search_by_key(&handle_raw, |&e| entry_handle(e))
+            .ok()
+            .map(|i| entry_level(self.entries[i]))
+    }
+
+    /// Iterates `(Handle, Level)` pairs in ascending handle order.
+    pub fn iter(&self) -> impl Iterator<Item = (Handle, Level)> + '_ {
+        self.entries.iter().map(|&e| {
+            (
+                Handle::new(entry_handle(e)).expect("packed entries hold 61-bit handles"),
+                entry_level(e),
+            )
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chunk(pairs: &[(u64, Level)]) -> Chunk {
+        Chunk::from_entries(pairs.iter().map(|&(h, l)| pack(h, l)).collect())
+    }
+
+    #[test]
+    fn pack_roundtrip() {
+        let p = pack(0x1fff_ffff_ffff_ffff, Level::Star);
+        assert_eq!(entry_handle(p), 0x1fff_ffff_ffff_ffff);
+        assert_eq!(entry_level(p), Level::Star);
+    }
+
+    #[test]
+    fn bounds_cached() {
+        let c = chunk(&[(1, Level::L1), (2, Level::Star), (9, Level::L3)]);
+        assert_eq!(c.min_level(), Level::Star);
+        assert_eq!(c.max_level(), Level::L3);
+        assert_eq!(c.first_handle(), 1);
+        assert_eq!(c.last_handle(), 9);
+    }
+
+    #[test]
+    fn find_present_and_absent() {
+        let c = chunk(&[(5, Level::L0), (10, Level::L2)]);
+        assert_eq!(c.find(5), Some(Level::L0));
+        assert_eq!(c.find(10), Some(Level::L2));
+        assert_eq!(c.find(7), None);
+        assert_eq!(c.find(0), None);
+        assert_eq!(c.find(11), None);
+    }
+
+    #[test]
+    fn iter_order() {
+        let c = chunk(&[(3, Level::L1), (4, Level::L2)]);
+        let got: Vec<_> = c.iter().map(|(h, l)| (h.raw(), l)).collect();
+        assert_eq!(got, vec![(3, Level::L1), (4, Level::L2)]);
+    }
+}

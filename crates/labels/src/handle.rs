@@ -1,0 +1,100 @@
+//! Handles: 61-bit compartment and port names (§5.1).
+
+use std::fmt;
+
+/// The number of significant bits in a handle value.
+pub const HANDLE_BITS: u32 = 61;
+
+/// The number of distinct handle values (`2^61`).
+pub const HANDLE_SPACE: u64 = 1 << HANDLE_BITS;
+
+/// A handle: the name of a compartment and/or a communication port.
+///
+/// Handles are 61-bit numbers (§5.1). Handle values are unique since boot
+/// time, so unlike a file descriptor a given handle value refers to the same
+/// handle in all contexts. Asbestos uses the same namespace for ports and
+/// compartments, which is what lets labels emulate capabilities (§5.5).
+///
+/// Knowing a handle's value confers no privilege by itself; privilege is
+/// recorded in process labels.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Handle(u64);
+
+impl Handle {
+    /// Creates a handle from a raw 61-bit value.
+    ///
+    /// Returns `None` if `raw` does not fit in 61 bits.
+    #[inline]
+    pub const fn new(raw: u64) -> Option<Handle> {
+        if raw < HANDLE_SPACE {
+            Some(Handle(raw))
+        } else {
+            None
+        }
+    }
+
+    /// Creates a handle from a raw value, panicking if it exceeds 61 bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `raw >= 2^61`. Intended for tests and constants; kernel code
+    /// uses [`Handle::new`] or the allocator.
+    #[inline]
+    pub const fn from_raw(raw: u64) -> Handle {
+        assert!(raw < HANDLE_SPACE, "handle value exceeds 61 bits");
+        Handle(raw)
+    }
+
+    /// The raw 61-bit value of this handle.
+    #[inline]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Debug for Handle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "h{:x}", self.0)
+    }
+}
+
+impl fmt::Display for Handle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "h{:x}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_bounds() {
+        assert!(Handle::new(0).is_some());
+        assert!(Handle::new(HANDLE_SPACE - 1).is_some());
+        assert!(Handle::new(HANDLE_SPACE).is_none());
+        assert!(Handle::new(u64::MAX).is_none());
+    }
+
+    #[test]
+    fn raw_roundtrip() {
+        let h = Handle::from_raw(0x1234_5678);
+        assert_eq!(h.raw(), 0x1234_5678);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds 61 bits")]
+    fn from_raw_panics_out_of_range() {
+        let _ = Handle::from_raw(HANDLE_SPACE);
+    }
+
+    #[test]
+    fn ordering_is_by_value() {
+        assert!(Handle::from_raw(1) < Handle::from_raw(2));
+    }
+
+    #[test]
+    fn display_is_hex() {
+        assert_eq!(Handle::from_raw(255).to_string(), "hff");
+    }
+}

@@ -1,0 +1,155 @@
+//! A naive reference implementation of labels, used to cross-check the
+//! chunked representation in property tests and as the baseline in the
+//! chunk-representation ablation benchmark.
+//!
+//! `NaiveLabel` stores explicit entries in a `BTreeMap` and implements every
+//! lattice operation by direct definition, with no caching or fast paths.
+//! It is deliberately simple: correctness of [`crate::Label`] is established
+//! by proptest equivalence against this type.
+
+use std::collections::BTreeMap;
+
+use crate::handle::Handle;
+use crate::label::Label;
+use crate::level::Level;
+
+/// A label backed by a plain ordered map; the property-test oracle.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct NaiveLabel {
+    map: BTreeMap<Handle, Level>,
+    default: Level,
+}
+
+impl NaiveLabel {
+    /// Creates a label mapping every handle to `default`.
+    pub fn new(default: Level) -> NaiveLabel {
+        NaiveLabel {
+            map: BTreeMap::new(),
+            default,
+        }
+    }
+
+    /// The default level.
+    pub fn default_level(&self) -> Level {
+        self.default
+    }
+
+    /// The level assigned to `handle`.
+    pub fn get(&self, handle: Handle) -> Level {
+        self.map.get(&handle).copied().unwrap_or(self.default)
+    }
+
+    /// Sets the level for `handle`, keeping the no-redundant-entries invariant.
+    pub fn set(&mut self, handle: Handle, level: Level) {
+        if level == self.default {
+            self.map.remove(&handle);
+        } else {
+            self.map.insert(handle, level);
+        }
+    }
+
+    /// Number of explicit entries.
+    pub fn entry_count(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `self ⊑ other` by direct definition over the union of handles.
+    pub fn leq(&self, other: &NaiveLabel) -> bool {
+        if self.default > other.default {
+            return false;
+        }
+        self.union_handles(other)
+            .into_iter()
+            .all(|h| self.get(h) <= other.get(h))
+    }
+
+    /// `self ⊔ other` by direct definition.
+    pub fn lub(&self, other: &NaiveLabel) -> NaiveLabel {
+        self.combine(other, Level::max)
+    }
+
+    /// `self ⊓ other` by direct definition.
+    pub fn glb(&self, other: &NaiveLabel) -> NaiveLabel {
+        self.combine(other, Level::min)
+    }
+
+    /// `L⋆` by direct definition.
+    pub fn stars_only(&self) -> NaiveLabel {
+        let mut out = NaiveLabel::new(self.default.star_only());
+        for (&h, &lv) in &self.map {
+            out.set(h, lv.star_only());
+        }
+        out
+    }
+
+    fn combine(&self, other: &NaiveLabel, op: fn(Level, Level) -> Level) -> NaiveLabel {
+        let mut out = NaiveLabel::new(op(self.default, other.default));
+        for h in self.union_handles(other) {
+            out.set(h, op(self.get(h), other.get(h)));
+        }
+        out
+    }
+
+    fn union_handles(&self, other: &NaiveLabel) -> Vec<Handle> {
+        let mut hs: Vec<Handle> = self.map.keys().chain(other.map.keys()).copied().collect();
+        hs.sort_unstable();
+        hs.dedup();
+        hs
+    }
+
+    /// Iterates explicit entries in handle order.
+    pub fn iter(&self) -> impl Iterator<Item = (Handle, Level)> + '_ {
+        self.map.iter().map(|(&h, &l)| (h, l))
+    }
+}
+
+impl From<&Label> for NaiveLabel {
+    fn from(label: &Label) -> NaiveLabel {
+        let mut out = NaiveLabel::new(label.default_level());
+        for (h, lv) in label.iter() {
+            out.set(h, lv);
+        }
+        out
+    }
+}
+
+impl From<&NaiveLabel> for Label {
+    fn from(naive: &NaiveLabel) -> Label {
+        let pairs: Vec<(Handle, Level)> = naive.iter().collect();
+        Label::from_pairs(naive.default, &pairs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn h(raw: u64) -> Handle {
+        Handle::from_raw(raw)
+    }
+
+    #[test]
+    fn roundtrip_conversion() {
+        let mut n = NaiveLabel::new(Level::L1);
+        n.set(h(3), Level::L3);
+        n.set(h(7), Level::Star);
+        let l = Label::from(&n);
+        let back = NaiveLabel::from(&l);
+        assert_eq!(n, back);
+    }
+
+    #[test]
+    fn naive_ops_match_paper_basics() {
+        let ut = h(1);
+        let a = {
+            let mut l = NaiveLabel::new(Level::L1);
+            l.set(ut, Level::L3);
+            l
+        };
+        let recv = NaiveLabel::new(Level::L2);
+        assert!(!a.leq(&recv));
+        let mut raised = recv.clone();
+        raised.set(ut, Level::L3);
+        assert!(a.leq(&raised));
+    }
+}

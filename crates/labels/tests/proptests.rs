@@ -1,0 +1,365 @@
+//! Property-based tests for the label algebra.
+//!
+//! Two families:
+//!
+//! 1. **Representation equivalence** — every operation on the chunked
+//!    [`Label`] must agree with the naive `BTreeMap` oracle
+//!    ([`NaiveLabel`]), including after arbitrary mutation sequences that
+//!    exercise chunk splits, merges, and copy-on-write sharing.
+//! 2. **Lattice laws** — labels under `⊑`/`⊔`/`⊓` form a lattice (§5.1
+//!    cites Denning's lattice model); we verify partial-order laws, bound
+//!    properties, absorption, and the paper's specific claims (e.g. the
+//!    `Q_S⋆` star-preservation in contamination).
+
+use asbestos_labels::naive::NaiveLabel;
+use asbestos_labels::ops;
+use asbestos_labels::{Handle, Label, Level};
+use proptest::prelude::*;
+
+/// A small handle domain so operations collide often.
+fn arb_handle() -> impl Strategy<Value = Handle> {
+    (0u64..48).prop_map(Handle::from_raw)
+}
+
+/// A wide handle domain to exercise chunk boundaries.
+fn arb_wide_handle() -> impl Strategy<Value = Handle> {
+    (0u64..100_000).prop_map(Handle::from_raw)
+}
+
+fn arb_level() -> impl Strategy<Value = Level> {
+    prop_oneof![
+        Just(Level::Star),
+        Just(Level::L0),
+        Just(Level::L1),
+        Just(Level::L2),
+        Just(Level::L3),
+    ]
+}
+
+prop_compose! {
+    fn arb_label()(
+        default in arb_level(),
+        pairs in prop::collection::vec((arb_handle(), arb_level()), 0..24),
+    ) -> Label {
+        Label::from_pairs(default, &pairs)
+    }
+}
+
+prop_compose! {
+    fn arb_wide_label()(
+        default in arb_level(),
+        pairs in prop::collection::vec((arb_wide_handle(), arb_level()), 0..300),
+    ) -> Label {
+        Label::from_pairs(default, &pairs)
+    }
+}
+
+fn to_naive(l: &Label) -> NaiveLabel {
+    NaiveLabel::from(l)
+}
+
+proptest! {
+    // ------------------------------------------------------------------
+    // Representation equivalence against the oracle.
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn get_matches_oracle(l in arb_wide_label(), h in arb_wide_handle()) {
+        let n = to_naive(&l);
+        prop_assert_eq!(l.get(h), n.get(h));
+    }
+
+    #[test]
+    fn mutation_sequence_matches_oracle(
+        default in arb_level(),
+        steps in prop::collection::vec((arb_wide_handle(), arb_level()), 0..400),
+    ) {
+        let mut l = Label::new(default);
+        let mut n = NaiveLabel::new(default);
+        for (h, lv) in steps {
+            l.set(h, lv);
+            n.set(h, lv);
+            prop_assert_eq!(l.entry_count(), n.entry_count());
+        }
+        l.check_invariants();
+        prop_assert_eq!(to_naive(&l), n);
+    }
+
+    #[test]
+    fn leq_matches_oracle(a in arb_label(), b in arb_label()) {
+        prop_assert_eq!(a.leq(&b), to_naive(&a).leq(&to_naive(&b)));
+    }
+
+    #[test]
+    fn leq_matches_oracle_wide(a in arb_wide_label(), b in arb_wide_label()) {
+        prop_assert_eq!(a.leq(&b), to_naive(&a).leq(&to_naive(&b)));
+    }
+
+    #[test]
+    fn lub_matches_oracle(a in arb_label(), b in arb_label()) {
+        let got = a.lub(&b);
+        got.check_invariants();
+        prop_assert_eq!(to_naive(&got), to_naive(&a).lub(&to_naive(&b)));
+    }
+
+    #[test]
+    fn glb_matches_oracle(a in arb_label(), b in arb_label()) {
+        let got = a.glb(&b);
+        got.check_invariants();
+        prop_assert_eq!(to_naive(&got), to_naive(&a).glb(&to_naive(&b)));
+    }
+
+    #[test]
+    fn lub_glb_match_oracle_wide(a in arb_wide_label(), b in arb_wide_label()) {
+        prop_assert_eq!(to_naive(&a.lub(&b)), to_naive(&a).lub(&to_naive(&b)));
+        prop_assert_eq!(to_naive(&a.glb(&b)), to_naive(&a).glb(&to_naive(&b)));
+    }
+
+    #[test]
+    fn stars_only_matches_oracle(a in arb_label()) {
+        let got = a.stars_only();
+        got.check_invariants();
+        prop_assert_eq!(to_naive(&got), to_naive(&a).stars_only());
+    }
+
+    // ------------------------------------------------------------------
+    // Lattice laws (§5.1).
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn leq_reflexive(a in arb_label()) {
+        prop_assert!(a.leq(&a));
+    }
+
+    #[test]
+    fn leq_antisymmetric(a in arb_label(), b in arb_label()) {
+        if a.leq(&b) && b.leq(&a) {
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn leq_transitive(a in arb_label(), b in arb_label(), c in arb_label()) {
+        if a.leq(&b) && b.leq(&c) {
+            prop_assert!(a.leq(&c));
+        }
+    }
+
+    #[test]
+    fn lub_is_least_upper_bound(a in arb_label(), b in arb_label(), c in arb_label()) {
+        let join = a.lub(&b);
+        // Upper bound:
+        prop_assert!(a.leq(&join));
+        prop_assert!(b.leq(&join));
+        // Least: any other upper bound dominates the join.
+        if a.leq(&c) && b.leq(&c) {
+            prop_assert!(join.leq(&c));
+        }
+    }
+
+    #[test]
+    fn glb_is_greatest_lower_bound(a in arb_label(), b in arb_label(), c in arb_label()) {
+        let meet = a.glb(&b);
+        prop_assert!(meet.leq(&a));
+        prop_assert!(meet.leq(&b));
+        if c.leq(&a) && c.leq(&b) {
+            prop_assert!(c.leq(&meet));
+        }
+    }
+
+    #[test]
+    fn lub_commutative_associative(a in arb_label(), b in arb_label(), c in arb_label()) {
+        prop_assert_eq!(a.lub(&b), b.lub(&a));
+        prop_assert_eq!(a.lub(&b).lub(&c), a.lub(&b.lub(&c)));
+    }
+
+    #[test]
+    fn glb_commutative_associative(a in arb_label(), b in arb_label(), c in arb_label()) {
+        prop_assert_eq!(a.glb(&b), b.glb(&a));
+        prop_assert_eq!(a.glb(&b).glb(&c), a.glb(&b.glb(&c)));
+    }
+
+    #[test]
+    fn absorption_laws(a in arb_label(), b in arb_label()) {
+        prop_assert_eq!(a.lub(&a.glb(&b)), a.clone());
+        prop_assert_eq!(a.glb(&a.lub(&b)), a.clone());
+    }
+
+    #[test]
+    fn lub_glb_idempotent(a in arb_label()) {
+        prop_assert_eq!(a.lub(&a), a.clone());
+        prop_assert_eq!(a.glb(&a), a.clone());
+    }
+
+    #[test]
+    fn stars_only_idempotent(a in arb_label()) {
+        let s = a.stars_only();
+        prop_assert_eq!(s.stars_only(), s);
+    }
+
+    #[test]
+    fn bottom_top_are_extremes(a in arb_label()) {
+        prop_assert!(Label::bottom().leq(&a));
+        prop_assert!(a.leq(&Label::top()));
+    }
+
+    // ------------------------------------------------------------------
+    // Fused Figure 4 operations vs composed lattice operations.
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn fused_delivery_check_matches_composition(
+        es in arb_label(), qr in arb_label(), dr in arb_label(),
+        v in arb_label(), pr in arb_label(),
+    ) {
+        let fused = ops::check_delivery(&es, &qr, &dr, &v, &pr);
+        let composed = es.leq(&qr.lub(&dr).glb(&v).glb(&pr));
+        prop_assert_eq!(fused, composed);
+    }
+
+    #[test]
+    fn fused_contamination_matches_composition(
+        qs in arb_label(), ds in arb_label(), es in arb_label(),
+    ) {
+        let fused = ops::apply_receive_contamination(&qs, &ds, &es);
+        // Q_S ← (Q_S ⊓ D_S) ⊔ (E_S ⊓ Q_S⋆)
+        let composed = qs.glb(&ds).lub(&es.glb(&qs.stars_only()));
+        prop_assert_eq!(fused, composed);
+    }
+
+    #[test]
+    fn contamination_never_removes_stars(
+        qs in arb_label(), ds_pairs in prop::collection::vec((arb_handle(), arb_level()), 0..8),
+        es in arb_label(),
+    ) {
+        // D_S can only *add* privilege; contamination can never strip a ⋆
+        // the receiver already holds (§5.3: "Only a process itself can
+        // remove ⋆ levels from its send label").
+        let ds = Label::from_pairs(Level::L3, &ds_pairs);
+        let out = ops::apply_receive_contamination(&qs, &ds, &es);
+        for (h, lv) in qs.iter() {
+            if lv == Level::Star {
+                prop_assert_eq!(out.get(h), Level::Star);
+            }
+        }
+        if qs.default_level() == Level::Star {
+            prop_assert_eq!(out.default_level(), Level::Star);
+        }
+    }
+
+    #[test]
+    fn contamination_monotone_in_es(
+        qs in arb_label(), es1 in arb_label(), es2 in arb_label(),
+    ) {
+        // More contamination in never yields less contamination out.
+        if es1.leq(&es2) {
+            let out1 = ops::apply_receive_contamination(&qs, &Label::top(), &es1);
+            let out2 = ops::apply_receive_contamination(&qs, &Label::top(), &es2);
+            prop_assert!(out1.leq(&out2));
+        }
+    }
+
+    #[test]
+    fn delivery_monotone_in_receive_label(
+        es in arb_label(), qr1 in arb_label(), qr2 in arb_label(),
+    ) {
+        // Raising a receive label only ever admits more messages.
+        if qr1.leq(&qr2) {
+            let (dr, v, pr) = (Label::bottom(), Label::top(), Label::top());
+            if ops::check_delivery(&es, &qr1, &dr, &v, &pr) {
+                prop_assert!(ops::check_delivery(&es, &qr2, &dr, &v, &pr));
+            }
+        }
+    }
+
+    #[test]
+    fn privilege_checks_match_definitions(
+        lbl in arb_label(), ps in arb_label(),
+    ) {
+        // Requirement (2): ∀h. D_S(h) < 3 → P_S(h) = ⋆, quantified over the
+        // full (infinite) handle domain — approximated by the union of
+        // explicit handles plus a fresh probe handle for the defaults.
+        let probe = Handle::from_raw(1 << 60);
+        let mut handles: Vec<Handle> = lbl.iter().map(|(h, _)| h).collect();
+        handles.extend(ps.iter().map(|(h, _)| h));
+        handles.push(probe);
+        let expect_ds = handles.iter().all(|&h| {
+            lbl.get(h) >= Level::L3 || ps.get(h) == Level::Star
+        });
+        prop_assert_eq!(ops::check_decont_send_privilege(&lbl, &ps), expect_ds);
+
+        // Requirement (3): ∀h. D_R(h) > ⋆ → P_S(h) = ⋆.
+        let expect_dr = handles.iter().all(|&h| {
+            lbl.get(h) <= Level::Star || ps.get(h) == Level::Star
+        });
+        prop_assert_eq!(ops::check_decont_recv_privilege(&lbl, &ps), expect_dr);
+    }
+
+    #[test]
+    fn heap_bytes_minimum_holds(a in arb_wide_label()) {
+        // Every label costs at least the paper's ~300-byte minimum and
+        // grows by at most a bounded factor per entry.
+        let bytes = a.heap_bytes();
+        prop_assert!(bytes >= 300);
+        prop_assert!(bytes <= 300 + 24 * a.entry_count().max(1) + 16 * (a.entry_count() / 32 + 1));
+    }
+
+    #[test]
+    fn equality_consistent_with_leq(a in arb_label(), b in arb_label()) {
+        prop_assert_eq!(a == b, a.leq(&b) && b.leq(&a));
+    }
+}
+
+/// Deterministic regression cases distilled from early proptest failures and
+/// paper examples.
+#[test]
+fn regression_default_only_differs() {
+    let a = Label::new(Level::L0);
+    let b = Label::new(Level::L2);
+    assert!(a.leq(&b));
+    assert!(!b.leq(&a));
+    assert_eq!(a.lub(&b).default_level(), Level::L2);
+    assert_eq!(a.glb(&b).default_level(), Level::L0);
+}
+
+#[test]
+fn regression_entry_vs_other_default() {
+    // a = {h5 0, 3}, b = {1}: a ⋢ b because default 3 > 1; b ⋢ a because
+    // b(h5) = 1 > a(h5) = 0.
+    let h5 = Handle::from_raw(5);
+    let a = Label::from_pairs(Level::L3, &[(h5, Level::L0)]);
+    let b = Label::default_send();
+    assert!(!a.leq(&b));
+    assert!(!b.leq(&a));
+    let join = a.lub(&b);
+    assert_eq!(join.get(h5), Level::L1);
+    assert_eq!(join.default_level(), Level::L3);
+}
+
+#[test]
+fn regression_mls_emulation() {
+    // §5.2 "Multi-level policies": unclassified/secret/top-secret from two
+    // compartments s and t.
+    let s = Handle::from_raw(1);
+    let t = Handle::from_raw(2);
+    let unclass_send = Label::default_send();
+    let secret_send = Label::from_pairs(Level::L1, &[(s, Level::L3)]);
+    let topsecret_send =
+        Label::from_pairs(Level::L1, &[(s, Level::L3), (t, Level::L3)]);
+    let unclass_recv = Label::default_recv();
+    let secret_recv = Label::from_pairs(Level::L2, &[(s, Level::L3)]);
+    let topsecret_recv = Label::from_pairs(Level::L2, &[(s, Level::L3), (t, Level::L3)]);
+
+    // Writes up are allowed, reads up are not.
+    assert!(unclass_send.leq(&secret_recv));
+    assert!(unclass_send.leq(&topsecret_recv));
+    assert!(secret_send.leq(&topsecret_recv));
+    assert!(!secret_send.leq(&unclass_recv));
+    assert!(!topsecret_send.leq(&secret_recv));
+    assert!(!topsecret_send.leq(&unclass_recv));
+
+    // The "odd" label {t 3, 1} can still only reach top-secret clearance.
+    let odd = Label::from_pairs(Level::L1, &[(t, Level::L3)]);
+    assert!(!odd.leq(&secret_recv));
+    assert!(odd.leq(&topsecret_recv));
+}

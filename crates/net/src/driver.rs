@@ -1,0 +1,161 @@
+//! The external HTTP client driver.
+//!
+//! Plays the role of the paper's Linux load-generator box (§9): it opens
+//! simulated TCP connections carrying HTTP requests, injects the connection
+//! events into netd, and collects responses and latency samples. The driver
+//! is outside the label system — it is the network, not a process.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use asbestos_kernel::{Handle, Kernel, CYCLES_PER_SEC};
+
+use crate::netd::NetdHandle;
+use crate::proto::NetMsg;
+use crate::tcp::{ConnId, SimNet};
+
+/// An in-flight or completed client request.
+#[derive(Clone, Debug)]
+pub struct ClientRequest {
+    /// Substrate connection id.
+    pub conn: ConnId,
+    /// Virtual time when the connection event was injected.
+    pub started_at: u64,
+    /// Virtual time when the full response was observed, if finished.
+    pub finished_at: Option<u64>,
+    /// Response bytes collected so far.
+    pub response: Vec<u8>,
+}
+
+impl ClientRequest {
+    /// Request latency in cycles, if the response completed.
+    pub fn latency_cycles(&self) -> Option<u64> {
+        self.finished_at.map(|f| f - self.started_at)
+    }
+
+    /// Request latency in microseconds of simulated 2.8 GHz time.
+    pub fn latency_us(&self) -> Option<f64> {
+        self.latency_cycles()
+            .map(|c| c as f64 * 1e6 / CYCLES_PER_SEC as f64)
+    }
+}
+
+/// Drives HTTP requests through the simulated network.
+pub struct ClientDriver {
+    net: Rc<RefCell<SimNet>>,
+    device_port: Handle,
+    requests: Vec<ClientRequest>,
+}
+
+impl ClientDriver {
+    /// Creates a driver bound to a spawned netd.
+    pub fn new(netd: &NetdHandle) -> ClientDriver {
+        ClientDriver {
+            net: netd.net.clone(),
+            device_port: netd.device_port,
+            requests: Vec::new(),
+        }
+    }
+
+    /// Opens a connection carrying `request_bytes` to `tcp_port` and tells
+    /// netd about it. Returns an index into [`ClientDriver::requests`].
+    pub fn open(&mut self, kernel: &mut Kernel, tcp_port: u16, request_bytes: &[u8]) -> usize {
+        let conn = self.net.borrow_mut().client_open(tcp_port, request_bytes);
+        kernel.inject(
+            self.device_port,
+            NetMsg::DevNewConn { conn, tcp_port }.to_value(),
+        );
+        self.requests.push(ClientRequest {
+            conn,
+            started_at: kernel.now(),
+            finished_at: None,
+            response: Vec::new(),
+        });
+        self.requests.len() - 1
+    }
+
+    /// Convenience: issues a GET for `path` (HTTP/1.0, benchmark headers).
+    pub fn get(&mut self, kernel: &mut Kernel, tcp_port: u16, path: &str) -> usize {
+        let req = format!(
+            "GET {path} HTTP/1.0\r\nHost: asbestos.test\r\nUser-Agent: bench/0.1\r\n\r\n"
+        );
+        self.open(kernel, tcp_port, req.as_bytes())
+    }
+
+    /// Collects newly arrived response bytes; a request completes when the
+    /// server has closed the connection with a non-empty response (HTTP/1.0
+    /// close-delimited framing, which is what OKWS and the baselines use).
+    /// Completed connections are reaped from the substrate.
+    pub fn poll(&mut self, kernel: &Kernel) {
+        let mut net = self.net.borrow_mut();
+        for req in &mut self.requests {
+            if req.finished_at.is_some() {
+                continue;
+            }
+            let bytes = net.client_take_response(req.conn);
+            req.response.extend_from_slice(&bytes);
+            if !net.is_open(req.conn) && !req.response.is_empty() {
+                req.finished_at = Some(kernel.now());
+                net.reap(req.conn);
+            }
+        }
+    }
+
+    /// All requests issued so far.
+    pub fn requests(&self) -> &[ClientRequest] {
+        &self.requests
+    }
+
+    /// One request, by the index returned from [`ClientDriver::open`].
+    pub fn request(&self, idx: usize) -> &ClientRequest {
+        &self.requests[idx]
+    }
+
+    /// Completed-request latencies in microseconds, sorted ascending.
+    pub fn latencies_us(&self) -> Vec<f64> {
+        let mut out: Vec<f64> = self
+            .requests
+            .iter()
+            .filter_map(ClientRequest::latency_us)
+            .collect();
+        out.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        out
+    }
+
+    /// Number of completed requests.
+    pub fn completed(&self) -> usize {
+        self.requests
+            .iter()
+            .filter(|r| r.finished_at.is_some())
+            .count()
+    }
+
+    /// Clears the request log (keeps connections).
+    pub fn reset_log(&mut self) {
+        self.requests.clear();
+    }
+}
+
+/// Percentile over a sorted slice (nearest-rank); `p` in `[0, 100]`.
+pub fn percentile(sorted: &[f64], p: f64) -> Option<f64> {
+    if sorted.is_empty() {
+        return None;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil().max(1.0) as usize;
+    Some(sorted[rank.min(sorted.len()) - 1])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&v, 50.0), Some(2.0));
+        assert_eq!(percentile(&v, 90.0), Some(4.0));
+        assert_eq!(percentile(&v, 100.0), Some(4.0));
+        assert_eq!(percentile(&v, 1.0), Some(1.0));
+        assert_eq!(percentile(&[], 50.0), None);
+    }
+}

@@ -1,0 +1,217 @@
+//! The netd wire protocol (§7.7).
+//!
+//! "Once a process has a port to an open connection, it may perform READ
+//! and WRITE operations to transfer data, CONTROL operations to close the
+//! connection or change the low-water mark, and SELECT operations to
+//! determine available buffer space. ... When a process tells netd to add a
+//! taint handle to a connection, later messages sent in response to
+//! operations on that connection will be contaminated with the taint handle
+//! at level 3."
+//!
+//! Requests to a connection's own port `uC`; LISTEN to netd's control port;
+//! device events are injected by the external world.
+
+use asbestos_kernel::{Handle, Value};
+
+/// A message in the netd protocol.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NetMsg {
+    // -------------------- device events (injected) --------------------
+    /// A client opened a TCP connection to `tcp_port`.
+    DevNewConn {
+        /// Substrate connection id.
+        conn: u64,
+        /// Server-side TCP port.
+        tcp_port: u16,
+    },
+
+    // -------------------- application → netd --------------------
+    /// Register `notify` to receive new-connection notifications for
+    /// `tcp_port` (sent to netd's control port).
+    Listen {
+        /// TCP port to listen on.
+        tcp_port: u16,
+        /// Where netd should announce new connections.
+        notify: Handle,
+    },
+    /// Read up to `max` request bytes; netd replies `ReadR` to `reply`.
+    Read {
+        /// Maximum bytes.
+        max: u64,
+        /// Reply port (granted to netd at ⋆ alongside this message).
+        reply: Handle,
+        /// Peek without consuming (ok-demux reads the head this way so the
+        /// worker can still read the whole request, §7.2 steps 3 and 8).
+        peek: bool,
+    },
+    /// Write response bytes to the connection.
+    Write {
+        /// Payload.
+        bytes: Vec<u8>,
+    },
+    /// Attach a taint handle: future replies for this connection are
+    /// contaminated `taint 3`, and the connection port accepts `taint 3`
+    /// senders (§7.2 step 5).
+    AddTaint {
+        /// The user taint handle (granted to netd at ⋆ with this message).
+        taint: Handle,
+    },
+    /// Close the connection (CONTROL).
+    Close,
+    /// Ask for pending input bytes; netd replies `SelectR` to `reply`.
+    Select {
+        /// Reply port.
+        reply: Handle,
+    },
+
+    // -------------------- netd → application --------------------
+    /// New connection announcement; netd grants the receiver `port ⋆`.
+    NewConn {
+        /// The connection's Asbestos port `uC`.
+        port: Handle,
+    },
+    /// Read reply: the requested bytes (possibly empty).
+    ReadR {
+        /// Data read.
+        bytes: Vec<u8>,
+    },
+    /// Select reply: pending input bytes.
+    SelectR {
+        /// Bytes available to read.
+        available: u64,
+    },
+}
+
+impl NetMsg {
+    /// Encodes to a [`Value`] payload.
+    pub fn to_value(&self) -> Value {
+        match self {
+            NetMsg::DevNewConn { conn, tcp_port } => Value::List(vec![
+                Value::Str("dev-new-conn".into()),
+                Value::U64(*conn),
+                Value::U64(u64::from(*tcp_port)),
+            ]),
+            NetMsg::Listen { tcp_port, notify } => Value::List(vec![
+                Value::Str("listen".into()),
+                Value::U64(u64::from(*tcp_port)),
+                Value::Handle(*notify),
+            ]),
+            NetMsg::Read { max, reply, peek } => Value::List(vec![
+                Value::Str("read".into()),
+                Value::U64(*max),
+                Value::Handle(*reply),
+                Value::Bool(*peek),
+            ]),
+            NetMsg::Write { bytes } => Value::List(vec![
+                Value::Str("write".into()),
+                Value::Bytes(bytes.clone()),
+            ]),
+            NetMsg::AddTaint { taint } => Value::List(vec![
+                Value::Str("add-taint".into()),
+                Value::Handle(*taint),
+            ]),
+            NetMsg::Close => Value::List(vec![Value::Str("close".into())]),
+            NetMsg::Select { reply } => Value::List(vec![
+                Value::Str("select".into()),
+                Value::Handle(*reply),
+            ]),
+            NetMsg::NewConn { port } => Value::List(vec![
+                Value::Str("new-conn".into()),
+                Value::Handle(*port),
+            ]),
+            NetMsg::ReadR { bytes } => Value::List(vec![
+                Value::Str("read-r".into()),
+                Value::Bytes(bytes.clone()),
+            ]),
+            NetMsg::SelectR { available } => Value::List(vec![
+                Value::Str("select-r".into()),
+                Value::U64(*available),
+            ]),
+        }
+    }
+
+    /// Decodes from a [`Value`] payload.
+    pub fn from_value(value: &Value) -> Option<NetMsg> {
+        let items = value.as_list()?;
+        let tag = items.first()?.as_str()?;
+        match tag {
+            "dev-new-conn" => Some(NetMsg::DevNewConn {
+                conn: items.get(1)?.as_u64()?,
+                tcp_port: u16::try_from(items.get(2)?.as_u64()?).ok()?,
+            }),
+            "listen" => Some(NetMsg::Listen {
+                tcp_port: u16::try_from(items.get(1)?.as_u64()?).ok()?,
+                notify: items.get(2)?.as_handle()?,
+            }),
+            "read" => Some(NetMsg::Read {
+                max: items.get(1)?.as_u64()?,
+                reply: items.get(2)?.as_handle()?,
+                peek: items.get(3)?.as_bool()?,
+            }),
+            "write" => Some(NetMsg::Write {
+                bytes: items.get(1)?.as_bytes()?.to_vec(),
+            }),
+            "add-taint" => Some(NetMsg::AddTaint {
+                taint: items.get(1)?.as_handle()?,
+            }),
+            "close" => Some(NetMsg::Close),
+            "select" => Some(NetMsg::Select {
+                reply: items.get(1)?.as_handle()?,
+            }),
+            "new-conn" => Some(NetMsg::NewConn {
+                port: items.get(1)?.as_handle()?,
+            }),
+            "read-r" => Some(NetMsg::ReadR {
+                bytes: items.get(1)?.as_bytes()?.to_vec(),
+            }),
+            "select-r" => Some(NetMsg::SelectR {
+                available: items.get(1)?.as_u64()?,
+            }),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_variants() {
+        let h = Handle::from_raw(0x42);
+        let msgs = vec![
+            NetMsg::DevNewConn { conn: 7, tcp_port: 80 },
+            NetMsg::Listen { tcp_port: 80, notify: h },
+            NetMsg::Read { max: 512, reply: h, peek: false },
+            NetMsg::Read { max: 64, reply: h, peek: true },
+            NetMsg::Write { bytes: vec![1, 2, 3] },
+            NetMsg::AddTaint { taint: h },
+            NetMsg::Close,
+            NetMsg::Select { reply: h },
+            NetMsg::NewConn { port: h },
+            NetMsg::ReadR { bytes: vec![9] },
+            NetMsg::SelectR { available: 5 },
+        ];
+        for msg in msgs {
+            assert_eq!(NetMsg::from_value(&msg.to_value()), Some(msg));
+        }
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert_eq!(NetMsg::from_value(&Value::Unit), None);
+        assert_eq!(
+            NetMsg::from_value(&Value::List(vec![Value::Str("bogus".into())])),
+            None
+        );
+        // Out-of-range TCP port.
+        assert_eq!(
+            NetMsg::from_value(&Value::List(vec![
+                Value::Str("dev-new-conn".into()),
+                Value::U64(1),
+                Value::U64(1 << 20),
+            ])),
+            None
+        );
+    }
+}

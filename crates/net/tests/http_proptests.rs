@@ -1,0 +1,83 @@
+//! Property tests for the HTTP layer: build→parse roundtrips and
+//! no-panic guarantees on arbitrary input.
+
+use asbestos_net::http::{build_response, parse_request, parse_query};
+use proptest::prelude::*;
+
+fn arb_token() -> impl Strategy<Value = String> {
+    "[a-zA-Z][a-zA-Z0-9_-]{0,12}".prop_map(|s| s)
+}
+
+proptest! {
+    #[test]
+    fn parser_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        let _ = parse_request(&bytes);
+    }
+
+    #[test]
+    fn query_parser_never_panics(s in "\\PC{0,128}") {
+        let _ = parse_query(&s);
+    }
+
+    #[test]
+    fn request_roundtrip(
+        method in arb_token(),
+        path in "[a-z]{1,10}",
+        params in prop::collection::vec((arb_token(), arb_token()), 0..5),
+        headers in prop::collection::vec((arb_token(), arb_token()), 0..4),
+        body in prop::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let query: String = params
+            .iter()
+            .map(|(k, v)| format!("{k}={v}"))
+            .collect::<Vec<_>>()
+            .join("&");
+        let target = if query.is_empty() {
+            format!("/{path}")
+        } else {
+            format!("/{path}?{query}")
+        };
+        let mut raw = format!("{method} {target} HTTP/1.0\r\n");
+        for (k, v) in &headers {
+            raw.push_str(&format!("{k}: {v}\r\n"));
+        }
+        raw.push_str("\r\n");
+        let mut raw = raw.into_bytes();
+        raw.extend_from_slice(&body);
+
+        let req = parse_request(&raw).expect("well-formed request parses");
+        prop_assert_eq!(&req.method, &method);
+        prop_assert_eq!(&req.path, &format!("/{path}"));
+        prop_assert_eq!(req.service(), path.as_str());
+        prop_assert_eq!(&req.body, &body);
+        for (k, v) in &params {
+            // Duplicate keys resolve to the first occurrence.
+            let first = params.iter().find(|(pk, _)| pk == k).map(|(_, pv)| pv.as_str());
+            prop_assert_eq!(req.param(k), first);
+            let _ = v;
+        }
+        for (k, v) in &headers {
+            // Duplicate header keys resolve to the last occurrence.
+            let last = headers
+                .iter()
+                .rev()
+                .find(|(hk, _)| hk.eq_ignore_ascii_case(k))
+                .map(|(_, hv)| hv.as_str());
+            prop_assert_eq!(req.headers.get(&k.to_ascii_lowercase()).map(String::as_str), last);
+            let _ = v;
+        }
+    }
+
+    #[test]
+    fn response_shape(status in 100u16..600, body in prop::collection::vec(any::<u8>(), 0..256)) {
+        let resp = build_response(status, "Reason", &body);
+        // Head terminator present, body intact after it.
+        let head_end = resp.windows(4).position(|w| w == b"\r\n\r\n").unwrap() + 4;
+        prop_assert_eq!(&resp[head_end..], &body[..]);
+        let head = std::str::from_utf8(&resp[..head_end]).unwrap();
+        let status_line = format!("HTTP/1.0 {} ", status);
+        let content_length = format!("Content-Length: {:>5}", body.len());
+        prop_assert!(head.starts_with(&status_line));
+        prop_assert!(head.contains(&content_length));
+    }
+}

@@ -1,0 +1,97 @@
+//! OKWS assembly and a test/bench client.
+
+use asbestos_kernel::{Category, Kernel, ProcessId};
+use asbestos_net::{spawn_netd, ClientDriver, NetdHandle};
+
+use crate::launcher::{Launcher, OkwsConfig};
+
+/// A running OKWS deployment.
+pub struct Okws {
+    /// The network server's handle (substrate access for drivers).
+    pub netd: NetdHandle,
+    /// The TCP port OKWS serves.
+    pub tcp_port: u16,
+    /// The launcher's process id.
+    pub launcher: ProcessId,
+}
+
+impl Okws {
+    /// Spawns netd and the full OKWS process suite, then runs the kernel
+    /// until startup settles (registration, table creation, accounts).
+    pub fn start(kernel: &mut Kernel, config: OkwsConfig) -> Okws {
+        let tcp_port = config.tcp_port;
+        let netd = spawn_netd(kernel);
+        let launcher = kernel.spawn("launcher", Category::Okws, Box::new(Launcher::new(config)));
+        kernel.run();
+        Okws {
+            netd,
+            tcp_port,
+            launcher,
+        }
+    }
+}
+
+/// An HTTP client for a running OKWS (test and benchmark harness).
+pub struct OkwsClient {
+    /// The underlying connection driver.
+    pub driver: ClientDriver,
+    tcp_port: u16,
+}
+
+impl OkwsClient {
+    /// Creates a client for the deployment.
+    pub fn new(okws: &Okws) -> OkwsClient {
+        OkwsClient {
+            driver: ClientDriver::new(&okws.netd),
+            tcp_port: okws.tcp_port,
+        }
+    }
+
+    /// Issues `GET /{service}?user=&pw=&extra…` and returns the request
+    /// index. The caller decides when to run the kernel.
+    pub fn request(
+        &mut self,
+        kernel: &mut Kernel,
+        service: &str,
+        user: &str,
+        password: &str,
+        extra: &[(&str, &str)],
+    ) -> usize {
+        let mut target = format!("/{service}?user={user}&pw={password}");
+        for (k, v) in extra {
+            target.push('&');
+            target.push_str(k);
+            target.push('=');
+            target.push_str(v);
+        }
+        self.driver.get(kernel, self.tcp_port, &target)
+    }
+
+    /// Issues a request and runs the kernel until it completes; returns
+    /// `(status, body)` if a well-formed response arrived.
+    pub fn request_sync(
+        &mut self,
+        kernel: &mut Kernel,
+        service: &str,
+        user: &str,
+        password: &str,
+        extra: &[(&str, &str)],
+    ) -> Option<(u16, Vec<u8>)> {
+        let idx = self.request(kernel, service, user, password, extra);
+        kernel.run();
+        self.driver.poll(kernel);
+        self.parse_response(idx)
+    }
+
+    /// Parses a completed response into `(status, body)`.
+    pub fn parse_response(&self, idx: usize) -> Option<(u16, Vec<u8>)> {
+        let raw = &self.driver.request(idx).response;
+        if raw.is_empty() {
+            return None;
+        }
+        let head_end = raw.windows(4).position(|w| w == b"\r\n\r\n")? + 4;
+        let head = std::str::from_utf8(&raw[..head_end]).ok()?;
+        let status: u16 = head.split(' ').nth(1)?.parse().ok()?;
+        Some((status, raw[head_end..].to_vec()))
+    }
+}
