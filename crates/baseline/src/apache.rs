@@ -127,7 +127,13 @@ mod tests {
         let thr = |m: &BaselineModel| 2.8e9 / m.serialized_cycles as f64;
         let mod_thr = thr(&module);
         let apache_thr = thr(&apache);
-        assert!((2_500.0..3_400.0).contains(&mod_thr), "Mod-Apache: {mod_thr}");
-        assert!((1_200.0..1_700.0).contains(&apache_thr), "Apache: {apache_thr}");
+        assert!(
+            (2_500.0..3_400.0).contains(&mod_thr),
+            "Mod-Apache: {mod_thr}"
+        );
+        assert!(
+            (1_200.0..1_700.0).contains(&apache_thr),
+            "Apache: {apache_thr}"
+        );
     }
 }

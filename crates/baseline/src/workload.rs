@@ -41,7 +41,9 @@ impl RunResult {
         if self.latencies_us.is_empty() {
             return 0.0;
         }
-        let rank = ((p / 100.0) * self.latencies_us.len() as f64).ceil().max(1.0) as usize;
+        let rank = ((p / 100.0) * self.latencies_us.len() as f64)
+            .ceil()
+            .max(1.0) as usize;
         self.latencies_us[rank.min(self.latencies_us.len()) - 1]
     }
 }
@@ -52,12 +54,7 @@ fn exp_sample(rng: &mut StdRng) -> f64 {
 }
 
 /// One request through the shared CPU: returns `(new_cpu_free, latency_cycles)`.
-fn serve(
-    model: &BaselineModel,
-    rng: &mut StdRng,
-    cpu_free: u64,
-    ready: u64,
-) -> (u64, u64) {
+fn serve(model: &BaselineModel, rng: &mut StdRng, cpu_free: u64, ready: u64) -> (u64, u64) {
     let start = cpu_free.max(ready);
     let done_cpu = start + model.serialized_cycles;
     // Path time (scheduling hand-offs, NIC, client stack) overlaps other
@@ -103,12 +100,7 @@ pub fn run_closed_loop(
 }
 
 /// Open-loop run at `rate_frac` of the serialized-CPU capacity.
-pub fn run_open_loop(
-    model: &BaselineModel,
-    rate_frac: f64,
-    requests: u64,
-    seed: u64,
-) -> RunResult {
+pub fn run_open_loop(model: &BaselineModel, rate_frac: f64, requests: u64, seed: u64) -> RunResult {
     let mut rng = StdRng::seed_from_u64(seed);
     let spacing = (model.serialized_cycles as f64 / rate_frac) as u64;
     let mut cpu_free = 0u64;

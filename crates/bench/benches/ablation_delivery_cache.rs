@@ -1,0 +1,142 @@
+//! Ablation: the delivery-decision cache on OKWS-style repeated traffic.
+//!
+//! The workload models the Figure 9 regime: a pool of per-user senders,
+//! each carrying a distinct multi-entry taint label (the per-user `uT`/`uG`
+//! handles OKWS accumulates), repeatedly hitting one long-lived service
+//! port. Every user's delivery tuple repeats exactly — §5.6's observation
+//! that labels are highly repetitive — so after one warm round the cached
+//! kernel serves every Figure 4 evaluation from the decision cache, while
+//! the uncached kernel re-walks labels whose size grows with the user
+//! population.
+//!
+//! `delivery_cache/throughput_ratio` prints the measured messages/second
+//! with the cache on and off; the acceptance bar is ≥ 2× on this workload.
+
+use asbestos_kernel::util::service_with_start;
+use asbestos_kernel::{Category, Handle, Kernel, Label, Level, Value, DEFAULT_DELIVERY_CACHE_CAP};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Instant;
+
+/// Concurrent user sessions (distinct label tuples).
+const USERS: usize = 16;
+/// Explicit entries per user send label (per-user compartment handles).
+const ENTRIES: u64 = 32;
+/// Messages per user per round.
+const BURST: usize = 32;
+
+/// Deploys one sink service plus [`USERS`] senders whose send labels carry
+/// disjoint [`ENTRIES`]-handle taints; returns the senders' trigger ports.
+fn setup(cache_capacity: usize) -> (Kernel, Vec<Handle>) {
+    let mut kernel = Kernel::new(0xCAFE);
+    kernel.set_delivery_cache_capacity(cache_capacity);
+
+    kernel.spawn(
+        "sink",
+        Category::Other,
+        service_with_start(
+            |sys| {
+                let p = sys.new_port(Label::top());
+                sys.set_port_label(p, Label::top()).unwrap();
+                sys.publish_env("sink.port", Value::Handle(p));
+            },
+            |_sys, _msg| {},
+        ),
+    );
+    let sink = kernel.global_env("sink.port").unwrap().as_handle().unwrap();
+    let sink_pid = kernel.find_process("sink").unwrap();
+    // The sink accepts arbitrary contamination, like a service that has
+    // raised its receive label for every registered user.
+    kernel.set_process_labels(sink_pid, None, Some(Label::top()));
+
+    let mut trigger_ports = Vec::new();
+    for user in 0..USERS {
+        let name = format!("user{user}");
+        let key = format!("{name}.port");
+        let publish_key = key.clone();
+        kernel.spawn(
+            &name,
+            Category::Other,
+            service_with_start(
+                move |sys| {
+                    let p = sys.new_port(Label::top());
+                    sys.set_port_label(p, Label::top()).unwrap();
+                    sys.publish_env(&publish_key, Value::Handle(p));
+                },
+                move |sys, _msg| {
+                    for i in 0..BURST {
+                        sys.send(sink, Value::U64(i as u64)).unwrap();
+                    }
+                },
+            ),
+        );
+        trigger_ports.push(kernel.global_env(&key).unwrap().as_handle().unwrap());
+        // The user's session taint: ENTRIES distinct compartment handles.
+        let pid = kernel.find_process(&name).unwrap();
+        let pairs: Vec<(Handle, Level)> = (0..ENTRIES)
+            .map(|j| {
+                (
+                    Handle::from_raw(0x1000 + user as u64 * 0x100 + j),
+                    Level::L2,
+                )
+            })
+            .collect();
+        kernel.set_process_labels(pid, Some(Label::from_pairs(Level::L1, &pairs)), None);
+    }
+    (kernel, trigger_ports)
+}
+
+/// One round: every user bursts at the sink; runs to idle.
+fn round(kernel: &mut Kernel, triggers: &[Handle]) {
+    for &port in triggers {
+        kernel.inject(port, Value::Unit);
+    }
+    kernel.run();
+}
+
+fn bench_delivery(c: &mut Criterion) {
+    let mut group = c.benchmark_group("delivery_cache");
+    for (label, capacity) in [("off", 0), ("on", DEFAULT_DELIVERY_CACHE_CAP)] {
+        let (mut kernel, triggers) = setup(capacity);
+        // Warm round: converges the sink's labels and (when enabled)
+        // populates the cache, so the measurement sees steady state.
+        round(&mut kernel, &triggers);
+        group.bench_with_input(BenchmarkId::new("round", label), &(), |b, ()| {
+            b.iter(|| round(&mut kernel, &triggers))
+        });
+    }
+    group.finish();
+}
+
+/// Measures both configurations head-to-head and prints the throughput
+/// ratio (the ≥ 2× acceptance number for this ablation).
+fn bench_throughput_ratio(c: &mut Criterion) {
+    let throughput = |capacity: usize| {
+        let (mut kernel, triggers) = setup(capacity);
+        round(&mut kernel, &triggers);
+        let delivered_before = kernel.stats().delivered;
+        let rounds = 200;
+        let start = Instant::now();
+        for _ in 0..rounds {
+            round(&mut kernel, &triggers);
+        }
+        let elapsed = start.elapsed();
+        let delivered = kernel.stats().delivered - delivered_before;
+        let hit_rate = {
+            let s = kernel.stats();
+            s.cache_hits as f64 / (s.cache_hits + s.cache_misses).max(1) as f64
+        };
+        (delivered as f64 / elapsed.as_secs_f64(), hit_rate)
+    };
+    let (off, _) = throughput(0);
+    let (on, hit_rate) = throughput(DEFAULT_DELIVERY_CACHE_CAP);
+    println!(
+        "delivery_cache/throughput: off {off:.0} msg/s, on {on:.0} msg/s, ratio {:.2}x (hit rate {:.1}%)",
+        on / off,
+        hit_rate * 100.0
+    );
+    // Keep the benchmark visible in `--test` listings.
+    c.bench_function("delivery_cache/throughput_ratio", |b| b.iter(|| ()));
+}
+
+criterion_group!(benches, bench_delivery, bench_throughput_ratio);
+criterion_main!(benches);

@@ -58,8 +58,7 @@ fn bench_memory_comparison(c: &mut Criterion) {
             let ep_bytes_per_session = 4096 + asbestos_kernel::EP_STRUCT_BYTES + 600;
             // Fork model: full process image (96 private pages) + process
             // structure.
-            let fork_bytes_per_session =
-                96 * 4096 + asbestos_kernel::PROCESS_STRUCT_BYTES + 600;
+            let fork_bytes_per_session = 96 * 4096 + asbestos_kernel::PROCESS_STRUCT_BYTES + 600;
             assert!(fork_bytes_per_session > 50 * ep_bytes_per_session);
             black_box((ep_bytes_per_session, fork_bytes_per_session))
         })

@@ -59,7 +59,11 @@ fn bench_ep_resume(c: &mut Criterion) {
         let base = kernel.global_env("w.port").unwrap().as_handle().unwrap();
         kernel.inject(base, Value::Unit);
         kernel.run();
-        let session = kernel.global_env("session.port").unwrap().as_handle().unwrap();
+        let session = kernel
+            .global_env("session.port")
+            .unwrap()
+            .as_handle()
+            .unwrap();
         bench.iter(|| {
             kernel.inject(session, Value::Unit);
             black_box(kernel.run())

@@ -61,9 +61,11 @@ fn bench_delivery_check(c: &mut Criterion) {
         let dr = Label::bottom();
         let v = Label::top();
         let pr = Label::top();
-        group.bench_with_input(BenchmarkId::from_parameter(sessions), &sessions, |bench, _| {
-            bench.iter(|| black_box(ops::check_delivery(&es, &qr, &dr, &v, &pr)))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(sessions),
+            &sessions,
+            |bench, _| bench.iter(|| black_box(ops::check_delivery(&es, &qr, &dr, &v, &pr))),
+        );
     }
     group.finish();
 }

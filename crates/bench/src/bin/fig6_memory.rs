@@ -9,12 +9,17 @@ fn main() {
     let sweep: Vec<usize> = if quick_mode() {
         vec![0, 100, 250, 500, 1000]
     } else {
-        vec![0, 1000, 2000, 3000, 4000, 5000, 6000, 7000, 8000, 9000, 10_000]
+        vec![
+            0, 1000, 2000, 3000, 4000, 5000, 6000, 7000, 8000, 9000, 10_000,
+        ]
     };
 
     println!("# Figure 6: memory used by active and cached Web sessions");
     println!("# (paper: ~1.5 pages per cached session; ~8 extra pages per active session)");
-    println!("{:>10} {:>16} {:>16}", "sessions", "cached (pages)", "active (pages)");
+    println!(
+        "{:>10} {:>16} {:>16}",
+        "sessions", "cached (pages)", "active (pages)"
+    );
 
     let baseline = fig6_baseline(4242);
     let mut rows = Vec::new();

@@ -45,8 +45,12 @@ pub fn deploy(seed: u64, users: usize, tidy: bool) -> BenchEnv {
     let mut config = OkwsConfig::new(80);
     let bench = ServiceSpec::new("bench", || Box::new(ParamLength));
     let store = ServiceSpec::new("store", || Box::new(EchoStore::new()));
-    config.services.push(if tidy { bench } else { bench.untidy() });
-    config.services.push(if tidy { store } else { store.untidy() });
+    config
+        .services
+        .push(if tidy { bench } else { bench.untidy() });
+    config
+        .services
+        .push(if tidy { store } else { store.untidy() });
     for i in 0..users {
         let name = user_name(i);
         let pw = password(&name);

@@ -158,7 +158,9 @@ impl Stmt {
                     cols.extend(cs.iter().map(String::as_str));
                 }
             }
-            Stmt::Select { columns, filter, .. } => {
+            Stmt::Select {
+                columns, filter, ..
+            } => {
                 if let SelectCols::Named(cs) = columns {
                     cols.extend(cs.iter().map(String::as_str));
                 }

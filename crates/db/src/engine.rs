@@ -102,7 +102,8 @@ impl Database {
                 if self.tables.contains_key(name) {
                     return Err(DbError::TableExists(name.clone()));
                 }
-                self.tables.insert(name.clone(), Table::new(columns.clone()));
+                self.tables
+                    .insert(name.clone(), Table::new(columns.clone()));
                 Ok(QueryResult::default())
             }
             Stmt::CreateIndex { table, column } => {
@@ -148,9 +149,7 @@ impl Database {
                         }
                         let mut row = vec![SqlValue::Null; t.columns.len()];
                         for (c, v) in cols.iter().zip(vals) {
-                            let pos = t
-                                .col(c)
-                                .ok_or_else(|| DbError::NoSuchColumn(c.clone()))?;
+                            let pos = t.col(c).ok_or_else(|| DbError::NoSuchColumn(c.clone()))?;
                             row[pos] = v;
                         }
                         row
@@ -215,9 +214,7 @@ impl Database {
                 let set_cols: Vec<(usize, SqlValue)> = sets
                     .iter()
                     .map(|(c, e)| {
-                        let pos = t
-                            .col(c)
-                            .ok_or_else(|| DbError::NoSuchColumn(c.clone()))?;
+                        let pos = t.col(c).ok_or_else(|| DbError::NoSuchColumn(c.clone()))?;
                         Ok((pos, resolve(e, params)?))
                     })
                     .collect::<Result<_, DbError>>()?;
@@ -305,7 +302,11 @@ fn resolve(expr: &Expr, params: &[SqlValue]) -> Result<SqlValue, DbError> {
 /// Chooses the scan strategy: if some equality conjunct has a hash index,
 /// probe it; otherwise scan everything. Returns candidate slots plus the
 /// work estimate (slots examined).
-fn candidate_slots(t: &Table, filter: &Where, params: &[SqlValue]) -> Result<(Vec<usize>, u64), DbError> {
+fn candidate_slots(
+    t: &Table,
+    filter: &Where,
+    params: &[SqlValue],
+) -> Result<(Vec<usize>, u64), DbError> {
     for c in &filter.conjuncts {
         if c.op == crate::ast::CmpOp::Eq {
             if let Some(col) = t.col(&c.column) {
@@ -345,9 +346,12 @@ mod tests {
     fn db() -> Database {
         let mut db = Database::new();
         db.run("CREATE TABLE users (name, pw, uid)").unwrap();
-        db.run("INSERT INTO users VALUES ('alice', 'pw-a', 1)").unwrap();
-        db.run("INSERT INTO users VALUES ('bob', 'pw-b', 2)").unwrap();
-        db.run("INSERT INTO users VALUES ('carol', 'pw-c', 3)").unwrap();
+        db.run("INSERT INTO users VALUES ('alice', 'pw-a', 1)")
+            .unwrap();
+        db.run("INSERT INTO users VALUES ('bob', 'pw-b', 2)")
+            .unwrap();
+        db.run("INSERT INTO users VALUES ('carol', 'pw-c', 3)")
+            .unwrap();
         db
     }
 
@@ -385,7 +389,9 @@ mod tests {
     #[test]
     fn update_and_delete() {
         let mut d = db();
-        let r = d.run("UPDATE users SET pw = 'new' WHERE name = 'alice'").unwrap();
+        let r = d
+            .run("UPDATE users SET pw = 'new' WHERE name = 'alice'")
+            .unwrap();
         assert_eq!(r.affected, 1);
         let r = d.run("SELECT pw FROM users WHERE name = 'alice'").unwrap();
         assert_eq!(r.rows[0][0], SqlValue::Text("new".into()));
@@ -398,7 +404,9 @@ mod tests {
     fn insert_with_columns_fills_nulls() {
         let mut d = db();
         d.run("INSERT INTO users (name) VALUES ('dave')").unwrap();
-        let r = d.run("SELECT pw, uid FROM users WHERE name = 'dave'").unwrap();
+        let r = d
+            .run("SELECT pw, uid FROM users WHERE name = 'dave'")
+            .unwrap();
         assert_eq!(r.rows[0], vec![SqlValue::Null, SqlValue::Null]);
     }
 
@@ -407,10 +415,10 @@ mod tests {
         let mut d = Database::new();
         d.run("CREATE TABLE big (k, v)").unwrap();
         for i in 0..1000 {
-            d.run_with_params("INSERT INTO big VALUES (?, ?)", &[
-                SqlValue::Text(format!("k{i}")),
-                SqlValue::Int(i),
-            ])
+            d.run_with_params(
+                "INSERT INTO big VALUES (?, ?)",
+                &[SqlValue::Text(format!("k{i}")), SqlValue::Int(i)],
+            )
             .unwrap();
         }
         let scan = d
@@ -455,7 +463,9 @@ mod tests {
     fn update_via_index_path() {
         let mut d = db();
         d.run("CREATE INDEX ON users (name)").unwrap();
-        let r = d.run("UPDATE users SET uid = 9 WHERE name = 'carol'").unwrap();
+        let r = d
+            .run("UPDATE users SET uid = 9 WHERE name = 'carol'")
+            .unwrap();
         assert_eq!(r.affected, 1);
         assert_eq!(r.work, 1);
         // Index reflects cell updates.

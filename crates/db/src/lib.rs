@@ -24,6 +24,6 @@ pub mod value;
 pub use engine::{Database, DbError, QueryResult};
 pub use parser::parse;
 pub use proto::DbMsg;
-pub use snapshot::{restore, snapshot, SnapshotError};
 pub use proxy::{spawn_dbproxy, DbHandle, DbProxy, DB_PORT_ENV, DB_TRUSTED_ENV, USER_ID_COLUMN};
+pub use snapshot::{restore, snapshot, SnapshotError};
 pub use value::SqlValue;

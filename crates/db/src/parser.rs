@@ -115,7 +115,9 @@ impl Parser {
             Some(Token::Ident(s)) => Ok(s),
             other => Err(self.err(&format!(
                 "expected identifier, found {}",
-                other.map(|t| t.to_string()).unwrap_or_else(|| "end of input".into())
+                other
+                    .map(|t| t.to_string())
+                    .unwrap_or_else(|| "end of input".into())
             ))),
         }
     }

@@ -146,10 +146,9 @@ impl DbMsg {
                 Value::List(values.iter().map(sql_to_value).collect()),
             ]),
             DbMsg::Done => Value::List(vec![Value::Str("done".into())]),
-            DbMsg::AdminPort { port } => Value::List(vec![
-                Value::Str("admin-port".into()),
-                Value::Handle(*port),
-            ]),
+            DbMsg::AdminPort { port } => {
+                Value::List(vec![Value::Str("admin-port".into()), Value::Handle(*port)])
+            }
         }
     }
 
@@ -200,18 +199,38 @@ mod tests {
     fn roundtrip() {
         let h = Handle::from_raw(5);
         let msgs = vec![
-            DbMsg::Bind { user: "u".into(), taint: h, grant: h },
-            DbMsg::Ddl { sql: "CREATE TABLE t (a)".into() },
+            DbMsg::Bind {
+                user: "u".into(),
+                taint: h,
+                grant: h,
+            },
+            DbMsg::Ddl {
+                sql: "CREATE TABLE t (a)".into(),
+            },
             DbMsg::Exec {
                 user: "u".into(),
                 sql: "INSERT INTO t VALUES (?)".into(),
                 params: vec![SqlValue::Int(-7), SqlValue::Null, "x".into()],
                 reply: Some(h),
             },
-            DbMsg::Exec { user: "u".into(), sql: "s".into(), params: vec![], reply: None },
-            DbMsg::ExecR { ok: true, affected: 2 },
-            DbMsg::Query { sql: "SELECT * FROM t".into(), params: vec![], reply: h },
-            DbMsg::Row { values: vec![SqlValue::Blob(vec![1, 2])] },
+            DbMsg::Exec {
+                user: "u".into(),
+                sql: "s".into(),
+                params: vec![],
+                reply: None,
+            },
+            DbMsg::ExecR {
+                ok: true,
+                affected: 2,
+            },
+            DbMsg::Query {
+                sql: "SELECT * FROM t".into(),
+                params: vec![],
+                reply: h,
+            },
+            DbMsg::Row {
+                values: vec![SqlValue::Blob(vec![1, 2])],
+            },
             DbMsg::Done,
             DbMsg::AdminPort { port: h },
         ];
@@ -222,7 +241,9 @@ mod tests {
 
     #[test]
     fn negative_ints_roundtrip() {
-        let m = DbMsg::Row { values: vec![SqlValue::Int(i64::MIN)] };
+        let m = DbMsg::Row {
+            values: vec![SqlValue::Int(i64::MIN)],
+        };
         assert_eq!(DbMsg::from_value(&m.to_value()), Some(m));
     }
 }

@@ -52,6 +52,9 @@ struct Binding {
     grant: Handle,
 }
 
+/// One selected row: the hidden owner uid plus the visible cells.
+type OwnedRow = (i64, Vec<SqlValue>);
+
 /// The ok-dbproxy service.
 pub struct DbProxy {
     db: Database,
@@ -155,10 +158,7 @@ impl DbProxy {
             // statements on its private tables — no hidden-column rewriting,
             // no per-row taint. Only admin-port (⋆-granted) senders get here.
             DbMsg::Exec {
-                sql,
-                params,
-                reply,
-                ..
+                sql, params, reply, ..
             } => {
                 sys.charge(PROXY_MSG_CYCLES);
                 let result = self.db.run_with_params(&sql, &params);
@@ -207,7 +207,14 @@ impl DbProxy {
             (None, false) => {
                 // Refused: reply (if any) still flows, untainted, saying no.
                 if let Some(reply) = reply {
-                    let _ = sys.send(reply, DbMsg::ExecR { ok: false, affected: 0 }.to_value());
+                    let _ = sys.send(
+                        reply,
+                        DbMsg::ExecR {
+                            ok: false,
+                            affected: 0,
+                        }
+                        .to_value(),
+                    );
                 }
                 return;
             }
@@ -221,11 +228,15 @@ impl DbProxy {
         sys.charge(work * PROXY_ROW_CYCLES);
         if let Some(reply) = reply {
             // The outcome of a write to u's rows is u's information.
-            let args = SendArgs::new()
-                .contaminate(Label::from_pairs(Level::Star, &[(taint, Level::L3)]));
+            let args =
+                SendArgs::new().contaminate(Label::from_pairs(Level::Star, &[(taint, Level::L3)]));
             let _ = sys.send_args(
                 reply,
-                DbMsg::ExecR { ok, affected: affected as u64 }.to_value(),
+                DbMsg::ExecR {
+                    ok,
+                    affected: affected as u64,
+                }
+                .to_value(),
                 &args,
             );
         }
@@ -233,7 +244,12 @@ impl DbProxy {
 
     /// Rewrites a worker write so it can only touch rows owned by `uid`,
     /// then executes it. Returns `(affected, work)`.
-    fn rewrite_and_exec(&mut self, sql: &str, params: &[SqlValue], uid: i64) -> Option<(usize, u64)> {
+    fn rewrite_and_exec(
+        &mut self,
+        sql: &str,
+        params: &[SqlValue],
+        uid: i64,
+    ) -> Option<(usize, u64)> {
         let stmt = parse(sql).ok()?;
         if stmt
             .mentioned_columns()
@@ -325,7 +341,7 @@ impl DbProxy {
 
     /// Runs a worker SELECT with the hidden owner column prepended to the
     /// projection; returns `(owner_uid, visible_cells)` per row plus work.
-    fn run_select(&mut self, sql: &str, params: &[SqlValue]) -> Option<(Vec<(i64, Vec<SqlValue>)>, u64)> {
+    fn run_select(&mut self, sql: &str, params: &[SqlValue]) -> Option<(Vec<OwnedRow>, u64)> {
         let stmt = parse(sql).ok()?;
         let Stmt::Select {
             columns,
@@ -357,7 +373,14 @@ impl DbProxy {
         };
         let result = self
             .db
-            .execute(&Stmt::Select { columns, table, filter }, params)
+            .execute(
+                &Stmt::Select {
+                    columns,
+                    table,
+                    filter,
+                },
+                params,
+            )
             .ok()?;
         let rows = result
             .rows

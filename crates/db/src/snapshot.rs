@@ -158,7 +158,9 @@ impl<'a> Reader<'a> {
     }
 
     fn u32(&mut self) -> Result<u32, SnapshotError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
     }
 
     fn string(&mut self) -> Result<String, SnapshotError> {
@@ -197,7 +199,8 @@ mod tests {
     fn sample() -> Database {
         let mut db = Database::new();
         db.run("CREATE TABLE users (name, pw)").unwrap();
-        db.run("INSERT INTO users VALUES ('alice', 'pw-a')").unwrap();
+        db.run("INSERT INTO users VALUES ('alice', 'pw-a')")
+            .unwrap();
         db.run("INSERT INTO users VALUES ('bob', NULL)").unwrap();
         db.run("CREATE TABLE blobs (data)").unwrap();
         db.run_with_params(
@@ -213,9 +216,13 @@ mod tests {
         let db = sample();
         let bytes = snapshot(&db);
         let mut restored = restore(&bytes).unwrap();
-        let r = restored.run("SELECT name, pw FROM users WHERE name = 'alice'").unwrap();
+        let r = restored
+            .run("SELECT name, pw FROM users WHERE name = 'alice'")
+            .unwrap();
         assert_eq!(r.rows, vec![vec!["alice".into(), "pw-a".into()]]);
-        let r = restored.run("SELECT pw FROM users WHERE name = 'bob'").unwrap();
+        let r = restored
+            .run("SELECT pw FROM users WHERE name = 'bob'")
+            .unwrap();
         assert_eq!(r.rows, vec![vec![SqlValue::Null]]);
         let r = restored.run("SELECT data FROM blobs").unwrap();
         assert_eq!(r.rows, vec![vec![SqlValue::Blob(vec![0, 255, 7])]]);
@@ -233,7 +240,10 @@ mod tests {
         assert_eq!(restore(&good[..10]).err(), Some(SnapshotError::Truncated));
         let mut bad_version = good.clone();
         bad_version[4] = 99;
-        assert_eq!(restore(&bad_version).err(), Some(SnapshotError::BadVersion(99)));
+        assert_eq!(
+            restore(&bad_version).err(),
+            Some(SnapshotError::BadVersion(99))
+        );
         let mut bad_tag = good.clone();
         // Flip the first cell tag (search for the row section crudely: the
         // first 1/2/3 tag byte after the header survives this heuristic

@@ -28,7 +28,9 @@ fn spawn_trusted(kernel: &mut Kernel) {
                     sys.set_env("admin", Value::Handle(port));
                     return;
                 }
-                let Some(items) = msg.body.as_list() else { return };
+                let Some(items) = msg.body.as_list() else {
+                    return;
+                };
                 match items.first().and_then(Value::as_str) {
                     Some("ddl") => {
                         let sql = items[1].as_str().unwrap().to_string();
@@ -49,7 +51,12 @@ fn spawn_trusted(kernel: &mut Kernel) {
                         // §7.5: grant the proxy uT ⋆ with the binding.
                         sys.send_args(
                             admin,
-                            DbMsg::Bind { user: user.clone(), taint: ut, grant: ug }.to_value(),
+                            DbMsg::Bind {
+                                user: user.clone(),
+                                taint: ut,
+                                grant: ug,
+                            }
+                            .to_value(),
                             &SendArgs::new()
                                 .grant(Label::from_pairs(Level::L3, &[(ut, Level::Star)])),
                         )
@@ -100,10 +107,7 @@ fn spawn_trusted(kernel: &mut Kernel) {
 
 /// Spawns a worker process for `user`; returns its command port key and a
 /// shared log of database replies it received.
-fn spawn_worker(
-    kernel: &mut Kernel,
-    name: &'static str,
-) -> Rc<RefCell<Vec<DbMsg>>> {
+fn spawn_worker(kernel: &mut Kernel, name: &'static str) -> Rc<RefCell<Vec<DbMsg>>> {
     let log = Rc::new(RefCell::new(Vec::new()));
     let log2 = log.clone();
     kernel.spawn(
@@ -123,7 +127,9 @@ fn spawn_worker(
                     log2.borrow_mut().push(db_msg);
                     return;
                 }
-                let Some(items) = msg.body.as_list() else { return };
+                let Some(items) = msg.body.as_list() else {
+                    return;
+                };
                 match items.first().and_then(Value::as_str) {
                     Some("creds") => {
                         sys.set_env("user", items[1].clone());
@@ -135,8 +141,13 @@ fn spawn_worker(
                         let user = sys.env("user").unwrap().as_str().unwrap().to_string();
                         let reply = sys.env("reply").unwrap().as_handle().unwrap();
                         let db = sys.env(DB_PORT_ENV).unwrap().as_handle().unwrap();
-                        let body = DbMsg::Exec { user, sql, params: vec![], reply: Some(reply) }
-                            .to_value();
+                        let body = DbMsg::Exec {
+                            user,
+                            sql,
+                            params: vec![],
+                            reply: Some(reply),
+                        }
+                        .to_value();
                         if items[0].as_str() == Some("exec") {
                             let ut = sys.env("ut").unwrap().as_handle().unwrap();
                             let ug = sys.env("ug").unwrap().as_handle().unwrap();
@@ -144,10 +155,8 @@ fn spawn_worker(
                             // worker's own taint level for uT (3 normally,
                             // ⋆ for declassifiers) and uG 0.
                             let my_ut_level = sys.send_label().get(ut);
-                            let v = Label::from_pairs(
-                                Level::L2,
-                                &[(ut, my_ut_level), (ug, Level::L0)],
-                            );
+                            let v =
+                                Label::from_pairs(Level::L2, &[(ut, my_ut_level), (ug, Level::L0)]);
                             sys.send_args(db, body, &SendArgs::new().verify(v)).unwrap();
                         } else {
                             sys.send(db, body).unwrap();
@@ -157,8 +166,16 @@ fn spawn_worker(
                         let sql = items[1].as_str().unwrap().to_string();
                         let reply = sys.env("reply").unwrap().as_handle().unwrap();
                         let db = sys.env(DB_PORT_ENV).unwrap().as_handle().unwrap();
-                        sys.send(db, DbMsg::Query { sql, params: vec![], reply }.to_value())
-                            .unwrap();
+                        sys.send(
+                            db,
+                            DbMsg::Query {
+                                sql,
+                                params: vec![],
+                                reply,
+                            }
+                            .to_value(),
+                        )
+                        .unwrap();
                     }
                     _ => {}
                 }
@@ -176,8 +193,11 @@ fn cmd(kernel: &Kernel, name: &str) -> Handle {
         .unwrap()
 }
 
+/// A worker's observed reply stream.
+type MsgLog = Rc<RefCell<Vec<DbMsg>>>;
+
 /// Full environment: trusted party, proxy, two user workers, store table.
-fn setup(seed: u64) -> (Kernel, Rc<RefCell<Vec<DbMsg>>>, Rc<RefCell<Vec<DbMsg>>>) {
+fn setup(seed: u64) -> (Kernel, MsgLog, MsgLog) {
     let mut kernel = Kernel::new(seed);
     spawn_trusted(&mut kernel);
     spawn_dbproxy(&mut kernel);
@@ -187,10 +207,17 @@ fn setup(seed: u64) -> (Kernel, Rc<RefCell<Vec<DbMsg>>>, Rc<RefCell<Vec<DbMsg>>>
     let trusted = cmd(&kernel, "trusted");
     let alice_cmd = cmd(&kernel, "alice-worker");
     let bob_cmd = cmd(&kernel, "bob-worker");
-    kernel.inject(trusted, Value::List(vec!["ddl".into(), "CREATE TABLE store (k, v)".into()]));
     kernel.inject(
         trusted,
-        Value::List(vec!["bind".into(), "alice".into(), Value::Handle(alice_cmd)]),
+        Value::List(vec!["ddl".into(), "CREATE TABLE store (k, v)".into()]),
+    );
+    kernel.inject(
+        trusted,
+        Value::List(vec![
+            "bind".into(),
+            "alice".into(),
+            Value::Handle(alice_cmd),
+        ]),
     );
     kernel.inject(
         trusted,
@@ -215,10 +242,17 @@ fn query(kernel: &mut Kernel, worker: &str, sql: &str) {
 #[test]
 fn verified_writes_land_with_owner_id() {
     let (mut kernel, alice_log, _bob) = setup(61);
-    exec(&mut kernel, "alice-worker", "INSERT INTO store VALUES ('color', 'red')");
+    exec(
+        &mut kernel,
+        "alice-worker",
+        "INSERT INTO store VALUES ('color', 'red')",
+    );
     assert_eq!(
         alice_log.borrow().last(),
-        Some(&DbMsg::ExecR { ok: true, affected: 1 })
+        Some(&DbMsg::ExecR {
+            ok: true,
+            affected: 1
+        })
     );
     // Read back: one tainted row plus the untainted Done.
     alice_log.borrow_mut().clear();
@@ -227,7 +261,9 @@ fn verified_writes_land_with_owner_id() {
     assert_eq!(
         *log,
         vec![
-            DbMsg::Row { values: vec!["color".into(), "red".into()] },
+            DbMsg::Row {
+                values: vec!["color".into(), "red".into()]
+            },
             DbMsg::Done,
         ]
     );
@@ -239,12 +275,18 @@ fn unverified_writes_are_refused() {
     let c = cmd(&kernel, "alice-worker");
     kernel.inject(
         c,
-        Value::List(vec!["exec-noverify".into(), "INSERT INTO store VALUES ('k', 'v')".into()]),
+        Value::List(vec![
+            "exec-noverify".into(),
+            "INSERT INTO store VALUES ('k', 'v')".into(),
+        ]),
     );
     kernel.run();
     assert_eq!(
         alice_log.borrow().last(),
-        Some(&DbMsg::ExecR { ok: false, affected: 0 })
+        Some(&DbMsg::ExecR {
+            ok: false,
+            affected: 0
+        })
     );
     // Nothing landed.
     alice_log.borrow_mut().clear();
@@ -255,37 +297,69 @@ fn unverified_writes_are_refused() {
 #[test]
 fn user_id_column_is_unreachable() {
     let (mut kernel, alice_log, _bob) = setup(63);
-    exec(&mut kernel, "alice-worker", "INSERT INTO store VALUES ('c', 'red')");
+    exec(
+        &mut kernel,
+        "alice-worker",
+        "INSERT INTO store VALUES ('c', 'red')",
+    );
     alice_log.borrow_mut().clear();
     // Neither writes nor reads may mention the hidden column (§7.5: "The
     // workers themselves cannot access or change this column").
-    exec(&mut kernel, "alice-worker", "UPDATE store SET user_id = 0 WHERE k = 'c'");
+    exec(
+        &mut kernel,
+        "alice-worker",
+        "UPDATE store SET user_id = 0 WHERE k = 'c'",
+    );
     assert_eq!(
         alice_log.borrow().last(),
-        Some(&DbMsg::ExecR { ok: false, affected: 0 })
+        Some(&DbMsg::ExecR {
+            ok: false,
+            affected: 0
+        })
     );
     alice_log.borrow_mut().clear();
     query(&mut kernel, "alice-worker", "SELECT user_id FROM store");
     assert_eq!(*alice_log.borrow(), vec![DbMsg::Done], "projection refused");
     alice_log.borrow_mut().clear();
-    query(&mut kernel, "alice-worker", "SELECT k FROM store WHERE user_id = 0");
+    query(
+        &mut kernel,
+        "alice-worker",
+        "SELECT k FROM store WHERE user_id = 0",
+    );
     assert_eq!(*alice_log.borrow(), vec![DbMsg::Done], "filter refused");
 }
 
 #[test]
 fn rows_are_isolated_between_users() {
     let (mut kernel, alice_log, bob_log) = setup(64);
-    exec(&mut kernel, "alice-worker", "INSERT INTO store VALUES ('color', 'red')");
-    exec(&mut kernel, "bob-worker", "INSERT INTO store VALUES ('color', 'blue')");
+    exec(
+        &mut kernel,
+        "alice-worker",
+        "INSERT INTO store VALUES ('color', 'red')",
+    );
+    exec(
+        &mut kernel,
+        "bob-worker",
+        "INSERT INTO store VALUES ('color', 'blue')",
+    );
 
     // Alice's SELECT matches both rows; the proxy sends both, each tainted
     // by its owner; the kernel drops bob's row at alice's door.
     alice_log.borrow_mut().clear();
     let drops_before = kernel.stats().dropped_label_check;
-    query(&mut kernel, "alice-worker", "SELECT v FROM store WHERE k = 'color'");
+    query(
+        &mut kernel,
+        "alice-worker",
+        "SELECT v FROM store WHERE k = 'color'",
+    );
     assert_eq!(
         *alice_log.borrow(),
-        vec![DbMsg::Row { values: vec!["red".into()] }, DbMsg::Done]
+        vec![
+            DbMsg::Row {
+                values: vec!["red".into()]
+            },
+            DbMsg::Done
+        ]
     );
     assert_eq!(
         kernel.stats().dropped_label_check,
@@ -295,36 +369,64 @@ fn rows_are_isolated_between_users() {
 
     // Bob sees only his.
     bob_log.borrow_mut().clear();
-    query(&mut kernel, "bob-worker", "SELECT v FROM store WHERE k = 'color'");
+    query(
+        &mut kernel,
+        "bob-worker",
+        "SELECT v FROM store WHERE k = 'color'",
+    );
     assert_eq!(
         *bob_log.borrow(),
-        vec![DbMsg::Row { values: vec!["blue".into()] }, DbMsg::Done]
+        vec![
+            DbMsg::Row {
+                values: vec!["blue".into()]
+            },
+            DbMsg::Done
+        ]
     );
 }
 
 #[test]
 fn writes_cannot_touch_other_users_rows() {
     let (mut kernel, alice_log, bob_log) = setup(65);
-    exec(&mut kernel, "alice-worker", "INSERT INTO store VALUES ('color', 'red')");
+    exec(
+        &mut kernel,
+        "alice-worker",
+        "INSERT INTO store VALUES ('color', 'red')",
+    );
     // Bob's malicious broad UPDATE and DELETE are silently scoped to bob's
     // (empty) row set by the owner guard.
     bob_log.borrow_mut().clear();
-    exec(&mut kernel, "bob-worker", "UPDATE store SET v = 'hacked' WHERE k = 'color'");
+    exec(
+        &mut kernel,
+        "bob-worker",
+        "UPDATE store SET v = 'hacked' WHERE k = 'color'",
+    );
     assert_eq!(
         bob_log.borrow().last(),
-        Some(&DbMsg::ExecR { ok: true, affected: 0 })
+        Some(&DbMsg::ExecR {
+            ok: true,
+            affected: 0
+        })
     );
     exec(&mut kernel, "bob-worker", "DELETE FROM store");
     assert_eq!(
         bob_log.borrow().last(),
-        Some(&DbMsg::ExecR { ok: true, affected: 0 })
+        Some(&DbMsg::ExecR {
+            ok: true,
+            affected: 0
+        })
     );
     // Alice's row is intact.
     alice_log.borrow_mut().clear();
     query(&mut kernel, "alice-worker", "SELECT v FROM store");
     assert_eq!(
         *alice_log.borrow(),
-        vec![DbMsg::Row { values: vec!["red".into()] }, DbMsg::Done]
+        vec![
+            DbMsg::Row {
+                values: vec!["red".into()]
+            },
+            DbMsg::Done
+        ]
     );
 }
 
@@ -335,8 +437,16 @@ fn policy_persists_across_reboot() {
     // column) survive via snapshot; handles are re-minted after the reboot
     // and re-binding reconnects rows to owners.
     let (mut kernel, alice_log, _bob) = setup(67);
-    exec(&mut kernel, "alice-worker", "INSERT INTO store VALUES ('color', 'red')");
-    exec(&mut kernel, "bob-worker", "INSERT INTO store VALUES ('color', 'blue')");
+    exec(
+        &mut kernel,
+        "alice-worker",
+        "INSERT INTO store VALUES ('color', 'red')",
+    );
+    exec(
+        &mut kernel,
+        "bob-worker",
+        "INSERT INTO store VALUES ('color', 'blue')",
+    );
 
     // Take the snapshot through god-mode inspection of the proxy.
     let proxy_pid = kernel.find_process("ok-dbproxy").unwrap();
@@ -362,25 +472,51 @@ fn policy_persists_across_reboot() {
     let trusted = cmd(&kernel, "trusted");
     kernel.inject(
         trusted,
-        Value::List(vec!["bind".into(), "alice".into(), Value::Handle(cmd(&kernel, "alice-worker"))]),
+        Value::List(vec![
+            "bind".into(),
+            "alice".into(),
+            Value::Handle(cmd(&kernel, "alice-worker")),
+        ]),
     );
     kernel.inject(
         trusted,
-        Value::List(vec!["bind".into(), "bob".into(), Value::Handle(cmd(&kernel, "bob-worker"))]),
+        Value::List(vec![
+            "bind".into(),
+            "bob".into(),
+            Value::Handle(cmd(&kernel, "bob-worker")),
+        ]),
     );
     kernel.run();
 
     // Alice sees her pre-reboot row — and only hers.
-    query(&mut kernel, "alice-worker", "SELECT v FROM store WHERE k = 'color'");
+    query(
+        &mut kernel,
+        "alice-worker",
+        "SELECT v FROM store WHERE k = 'color'",
+    );
     assert_eq!(
         *alice_log2.borrow(),
-        vec![DbMsg::Row { values: vec!["red".into()] }, DbMsg::Done]
+        vec![
+            DbMsg::Row {
+                values: vec!["red".into()]
+            },
+            DbMsg::Done
+        ]
     );
     bob_log2.borrow_mut().clear();
-    query(&mut kernel, "bob-worker", "SELECT v FROM store WHERE k = 'color'");
+    query(
+        &mut kernel,
+        "bob-worker",
+        "SELECT v FROM store WHERE k = 'color'",
+    );
     assert_eq!(
         *bob_log2.borrow(),
-        vec![DbMsg::Row { values: vec!["blue".into()] }, DbMsg::Done]
+        vec![
+            DbMsg::Row {
+                values: vec!["blue".into()]
+            },
+            DbMsg::Done
+        ]
     );
     drop(alice_log);
 }
@@ -397,14 +533,28 @@ fn declassified_rows_are_public_and_untainted() {
     let decl_log = spawn_worker(&mut kernel, "alice-declassifier");
     kernel.run();
     let trusted = cmd(&kernel, "trusted");
-    kernel.inject(trusted, Value::List(vec!["ddl".into(), "CREATE TABLE profiles (name, bio)".into()]));
     kernel.inject(
         trusted,
-        Value::List(vec!["bind".into(), "alice".into(), Value::Handle(cmd(&kernel, "alice-worker"))]),
+        Value::List(vec![
+            "ddl".into(),
+            "CREATE TABLE profiles (name, bio)".into(),
+        ]),
     );
     kernel.inject(
         trusted,
-        Value::List(vec!["bind".into(), "bob".into(), Value::Handle(cmd(&kernel, "bob-worker"))]),
+        Value::List(vec![
+            "bind".into(),
+            "alice".into(),
+            Value::Handle(cmd(&kernel, "alice-worker")),
+        ]),
+    );
+    kernel.inject(
+        trusted,
+        Value::List(vec![
+            "bind".into(),
+            "bob".into(),
+            Value::Handle(cmd(&kernel, "bob-worker")),
+        ]),
     );
     kernel.run();
     // The declassifier gets alice's handles at ⋆ (declassifier = true).
@@ -431,16 +581,28 @@ fn declassified_rows_are_public_and_untainted() {
     );
     assert_eq!(
         decl_log.borrow().last(),
-        Some(&DbMsg::ExecR { ok: true, affected: 1 })
+        Some(&DbMsg::ExecR {
+            ok: true,
+            affected: 1
+        })
     );
 
     // Bob reads it: untainted row, no drops.
     bob_log.borrow_mut().clear();
     let drops_before = kernel.stats().dropped_label_check;
-    query(&mut kernel, "bob-worker", "SELECT bio FROM profiles WHERE name = 'alice'");
+    query(
+        &mut kernel,
+        "bob-worker",
+        "SELECT bio FROM profiles WHERE name = 'alice'",
+    );
     assert_eq!(
         *bob_log.borrow(),
-        vec![DbMsg::Row { values: vec!["public bio".into()] }, DbMsg::Done]
+        vec![
+            DbMsg::Row {
+                values: vec!["public bio".into()]
+            },
+            DbMsg::Done
+        ]
     );
     assert_eq!(kernel.stats().dropped_label_check, drops_before);
     // And bob's own label is unchanged by reading public data.

@@ -173,16 +173,44 @@ mod tests {
     fn roundtrip() {
         let h = Handle::from_raw(7);
         let msgs = vec![
-            FsMsg::AddUser { user: "u".into(), reply: h },
+            FsMsg::AddUser {
+                user: "u".into(),
+                reply: h,
+            },
             FsMsg::AddUserR { taint: h, grant: h },
-            FsMsg::Create { name: "f".into(), user: "u".into() },
-            FsMsg::Read { name: "f".into(), reply: h },
-            FsMsg::ReadR { name: "f".into(), data: Some(vec![1]) },
-            FsMsg::ReadR { name: "f".into(), data: None },
-            FsMsg::Write { name: "f".into(), data: vec![2], reply: Some(h) },
-            FsMsg::Write { name: "f".into(), data: vec![], reply: None },
-            FsMsg::WriteR { name: "f".into(), ok: true },
-            FsMsg::CreateSystem { name: "passwd".into() },
+            FsMsg::Create {
+                name: "f".into(),
+                user: "u".into(),
+            },
+            FsMsg::Read {
+                name: "f".into(),
+                reply: h,
+            },
+            FsMsg::ReadR {
+                name: "f".into(),
+                data: Some(vec![1]),
+            },
+            FsMsg::ReadR {
+                name: "f".into(),
+                data: None,
+            },
+            FsMsg::Write {
+                name: "f".into(),
+                data: vec![2],
+                reply: Some(h),
+            },
+            FsMsg::Write {
+                name: "f".into(),
+                data: vec![],
+                reply: None,
+            },
+            FsMsg::WriteR {
+                name: "f".into(),
+                ok: true,
+            },
+            FsMsg::CreateSystem {
+                name: "passwd".into(),
+            },
         ];
         for m in msgs {
             assert_eq!(FsMsg::from_value(&m.to_value()), Some(m));

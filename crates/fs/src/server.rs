@@ -148,7 +148,13 @@ impl Service for FileServer {
                 } else {
                     return; // unknown owner: refuse silently
                 };
-                self.files.insert(name, File { owner, data: Vec::new() });
+                self.files.insert(
+                    name,
+                    File {
+                        owner,
+                        data: Vec::new(),
+                    },
+                );
             }
             FsMsg::CreateSystem { name } => {
                 self.files.insert(

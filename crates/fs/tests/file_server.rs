@@ -56,8 +56,12 @@ fn spawn_shell(kernel: &mut Kernel, name: &'static str) -> Handle {
                 }
                 // Commands: ["read", file] / ["write", file, bytes] /
                 // ["forward-to", port] — forward last read data elsewhere.
-                let Some(items) = msg.body.as_list() else { return };
-                let Some(cmd) = items.first().and_then(Value::as_str) else { return };
+                let Some(items) = msg.body.as_list() else {
+                    return;
+                };
+                let Some(cmd) = items.first().and_then(Value::as_str) else {
+                    return;
+                };
                 match cmd {
                     "read" => {
                         let file = items[1].as_str().unwrap().to_string();
@@ -75,7 +79,12 @@ fn spawn_shell(kernel: &mut Kernel, name: &'static str) -> Handle {
                         let v = Label::from_pairs(Level::L3, &[(grant, Level::L0)]);
                         sys.send_args(
                             fs,
-                            FsMsg::Write { name: file, data, reply: None }.to_value(),
+                            FsMsg::Write {
+                                name: file,
+                                data,
+                                reply: None,
+                            }
+                            .to_value(),
                             &SendArgs::new().verify(v),
                         )
                         .unwrap();
@@ -86,7 +95,12 @@ fn spawn_shell(kernel: &mut Kernel, name: &'static str) -> Handle {
                         let fs = sys.env("fs.port").unwrap().as_handle().unwrap();
                         sys.send(
                             fs,
-                            FsMsg::Write { name: file, data, reply: None }.to_value(),
+                            FsMsg::Write {
+                                name: file,
+                                data,
+                                reply: None,
+                            }
+                            .to_value(),
                         )
                         .unwrap();
                     }
@@ -137,7 +151,13 @@ fn taint_on_read_and_figure2_isolation() {
     );
     kernel.run();
     let u_shell = kernel.find_process("u-shell").unwrap();
-    let u_taint = kernel.process(u_shell).env.get("taint").unwrap().as_handle().unwrap();
+    let u_taint = kernel
+        .process(u_shell)
+        .env
+        .get("taint")
+        .unwrap()
+        .as_handle()
+        .unwrap();
     let term_port = kernel.global_env("term.port").unwrap().as_handle().unwrap();
     kernel.set_process_labels(
         term,
@@ -149,19 +169,37 @@ fn taint_on_read_and_figure2_isolation() {
     // the terminal: allowed (U_S ⊑ UT_R).
     kernel.inject(
         u_cmd,
-        Value::List(vec!["write".into(), "u-diary".into(), Value::Bytes(b"dear diary".to_vec())]),
+        Value::List(vec![
+            "write".into(),
+            "u-diary".into(),
+            Value::Bytes(b"dear diary".to_vec()),
+        ]),
     );
     kernel.run();
     // Create the file first — writes to unknown files are refused.
-    kernel.inject(fs.port, FsMsg::Create { name: "u-diary".into(), user: "u-shell".into() }.to_value());
+    kernel.inject(
+        fs.port,
+        FsMsg::Create {
+            name: "u-diary".into(),
+            user: "u-shell".into(),
+        }
+        .to_value(),
+    );
     kernel.run();
     kernel.inject(
         u_cmd,
-        Value::List(vec!["write".into(), "u-diary".into(), Value::Bytes(b"dear diary".to_vec())]),
+        Value::List(vec![
+            "write".into(),
+            "u-diary".into(),
+            Value::Bytes(b"dear diary".to_vec()),
+        ]),
     );
     kernel.inject(u_cmd, Value::List(vec!["read".into(), "u-diary".into()]));
     kernel.run();
-    kernel.inject(u_cmd, Value::List(vec!["forward-to".into(), Value::Handle(term_port)]));
+    kernel.inject(
+        u_cmd,
+        Value::List(vec!["forward-to".into(), Value::Handle(term_port)]),
+    );
     kernel.run();
     assert_eq!(*seen.borrow(), vec![b"dear diary".to_vec()]);
 
@@ -179,13 +217,30 @@ fn taint_on_read_and_figure2_isolation() {
     // shell carrying v's own data as well — V_S = {uT 3, vT 3, 1} — cannot
     // reach u's terminal: V_S ⋢ UT_R because vT: 3 > 2 (Figure 2's claim).
     let v_shell = kernel.find_process("v-shell").unwrap();
-    let v_taint = kernel.process(v_shell).env.get("taint").unwrap().as_handle().unwrap();
+    let v_taint = kernel
+        .process(v_shell)
+        .env
+        .get("taint")
+        .unwrap()
+        .as_handle()
+        .unwrap();
     // v touches its own data first (vT 3)...
-    kernel.inject(fs.port, FsMsg::Create { name: "v-notes".into(), user: "v-shell".into() }.to_value());
+    kernel.inject(
+        fs.port,
+        FsMsg::Create {
+            name: "v-notes".into(),
+            user: "v-shell".into(),
+        }
+        .to_value(),
+    );
     kernel.run();
     kernel.inject(
         v_cmd,
-        Value::List(vec!["write".into(), "v-notes".into(), Value::Bytes(b"v stuff".to_vec())]),
+        Value::List(vec![
+            "write".into(),
+            "v-notes".into(),
+            Value::Bytes(b"v stuff".to_vec()),
+        ]),
     );
     kernel.inject(v_cmd, Value::List(vec!["read".into(), "v-notes".into()]));
     kernel.run();
@@ -200,7 +255,10 @@ fn taint_on_read_and_figure2_isolation() {
     kernel.run();
     // ...and the forward to u's terminal is dropped by the kernel.
     let drops = kernel.stats().dropped_label_check;
-    kernel.inject(v_cmd, Value::List(vec!["forward-to".into(), Value::Handle(term_port)]));
+    kernel.inject(
+        v_cmd,
+        Value::List(vec!["forward-to".into(), Value::Handle(term_port)]),
+    );
     kernel.run();
     assert_eq!(kernel.stats().dropped_label_check, drops + 1);
     assert_eq!(seen.borrow().len(), 1, "terminal saw only u's own send");
@@ -213,13 +271,24 @@ fn writes_require_speak_for_proof() {
     let u_cmd = spawn_shell(&mut kernel, "u-shell");
     let v_cmd = spawn_shell(&mut kernel, "v-shell");
 
-    kernel.inject(fs.port, FsMsg::Create { name: "u-file".into(), user: "u-shell".into() }.to_value());
+    kernel.inject(
+        fs.port,
+        FsMsg::Create {
+            name: "u-file".into(),
+            user: "u-shell".into(),
+        }
+        .to_value(),
+    );
     kernel.run();
 
     // u writes with proof: accepted.
     kernel.inject(
         u_cmd,
-        Value::List(vec!["write".into(), "u-file".into(), Value::Bytes(b"mine".to_vec())]),
+        Value::List(vec![
+            "write".into(),
+            "u-file".into(),
+            Value::Bytes(b"mine".to_vec()),
+        ]),
     );
     kernel.run();
 
@@ -227,12 +296,20 @@ fn writes_require_speak_for_proof() {
     // sees V(uG) = 3 and refuses.
     kernel.inject(
         v_cmd,
-        Value::List(vec!["write".into(), "u-file".into(), Value::Bytes(b"overwrite".to_vec())]),
+        Value::List(vec![
+            "write".into(),
+            "u-file".into(),
+            Value::Bytes(b"overwrite".to_vec()),
+        ]),
     );
     // u (or anyone) writing without naming the credential is also refused.
     kernel.inject(
         u_cmd,
-        Value::List(vec!["write-unproven".into(), "u-file".into(), Value::Bytes(b"oops".to_vec())]),
+        Value::List(vec![
+            "write-unproven".into(),
+            "u-file".into(),
+            Value::Bytes(b"oops".to_vec()),
+        ]),
     );
     kernel.run();
 
@@ -259,8 +336,19 @@ fn writes_require_speak_for_proof() {
     );
     let auditor = kernel.find_process("auditor").unwrap();
     kernel.set_process_labels(auditor, None, Some(Label::top()));
-    let audit_port = kernel.global_env("audit.port").unwrap().as_handle().unwrap();
-    kernel.inject(fs.port, FsMsg::Read { name: "u-file".into(), reply: audit_port }.to_value());
+    let audit_port = kernel
+        .global_env("audit.port")
+        .unwrap()
+        .as_handle()
+        .unwrap();
+    kernel.inject(
+        fs.port,
+        FsMsg::Read {
+            name: "u-file".into(),
+            reply: audit_port,
+        }
+        .to_value(),
+    );
     kernel.run();
     assert_eq!(contents.borrow().as_deref(), Some(&b"mine"[..]));
 }
@@ -273,7 +361,13 @@ fn system_files_mandatory_integrity() {
     // data from the network can overwrite system files."
     let mut kernel = Kernel::new(53);
     let fs = spawn_fs(&mut kernel);
-    kernel.inject(fs.port, FsMsg::CreateSystem { name: "passwd".into() }.to_value());
+    kernel.inject(
+        fs.port,
+        FsMsg::CreateSystem {
+            name: "passwd".into(),
+        }
+        .to_value(),
+    );
     kernel.run();
 
     // A clean system daemon: writes with V = {s 1, 3}; its E_S(s) = 1 ≤ 1
@@ -288,8 +382,12 @@ fn system_files_mandatory_integrity() {
                 let v = Label::from_pairs(Level::L3, &[(s, Level::L1)]);
                 sys.send_args(
                     fs_port,
-                    FsMsg::Write { name: "passwd".into(), data: b"root:x:0".to_vec(), reply: None }
-                        .to_value(),
+                    FsMsg::Write {
+                        name: "passwd".into(),
+                        data: b"root:x:0".to_vec(),
+                        reply: None,
+                    }
+                    .to_value(),
                     &SendArgs::new().verify(v),
                 )
                 .unwrap();
@@ -312,8 +410,12 @@ fn system_files_mandatory_integrity() {
                 let v = Label::from_pairs(Level::L3, &[(s, Level::L1)]);
                 sys.send_args(
                     fs_port,
-                    FsMsg::Write { name: "passwd".into(), data: b"evil".to_vec(), reply: None }
-                        .to_value(),
+                    FsMsg::Write {
+                        name: "passwd".into(),
+                        data: b"evil".to_vec(),
+                        reply: None,
+                    }
+                    .to_value(),
                     &SendArgs::new().verify(v),
                 )
                 .unwrap();
@@ -321,8 +423,12 @@ fn system_files_mandatory_integrity() {
                 // the server refuses: V defaults to {3}, and 3 > 1.
                 sys.send(
                     fs_port,
-                    FsMsg::Write { name: "passwd".into(), data: b"evil2".to_vec(), reply: None }
-                        .to_value(),
+                    FsMsg::Write {
+                        name: "passwd".into(),
+                        data: b"evil2".to_vec(),
+                        reply: None,
+                    }
+                    .to_value(),
                 )
                 .unwrap();
             },
@@ -351,8 +457,19 @@ fn system_files_mandatory_integrity() {
             },
         ),
     );
-    let audit_port = kernel.global_env("audit.port").unwrap().as_handle().unwrap();
-    kernel.inject(fs.port, FsMsg::Read { name: "passwd".into(), reply: audit_port }.to_value());
+    let audit_port = kernel
+        .global_env("audit.port")
+        .unwrap()
+        .as_handle()
+        .unwrap();
+    kernel.inject(
+        fs.port,
+        FsMsg::Read {
+            name: "passwd".into(),
+            reply: audit_port,
+        }
+        .to_value(),
+    );
     kernel.run();
     assert_eq!(contents.borrow().as_deref(), Some(&b"root:x:0"[..]));
 }
@@ -365,13 +482,31 @@ fn server_stays_unconta_minated_across_users() {
     let fs = spawn_fs(&mut kernel);
     let u_cmd = spawn_shell(&mut kernel, "u-shell");
     let v_cmd = spawn_shell(&mut kernel, "v-shell");
-    kernel.inject(fs.port, FsMsg::Create { name: "fu".into(), user: "u-shell".into() }.to_value());
-    kernel.inject(fs.port, FsMsg::Create { name: "fv".into(), user: "v-shell".into() }.to_value());
+    kernel.inject(
+        fs.port,
+        FsMsg::Create {
+            name: "fu".into(),
+            user: "u-shell".into(),
+        }
+        .to_value(),
+    );
+    kernel.inject(
+        fs.port,
+        FsMsg::Create {
+            name: "fv".into(),
+            user: "v-shell".into(),
+        }
+        .to_value(),
+    );
     kernel.run();
     for (cmd, file) in [(u_cmd, "fu"), (v_cmd, "fv")] {
         kernel.inject(
             cmd,
-            Value::List(vec!["write".into(), file.into(), Value::Bytes(b"data".to_vec())]),
+            Value::List(vec![
+                "write".into(),
+                file.into(),
+                Value::Bytes(b"data".to_vec()),
+            ]),
         );
         kernel.inject(cmd, Value::List(vec!["read".into(), file.into()]));
     }
@@ -380,8 +515,20 @@ fn server_stays_unconta_minated_across_users() {
     let fs_proc = kernel.process(fs.pid);
     let u_shell = kernel.find_process("u-shell").unwrap();
     let v_shell = kernel.find_process("v-shell").unwrap();
-    let ut = kernel.process(u_shell).env.get("taint").unwrap().as_handle().unwrap();
-    let vt = kernel.process(v_shell).env.get("taint").unwrap().as_handle().unwrap();
+    let ut = kernel
+        .process(u_shell)
+        .env
+        .get("taint")
+        .unwrap()
+        .as_handle()
+        .unwrap();
+    let vt = kernel
+        .process(v_shell)
+        .env
+        .get("taint")
+        .unwrap()
+        .as_handle()
+        .unwrap();
     assert_eq!(fs_proc.send_label.get(ut), Level::Star);
     assert_eq!(fs_proc.send_label.get(vt), Level::Star);
     // And the shells each carry exactly their own taint.

@@ -1,0 +1,502 @@
+//! The delivery engine: per-port mailboxes, the Figure 4 evaluation, and
+//! the fingerprint-keyed delivery-decision cache.
+//!
+//! Split out of `kernel.rs` so all delivery policy lives in one place:
+//!
+//! * [`Mailboxes`] — the queued-message store, one FIFO per destination
+//!   port, drained by a deterministic round-robin scheduler. Per-port
+//!   queues are the structural prerequisite for sharding the delivery
+//!   engine: two ports' traffic shares no queue state.
+//! * [`DeliveryCache`] — memoizes full Figure 4 evaluations keyed on
+//!   [`ops::DeliveryKey`] (the structural fingerprints of all seven labels
+//!   a delivery reads). A hit replays both the decision *and* the effect
+//!   labels in O(1), without cloning a single label — effect labels are
+//!   stored and installed as `Arc<Label>`.
+//! * [`DeliveryOutcome`] — what one scheduler step did; the per-step
+//!   `Stats` bookkeeping happens in exactly one place
+//!   ([`Kernel::step_outcome`]) instead of at every drop site.
+//!
+//! The cache is semantically invisible: fingerprints identify label
+//! *contents*, so label mutation anywhere simply produces different keys —
+//! there is nothing to invalidate, and a covert-channel regression test
+//! pins that cached and uncached runs drop exactly the same messages.
+
+use std::collections::hash_map::Entry;
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::Arc;
+
+use asbestos_labels::{ops, ops::DeliveryKey, Handle, Label};
+
+use crate::cycles::Category;
+use crate::handle_table::PortOwner;
+use crate::ids::ExecCtx;
+use crate::kernel::Kernel;
+use crate::message::{Message, QueuedMessage};
+use crate::stats::DropReason;
+
+/// Default bound on cached delivery decisions.
+pub const DEFAULT_DELIVERY_CACHE_CAP: usize = 1 << 16;
+
+/// What one call to [`Kernel::step_outcome`] did.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DeliveryOutcome {
+    /// No message was pending; the system is idle.
+    Idle,
+    /// A message was popped and silently dropped.
+    Dropped(DropReason),
+    /// A message was delivered and its handler ran.
+    Delivered,
+}
+
+// ---------------------------------------------------------------------
+// Per-port mailboxes.
+// ---------------------------------------------------------------------
+
+/// Queued, undelivered messages: one FIFO per destination port, drained
+/// round-robin in port-activation order.
+///
+/// Scheduling is deterministic: ports enter the rotation when their first
+/// message arrives, each scheduler step takes one message from the front
+/// port, and a port with messages left re-enters at the back of the
+/// rotation. Messages to one port always deliver in send order.
+#[derive(Default)]
+pub(crate) struct Mailboxes {
+    boxes: BTreeMap<Handle, VecDeque<QueuedMessage>>,
+    /// Ports with pending messages, in rotation order.
+    rotation: VecDeque<Handle>,
+    /// Total pending messages across all ports.
+    len: usize,
+}
+
+impl Mailboxes {
+    /// Appends a message to its destination port's mailbox.
+    pub fn push(&mut self, qm: QueuedMessage) {
+        let mailbox = self.boxes.entry(qm.port).or_default();
+        if mailbox.is_empty() {
+            self.rotation.push_back(qm.port);
+        }
+        mailbox.push_back(qm);
+        self.len += 1;
+    }
+
+    /// Takes the next message in round-robin order.
+    pub fn pop_next(&mut self) -> Option<QueuedMessage> {
+        let port = self.rotation.pop_front()?;
+        let mailbox = self
+            .boxes
+            .get_mut(&port)
+            .expect("rotation only holds ports with mailboxes");
+        let qm = mailbox
+            .pop_front()
+            .expect("rotation only holds non-empty mailboxes");
+        if mailbox.is_empty() {
+            self.boxes.remove(&port);
+        } else {
+            self.rotation.push_back(port);
+        }
+        self.len -= 1;
+        Some(qm)
+    }
+
+    /// Total pending messages.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Iterates all pending messages (accounting and god-mode stats; no
+    /// delivery-order meaning).
+    pub fn iter(&self) -> impl Iterator<Item = &QueuedMessage> {
+        self.boxes.values().flatten()
+    }
+}
+
+// ---------------------------------------------------------------------
+// The delivery-decision cache.
+// ---------------------------------------------------------------------
+
+/// A memoized Figure 4 evaluation.
+#[derive(Clone)]
+enum CachedOutcome {
+    /// The delivery checks failed with this reason.
+    Drop(DropReason),
+    /// The checks passed; these are the Figure 4 effect labels.
+    Deliver {
+        /// `Q_S ← (Q_S ⊓ D_S) ⊔ (E_S ⊓ Q_S⋆)`.
+        new_qs: Arc<Label>,
+        /// `Q_R ← Q_R ⊔ D_R`.
+        new_qr: Arc<Label>,
+    },
+}
+
+/// Bounded memoization of delivery decisions and effects, keyed on the
+/// structural fingerprints of the seven labels one delivery reads.
+///
+/// Eviction is FIFO over insertion order — deterministic and O(1), which
+/// matters more here than LRU's hit rate: the workload this cache exists
+/// for (OKWS-style repeated traffic) has a small working set of hot
+/// tuples, and determinism is a simulator invariant.
+pub(crate) struct DeliveryCache {
+    map: HashMap<DeliveryKey, CachedOutcome>,
+    /// Insertion order, for FIFO eviction.
+    order: VecDeque<DeliveryKey>,
+    capacity: usize,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl DeliveryCache {
+    pub fn new(capacity: usize) -> DeliveryCache {
+        DeliveryCache {
+            map: HashMap::new(),
+            order: VecDeque::new(),
+            capacity,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Changes the bound; shrinking evicts oldest entries immediately.
+    /// Capacity 0 disables the cache entirely.
+    pub fn set_capacity(&mut self, capacity: usize) {
+        self.capacity = capacity;
+        while self.map.len() > self.capacity {
+            self.evict_oldest();
+        }
+    }
+
+    fn lookup(&mut self, key: &DeliveryKey) -> Option<CachedOutcome> {
+        if self.capacity == 0 {
+            return None;
+        }
+        match self.map.get(key) {
+            Some(outcome) => {
+                self.hits += 1;
+                Some(outcome.clone())
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    fn insert(&mut self, key: DeliveryKey, outcome: CachedOutcome) {
+        if self.capacity == 0 {
+            return;
+        }
+        if let Entry::Vacant(slot) = self.map.entry(key) {
+            slot.insert(outcome);
+            self.order.push_back(key);
+            if self.map.len() > self.capacity {
+                self.evict_oldest();
+            }
+        }
+    }
+
+    fn evict_oldest(&mut self) {
+        if let Some(oldest) = self.order.pop_front() {
+            self.map.remove(&oldest);
+            self.evictions += 1;
+        }
+    }
+
+    /// Accounted bytes: map entries plus the retained effect labels.
+    /// Shared `Arc<Label>`s are charged in full to the cache, matching how
+    /// every other refcounted kernel structure is billed (see
+    /// [`Label::heap_bytes`]).
+    pub fn bytes(&self) -> usize {
+        // Key (7×8) + order entry (7×8) + map slot overhead.
+        const ENTRY_BYTES: usize = 56 + 56 + 16;
+        self.map
+            .values()
+            .map(|outcome| match outcome {
+                CachedOutcome::Drop(_) => ENTRY_BYTES,
+                CachedOutcome::Deliver { new_qs, new_qr } => {
+                    ENTRY_BYTES + new_qs.heap_bytes() + new_qr.heap_bytes()
+                }
+            })
+            .sum()
+    }
+
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub fn counters(&self) -> (u64, u64, u64) {
+        (self.hits, self.misses, self.evictions)
+    }
+}
+
+// ---------------------------------------------------------------------
+// The delivery engine.
+// ---------------------------------------------------------------------
+
+impl Kernel {
+    /// Attempts one message delivery. Returns `false` when no message is
+    /// pending (the system is idle).
+    pub fn step(&mut self) -> bool {
+        self.step_outcome() != DeliveryOutcome::Idle
+    }
+
+    /// Attempts one message delivery and reports what happened.
+    ///
+    /// All per-step `Stats` bookkeeping lives here: drop reasons, the
+    /// delivered counter, and the cache counters are recorded in one
+    /// place, so the delivery logic below returns outcomes instead of
+    /// mutating counters at every exit point.
+    pub fn step_outcome(&mut self) -> DeliveryOutcome {
+        let Some(qm) = self.mailboxes.pop_next() else {
+            return DeliveryOutcome::Idle;
+        };
+        self.clock.charge(Category::KernelIpc, self.cost.recv_base);
+        let outcome = self.deliver(qm);
+        match outcome {
+            DeliveryOutcome::Dropped(reason) => self.stats.record_drop(reason),
+            DeliveryOutcome::Delivered => self.stats.delivered += 1,
+            DeliveryOutcome::Idle => unreachable!("a message was popped"),
+        }
+        let (hits, misses, evictions) = self.delivery_cache.counters();
+        self.stats.cache_hits = hits;
+        self.stats.cache_misses = misses;
+        self.stats.cache_evictions = evictions;
+        outcome
+    }
+
+    /// Evaluates Figure 4 for one popped message and, if it passes,
+    /// invokes the receiver.
+    fn deliver(&mut self, qm: QueuedMessage) -> DeliveryOutcome {
+        // Resolve the destination port.
+        let Some(port_state) = self.handles.port(qm.port) else {
+            return DeliveryOutcome::Dropped(DropReason::NoSuchPort);
+        };
+        let Some(owner) = port_state.owner else {
+            return DeliveryOutcome::Dropped(DropReason::NoOwner);
+        };
+
+        // Resolve the receiving context; the labels checked are the event
+        // process's when one owns the port, otherwise the base process's
+        // (which are also what a freshly forked event process would start
+        // with, so checking base labels is exact for the to-be-created EP).
+        let (pid, existing_ep) = match owner {
+            PortOwner::Process(pid) => {
+                if !self.processes[pid.index()].alive {
+                    return DeliveryOutcome::Dropped(DropReason::NoOwner);
+                }
+                (pid, None)
+            }
+            PortOwner::Ep(eid) => {
+                let ep = &self.eps[eid.index()];
+                if !ep.alive {
+                    return DeliveryOutcome::Dropped(DropReason::NoOwner);
+                }
+                (ep.process, Some(eid))
+            }
+        };
+
+        // Borrow (never clone) every label the evaluation reads.
+        let (qs, qr): (&Label, &Label) = match existing_ep {
+            Some(eid) => (
+                &self.eps[eid.index()].send_label,
+                &self.eps[eid.index()].recv_label,
+            ),
+            None => (
+                &self.processes[pid.index()].send_label,
+                &self.processes[pid.index()].recv_label,
+            ),
+        };
+        let pr = &port_state.label;
+
+        // The memoization key covers all seven labels: the checks read
+        // (E_S, D_R, V, p_R, Q_R) and the effects additionally read
+        // (D_S, Q_S). Building it is O(1) — fingerprints are cached in
+        // the label headers.
+        let key = DeliveryKey::new(&qm.es, &qm.ds, &qm.dr, &qm.v, pr, qs, qr);
+
+        let cached = self.delivery_cache.lookup(&key);
+        let outcome = match cached {
+            Some(outcome) => {
+                // O(1) replay: one lookup instead of a linear label walk.
+                self.clock.charge(Category::KernelIpc, self.cost.cache_hit);
+                outcome
+            }
+            None => {
+                // Charge the label checks: linear in the entries examined
+                // (§5.6).
+                let work = ops::op_work(&[&qm.es, qr, &qm.dr, &qm.v, pr]) + 1;
+                self.clock
+                    .charge(Category::KernelIpc, work as u64 * self.cost.label_entry);
+
+                let outcome = if !ops::check_decont_within_port(&qm.dr, pr) {
+                    // Figure 4 requirement (4): D_R ⊑ p_R.
+                    CachedOutcome::Drop(DropReason::PortLabelDecont)
+                } else if !ops::check_delivery(&qm.es, qr, &qm.dr, &qm.v, pr) {
+                    // Figure 4 requirement (1): E_S ⊑ (Q_R ⊔ D_R) ⊓ V ⊓ p_R.
+                    CachedOutcome::Drop(DropReason::LabelCheck)
+                } else {
+                    // Figure 4 effects.
+                    let new_qs = Arc::new(ops::apply_receive_contamination(qs, &qm.ds, &qm.es));
+                    let new_qr = Arc::new(ops::apply_receive_decontamination(qr, &qm.dr));
+                    let effect_work = ops::op_work(&[qs, &qm.ds, &qm.es, &qm.dr]) + 1;
+                    self.clock.charge(
+                        Category::KernelIpc,
+                        effect_work as u64 * self.cost.label_entry,
+                    );
+                    CachedOutcome::Deliver { new_qs, new_qr }
+                };
+                self.delivery_cache.insert(key, outcome.clone());
+                outcome
+            }
+        };
+
+        let (new_qs, new_qr) = match outcome {
+            CachedOutcome::Drop(reason) => return DeliveryOutcome::Dropped(reason),
+            CachedOutcome::Deliver { new_qs, new_qr } => (new_qs, new_qr),
+        };
+
+        // The message will be delivered. Fork an event process if the
+        // destination is a base-owned port of an event-mode process (§6.1).
+        let (ep, is_new_ep) = match existing_ep {
+            Some(eid) => (Some(eid), false),
+            None if self.processes[pid.index()].ep_mode => (Some(self.create_ep(pid)), true),
+            None => (None, false),
+        };
+
+        // Context-switch accounting (§6.2: scheduling cost of an event
+        // process is little higher than a single process's).
+        let ctx = ExecCtx { pid, ep };
+        match self.last_ctx {
+            Some(prev) if prev.pid != pid => {
+                self.clock
+                    .charge(Category::KernelIpc, self.cost.context_switch);
+                self.stats.context_switches += 1;
+            }
+            Some(prev) if prev.ep != ep => {
+                self.clock.charge(Category::KernelIpc, self.cost.ep_switch);
+                self.stats.ep_switches += 1;
+            }
+            None => {
+                self.clock
+                    .charge(Category::KernelIpc, self.cost.context_switch);
+                self.stats.context_switches += 1;
+            }
+            _ => {}
+        }
+        self.last_ctx = Some(ctx);
+
+        // Install the Figure 4 effect labels: `Arc` bumps, never clones.
+        match ep {
+            Some(eid) => {
+                let e = &mut self.eps[eid.index()];
+                e.send_label = new_qs;
+                e.recv_label = new_qr;
+                e.activations += 1;
+            }
+            None => {
+                let p = &mut self.processes[pid.index()];
+                p.send_label = new_qs;
+                p.recv_label = new_qr;
+            }
+        }
+
+        // Payload copy cost.
+        self.clock.charge(
+            Category::KernelIpc,
+            qm.body.size_bytes() as u64 * self.cost.msg_byte,
+        );
+
+        let msg = Message {
+            port: qm.port,
+            body: qm.body,
+            verify: qm.v,
+        };
+        self.invoke(pid, ep, is_new_ep, &msg);
+        DeliveryOutcome::Delivered
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+    use asbestos_labels::Level;
+
+    fn qm(port: u64, tag: u64) -> QueuedMessage {
+        QueuedMessage {
+            port: Handle::from_raw(port),
+            body: Value::U64(tag),
+            es: Arc::new(Label::bottom()),
+            ds: Label::top(),
+            dr: Label::bottom(),
+            v: Label::top(),
+            from: None,
+        }
+    }
+
+    #[test]
+    fn round_robin_interleaves_ports() {
+        let mut m = Mailboxes::default();
+        m.push(qm(1, 10));
+        m.push(qm(1, 11));
+        m.push(qm(2, 20));
+        m.push(qm(1, 12));
+        m.push(qm(3, 30));
+        let order: Vec<(u64, Value)> = std::iter::from_fn(|| m.pop_next())
+            .map(|q| (q.port.raw(), q.body))
+            .collect();
+        // Port 1 activates first, then 2, then 3; each pop rotates the
+        // port to the back, and per-port FIFO order is preserved.
+        assert_eq!(
+            order,
+            vec![
+                (1, Value::U64(10)),
+                (2, Value::U64(20)),
+                (3, Value::U64(30)),
+                (1, Value::U64(11)),
+                (1, Value::U64(12)),
+            ]
+        );
+        assert_eq!(m.len(), 0);
+    }
+
+    #[test]
+    fn mailbox_len_tracks_push_pop() {
+        let mut m = Mailboxes::default();
+        assert_eq!(m.len(), 0);
+        m.push(qm(5, 0));
+        m.push(qm(6, 1));
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.iter().count(), 2);
+        m.pop_next();
+        assert_eq!(m.len(), 1);
+        m.pop_next();
+        assert!(m.pop_next().is_none());
+    }
+
+    #[test]
+    fn cache_bounds_and_counters() {
+        let mut c = DeliveryCache::new(2);
+        let key = |i: u64| {
+            let l = Label::from_pairs(Level::L1, &[(Handle::from_raw(i), Level::L3)]);
+            let b = Label::bottom();
+            DeliveryKey::new(&l, &b, &b, &b, &b, &b, &b)
+        };
+        assert!(c.lookup(&key(1)).is_none());
+        c.insert(key(1), CachedOutcome::Drop(DropReason::LabelCheck));
+        c.insert(key(2), CachedOutcome::Drop(DropReason::LabelCheck));
+        assert!(c.lookup(&key(1)).is_some());
+        c.insert(key(3), CachedOutcome::Drop(DropReason::LabelCheck));
+        // FIFO eviction dropped key(1).
+        assert!(c.lookup(&key(1)).is_none());
+        assert_eq!(c.len(), 2);
+        let (hits, misses, evictions) = c.counters();
+        assert_eq!((hits, misses, evictions), (1, 2, 1));
+        assert!(c.bytes() > 0);
+        c.set_capacity(0);
+        assert_eq!(c.len(), 0);
+        assert!(c.lookup(&key(2)).is_none());
+        // Disabled cache records no further counter movement on lookup.
+        assert_eq!(c.counters().1, 2);
+    }
+}

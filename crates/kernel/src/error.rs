@@ -56,7 +56,11 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        assert!(SysError::NotPortOwner.to_string().contains("receive rights"));
-        assert!(SysError::PrivilegeViolation.to_string().contains("privilege"));
+        assert!(SysError::NotPortOwner
+            .to_string()
+            .contains("receive rights"));
+        assert!(SysError::PrivilegeViolation
+            .to_string()
+            .contains("privilege"));
     }
 }

@@ -1,5 +1,7 @@
 //! Event processes: lightweight isolated contexts within a process (§6).
 
+use std::sync::Arc;
+
 use asbestos_labels::{Handle, Label};
 
 use crate::ids::ProcessId;
@@ -21,10 +23,11 @@ pub const EP_STRUCT_BYTES: usize = 44;
 pub struct EventProcess {
     /// The owning base process.
     pub process: ProcessId,
-    /// This event process's send label (starts as a copy of the base's).
-    pub send_label: Label,
-    /// This event process's receive label (starts as a copy of the base's).
-    pub recv_label: Label,
+    /// This event process's send label (starts sharing the base's storage;
+    /// `Arc`-copy-on-write thereafter).
+    pub send_label: Arc<Label>,
+    /// This event process's receive label (starts sharing the base's).
+    pub recv_label: Arc<Label>,
     /// Ports this event process holds receive rights for.
     pub ports: Vec<Handle>,
     /// Private modified pages (copy-on-write delta over the base).
@@ -41,7 +44,7 @@ impl EventProcess {
     /// §6.1: "The event process starts with send and receive labels copied
     /// from the base process's labels, no receive rights, and no private
     /// memory pages."
-    pub fn new(process: ProcessId, send_label: Label, recv_label: Label) -> EventProcess {
+    pub fn new(process: ProcessId, send_label: Arc<Label>, recv_label: Arc<Label>) -> EventProcess {
         EventProcess {
             process,
             send_label,
@@ -71,8 +74,8 @@ mod tests {
     fn fresh_ep_matches_paper() {
         let ep = EventProcess::new(
             ProcessId(3),
-            Label::default_send(),
-            Label::default_recv(),
+            Arc::new(Label::default_send()),
+            Arc::new(Label::default_recv()),
         );
         assert!(ep.ports.is_empty(), "no receive rights");
         assert!(ep.delta.is_empty(), "no private pages");
@@ -84,8 +87,8 @@ mod tests {
     fn kernel_bytes_is_struct_plus_labels() {
         let ep = EventProcess::new(
             ProcessId(0),
-            Label::default_send(),
-            Label::default_recv(),
+            Arc::new(Label::default_send()),
+            Arc::new(Label::default_recv()),
         );
         assert_eq!(ep.kernel_bytes(), EP_STRUCT_BYTES + 600);
     }

@@ -1,10 +1,14 @@
-//! The kernel simulator: scheduler, delivery engine, and god-mode surface.
+//! The kernel simulator: process/port state, spawning, and the god-mode
+//! surface. The delivery engine (scheduler, Figure 4 evaluation, decision
+//! cache) lives in [`crate::delivery`].
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use asbestos_labels::{ops, Handle, Label};
 
 use crate::cycles::{Category, CostModel, CycleClock, CycleSnapshot};
+use crate::delivery::{DeliveryCache, Mailboxes, DEFAULT_DELIVERY_CACHE_CAP};
 use crate::event_process::EventProcess;
 use crate::handle_table::{HandleTable, PortOwner};
 use crate::ids::{EpId, ExecCtx, ProcessId};
@@ -30,6 +34,8 @@ pub struct KmemReport {
     pub handle_bytes: usize,
     /// Queued, undelivered messages.
     pub queue_bytes: usize,
+    /// The delivery-decision cache: keys plus retained effect labels.
+    pub delivery_cache_bytes: usize,
     /// User memory: allocated 4 KiB frames (base tables and EP deltas).
     pub user_frame_bytes: usize,
 }
@@ -41,6 +47,7 @@ impl KmemReport {
             + self.ep_bytes
             + self.handle_bytes
             + self.queue_bytes
+            + self.delivery_cache_bytes
             + self.user_frame_bytes
     }
 
@@ -66,8 +73,9 @@ pub struct Kernel {
     pub(crate) processes: Vec<Process>,
     pub(crate) eps: Vec<EventProcess>,
     pub(crate) frames: FramePool,
-    pub(crate) queue: VecDeque<QueuedMessage>,
+    pub(crate) mailboxes: Mailboxes,
     pub(crate) queue_limit: usize,
+    pub(crate) delivery_cache: DeliveryCache,
     pub(crate) stats: Stats,
     pub(crate) global_env: BTreeMap<String, Value>,
     pub(crate) last_ctx: Option<ExecCtx>,
@@ -89,8 +97,9 @@ impl Kernel {
             processes: Vec::new(),
             eps: Vec::new(),
             frames: FramePool::new(),
-            queue: VecDeque::new(),
+            mailboxes: Mailboxes::default(),
             queue_limit: DEFAULT_QUEUE_LIMIT,
+            delivery_cache: DeliveryCache::new(DEFAULT_DELIVERY_CACHE_CAP),
             stats: Stats::default(),
             global_env: BTreeMap::new(),
             last_ctx: None,
@@ -168,10 +177,10 @@ impl Kernel {
     /// every label check — they model hardware, not processes.
     pub fn inject(&mut self, port: Handle, body: Value) {
         self.stats.injected += 1;
-        self.queue.push_back(QueuedMessage {
+        self.mailboxes.push(QueuedMessage {
             port,
             body,
-            es: Label::bottom(),
+            es: Arc::new(Label::bottom()),
             ds: Label::top(),
             dr: Label::bottom(),
             v: Label::top(),
@@ -186,9 +195,22 @@ impl Kernel {
     }
 
     /// Sets the message-queue bound. Sends past the bound drop silently,
-    /// the same way label failures do (§4, §8).
+    /// the same way label failures do (§4, §8). The bound covers all
+    /// mailboxes together, like the single queue it generalizes.
     pub fn set_queue_limit(&mut self, limit: usize) {
         self.queue_limit = limit;
+    }
+
+    /// Sets the delivery-decision cache bound, in cached decisions.
+    /// Capacity 0 disables caching entirely (every delivery evaluates
+    /// Figure 4 from scratch — the ablation baseline).
+    pub fn set_delivery_cache_capacity(&mut self, capacity: usize) {
+        self.delivery_cache.set_capacity(capacity);
+    }
+
+    /// Number of currently cached delivery decisions.
+    pub fn delivery_cache_len(&self) -> usize {
+        self.delivery_cache.len()
     }
 
     /// Reads a global environment entry.
@@ -201,18 +223,13 @@ impl Kernel {
     /// §5.2 introduces its examples with labels "assigned out of band";
     /// tests and fixtures use this for the same purpose. Simulated services
     /// can never do this — they go through the Figure 4 rules.
-    pub fn set_process_labels(
-        &mut self,
-        pid: ProcessId,
-        send: Option<Label>,
-        recv: Option<Label>,
-    ) {
+    pub fn set_process_labels(&mut self, pid: ProcessId, send: Option<Label>, recv: Option<Label>) {
         let p = &mut self.processes[pid.index()];
         if let Some(s) = send {
-            p.send_label = s;
+            p.send_label = Arc::new(s);
         }
         if let Some(r) = recv {
-            p.recv_label = r;
+            p.recv_label = Arc::new(r);
         }
     }
 
@@ -226,145 +243,9 @@ impl Kernel {
     }
 
     // ------------------------------------------------------------------
-    // Scheduling.
+    // Scheduling. (`step` itself lives in `delivery.rs` with the rest of
+    // the delivery engine.)
     // ------------------------------------------------------------------
-
-    /// Attempts one message delivery. Returns `false` when the queue is
-    /// empty (the system is idle).
-    pub fn step(&mut self) -> bool {
-        let Some(qm) = self.queue.pop_front() else {
-            return false;
-        };
-        self.clock
-            .charge(Category::KernelIpc, self.cost.recv_base);
-
-        // Resolve the destination port.
-        let Some(port_state) = self.handles.port(qm.port) else {
-            self.stats.record_drop(DropReason::NoSuchPort);
-            return true;
-        };
-        let Some(owner) = port_state.owner else {
-            self.stats.record_drop(DropReason::NoOwner);
-            return true;
-        };
-        let pr = port_state.label.clone();
-
-        // Resolve the receiving context; the labels checked are the event
-        // process's when one owns the port, otherwise the base process's
-        // (which are also what a freshly forked event process would start
-        // with, so checking base labels is exact for the to-be-created EP).
-        let (pid, existing_ep) = match owner {
-            PortOwner::Process(pid) => {
-                if !self.processes[pid.index()].alive {
-                    self.stats.record_drop(DropReason::NoOwner);
-                    return true;
-                }
-                (pid, None)
-            }
-            PortOwner::Ep(eid) => {
-                let ep = &self.eps[eid.index()];
-                if !ep.alive {
-                    self.stats.record_drop(DropReason::NoOwner);
-                    return true;
-                }
-                (ep.process, Some(eid))
-            }
-        };
-
-        let (qs, qr) = match existing_ep {
-            Some(eid) => (
-                self.eps[eid.index()].send_label.clone(),
-                self.eps[eid.index()].recv_label.clone(),
-            ),
-            None => (
-                self.processes[pid.index()].send_label.clone(),
-                self.processes[pid.index()].recv_label.clone(),
-            ),
-        };
-
-        // Charge the label checks: linear in the entries examined (§5.6).
-        let work = ops::op_work(&[&qm.es, &qr, &qm.dr, &qm.v, &pr]) + 1;
-        self.clock
-            .charge(Category::KernelIpc, work as u64 * self.cost.label_entry);
-
-        // Figure 4 requirement (4): D_R ⊑ p_R.
-        if !ops::check_decont_within_port(&qm.dr, &pr) {
-            self.stats.record_drop(DropReason::PortLabelDecont);
-            return true;
-        }
-        // Figure 4 requirement (1): E_S ⊑ (Q_R ⊔ D_R) ⊓ V ⊓ p_R.
-        if !ops::check_delivery(&qm.es, &qr, &qm.dr, &qm.v, &pr) {
-            self.stats.record_drop(DropReason::LabelCheck);
-            return true;
-        }
-
-        // The message will be delivered. Fork an event process if the
-        // destination is a base-owned port of an event-mode process (§6.1).
-        let (ep, is_new_ep) = match existing_ep {
-            Some(eid) => (Some(eid), false),
-            None if self.processes[pid.index()].ep_mode => (Some(self.create_ep(pid)), true),
-            None => (None, false),
-        };
-
-        // Context-switch accounting (§6.2: scheduling cost of an event
-        // process is little higher than a single process's).
-        let ctx = ExecCtx { pid, ep };
-        match self.last_ctx {
-            Some(prev) if prev.pid != pid => {
-                self.clock
-                    .charge(Category::KernelIpc, self.cost.context_switch);
-                self.stats.context_switches += 1;
-            }
-            Some(prev) if prev.ep != ep => {
-                self.clock.charge(Category::KernelIpc, self.cost.ep_switch);
-                self.stats.ep_switches += 1;
-            }
-            None => {
-                self.clock
-                    .charge(Category::KernelIpc, self.cost.context_switch);
-                self.stats.context_switches += 1;
-            }
-            _ => {}
-        }
-        self.last_ctx = Some(ctx);
-
-        // Figure 4 effects.
-        let new_qs = ops::apply_receive_contamination(&qs, &qm.ds, &qm.es);
-        let new_qr = ops::apply_receive_decontamination(&qr, &qm.dr);
-        let effect_work = ops::op_work(&[&qs, &qm.ds, &qm.es, &qm.dr]) + 1;
-        self.clock.charge(
-            Category::KernelIpc,
-            effect_work as u64 * self.cost.label_entry,
-        );
-        match ep {
-            Some(eid) => {
-                let e = &mut self.eps[eid.index()];
-                e.send_label = new_qs;
-                e.recv_label = new_qr;
-                e.activations += 1;
-            }
-            None => {
-                let p = &mut self.processes[pid.index()];
-                p.send_label = new_qs;
-                p.recv_label = new_qr;
-            }
-        }
-
-        // Payload copy cost.
-        self.clock.charge(
-            Category::KernelIpc,
-            qm.body.size_bytes() as u64 * self.cost.msg_byte,
-        );
-
-        self.stats.delivered += 1;
-        let msg = Message {
-            port: qm.port,
-            body: qm.body,
-            verify: qm.v,
-        };
-        self.invoke(pid, ep, is_new_ep, &msg);
-        true
-    }
 
     /// Runs until the queue drains, with a safety bound; returns the number
     /// of delivery attempts.
@@ -394,19 +275,26 @@ impl Kernel {
     // Internal machinery.
     // ------------------------------------------------------------------
 
-    fn create_ep(&mut self, pid: ProcessId) -> EpId {
+    pub(crate) fn create_ep(&mut self, pid: ProcessId) -> EpId {
         let p = &self.processes[pid.index()];
-        let ep = EventProcess::new(pid, p.send_label.clone(), p.recv_label.clone());
+        // `Arc` bumps: the EP shares the base's label storage until either
+        // side's labels change.
+        let ep = EventProcess::new(pid, Arc::clone(&p.send_label), Arc::clone(&p.recv_label));
         self.eps.push(ep);
         let eid = EpId((self.eps.len() - 1) as u32);
         self.processes[pid.index()].eps.push(eid);
         self.stats.eps_created += 1;
-        self.clock
-            .charge(Category::KernelIpc, self.cost.ep_create);
+        self.clock.charge(Category::KernelIpc, self.cost.ep_create);
         eid
     }
 
-    fn invoke(&mut self, pid: ProcessId, ep: Option<EpId>, is_new_ep: bool, msg: &Message) {
+    pub(crate) fn invoke(
+        &mut self,
+        pid: ProcessId,
+        ep: Option<EpId>,
+        is_new_ep: bool,
+        msg: &Message,
+    ) {
         let Some(mut body) = self.processes[pid.index()].body.take() else {
             return;
         };
@@ -527,15 +415,15 @@ impl Kernel {
         &self.handles
     }
 
-    /// Pending (sent but undelivered) messages.
+    /// Pending (sent but undelivered) messages across all mailboxes.
     pub fn queue_len(&self) -> usize {
-        self.queue.len()
+        self.mailboxes.len()
     }
 
     /// Pending messages sent by a given process (god-mode; used by tests to
     /// verify that compromised services actually attempted exfiltration).
     pub fn queued_from(&self, pid: ProcessId) -> usize {
-        self.queue
+        self.mailboxes
             .iter()
             .filter(|m| m.from.is_some_and(|c| c.pid == pid))
             .count()
@@ -565,13 +453,15 @@ impl Kernel {
             .map(EventProcess::kernel_bytes)
             .sum();
         let handle_bytes = self.handles.kernel_bytes();
-        let queue_bytes = self.queue.iter().map(QueuedMessage::queue_bytes).sum();
+        let queue_bytes = self.mailboxes.iter().map(QueuedMessage::queue_bytes).sum();
+        let delivery_cache_bytes = self.delivery_cache.bytes();
         let user_frame_bytes = self.frames.frames_in_use() * PAGE_SIZE;
         KmemReport {
             process_bytes,
             ep_bytes,
             handle_bytes,
             queue_bytes,
+            delivery_cache_bytes,
             user_frame_bytes,
         }
     }
@@ -588,41 +478,51 @@ impl Kernel {
         args: &SendArgs,
     ) -> Result<(), crate::error::SysError> {
         let category = self.processes[ctx.pid.index()].category;
-        let ps = match ctx.ep {
-            Some(eid) => self.eps[eid.index()].send_label.clone(),
-            None => self.processes[ctx.pid.index()].send_label.clone(),
+        let ps: &Arc<Label> = match ctx.ep {
+            Some(eid) => &self.eps[eid.index()].send_label,
+            None => &self.processes[ctx.pid.index()].send_label,
         };
 
-        // Charge send cost: base + payload + label argument processing.
+        // Charge send cost up front: base + payload + label argument
+        // processing. Privilege-failing sends still did this work in the
+        // simulated kernel, so they are charged too.
         let label_work = (args.label_work() + ps.entry_count() + 1) as u64;
         self.clock.charge(Category::KernelIpc, self.cost.send_base);
         self.clock.charge(
             Category::KernelIpc,
-            body.size_bytes() as u64 * self.cost.msg_byte
-                + label_work * self.cost.label_entry,
+            body.size_bytes() as u64 * self.cost.msg_byte + label_work * self.cost.label_entry,
         );
         let _ = category;
 
         // Figure 4 requirement (2): D_S(h) < 3 ⇒ P_S(h) = ⋆.
-        if !ops::check_decont_send_privilege(&args.decont_send, &ps) {
+        if !ops::check_decont_send_privilege(&args.decont_send, ps) {
             return Err(crate::error::SysError::PrivilegeViolation);
         }
         // Figure 4 requirement (3): D_R(h) > ⋆ ⇒ P_S(h) = ⋆.
-        if !ops::check_decont_recv_privilege(&args.decont_recv, &ps) {
+        if !ops::check_decont_recv_privilege(&args.decont_recv, ps) {
             return Err(crate::error::SysError::PrivilegeViolation);
         }
 
         // E_S = P_S ⊔ C_S, snapshotted now; delivery checks happen when the
         // receiver is scheduled (§4: delivery is decided at receive time).
-        let es = ops::effective_send(&ps, &args.contaminate);
+        // A no-op C_S — the common case — shares P_S by reference, which
+        // also keeps E_S's fingerprint stable across sends and is what
+        // makes the delivery cache hit for repeated traffic.
+        // (`is_all_star` implies uniform: entries at the default level are
+        // normalized away, so an all-star label has no explicit entries.)
+        let es = if args.contaminate.is_all_star() {
+            Arc::clone(ps)
+        } else {
+            Arc::new(ops::effective_send(ps, &args.contaminate))
+        };
 
-        if self.queue.len() >= self.queue_limit {
+        if self.mailboxes.len() >= self.queue_limit {
             // Resource exhaustion drops are silent, like label drops (§4).
             self.stats.record_drop(DropReason::QueueFull);
             return Ok(());
         }
         self.stats.sent += 1;
-        self.queue.push_back(QueuedMessage {
+        self.mailboxes.push(QueuedMessage {
             port,
             body,
             es,

@@ -40,8 +40,42 @@
 //! kernel.run();
 //! assert_eq!(kernel.stats().delivered, 1);
 //! ```
+//!
+//! ## Architecture
+//!
+//! The kernel is split between [`kernel`] (process/port state, spawning,
+//! god-mode observability) and [`delivery`] (everything that happens to a
+//! queued message). Two structures define the delivery engine:
+//!
+//! **Per-port mailboxes, round-robin scheduled.** Queued messages live in
+//! one FIFO per destination port. A deterministic round-robin rotation —
+//! ports enter when their first message arrives, each `step()` drains one
+//! message from the front port and rotates it to the back — replaces the
+//! old single global queue. Per-port order still equals send order, so
+//! protocol code is unaffected, while no queue state is shared between
+//! ports: the structural prerequisite for sharding the delivery engine
+//! across cores.
+//!
+//! **The delivery-decision cache.** Every delivery evaluates the paper's
+//! Figure 4 rule `E_S ⊑ (Q_R ⊔ D_R) ⊓ V ⊓ p_R` plus its relabeling
+//! effects — work linear in label size, and the source of Figure 9's
+//! linear degradation. But OKWS-style traffic repeats identical label
+//! tuples endlessly, so the kernel memoizes: every [`Label`] carries a
+//! 64-bit structural fingerprint (maintained incrementally from per-chunk
+//! digests, independent of chunk boundaries), and a bounded cache maps
+//! the fingerprint 7-tuple of `(E_S, D_S, D_R, V, p_R, Q_S, Q_R)` to the
+//! boolean outcome *and* the resulting `Q_S`/`Q_R` labels. A hit replays
+//! the whole evaluation in O(1) without cloning a label — effect labels
+//! are installed by `Arc` bump, which is why process and event-process
+//! labels are stored as `Arc<Label>`. Because keys identify label
+//! *contents*, mutation anywhere simply produces different keys; nothing
+//! is ever invalidated, and cached runs are bitwise-identical to uncached
+//! ones (pinned by `tests/delivery_cache.rs`). Hits, misses, evictions,
+//! and cache bytes surface in [`Stats`] and [`KmemReport`];
+//! [`Kernel::set_delivery_cache_capacity`] bounds or disables it.
 
 pub mod cycles;
+pub mod delivery;
 pub mod error;
 pub mod event_process;
 pub mod handle_table;
@@ -56,6 +90,7 @@ pub mod util;
 pub mod value;
 
 pub use cycles::{Category, CostModel, CYCLES_PER_SEC};
+pub use delivery::{DeliveryOutcome, DEFAULT_DELIVERY_CACHE_CAP};
 pub use error::{SysError, SysResult};
 pub use event_process::{EventProcess, EP_STRUCT_BYTES};
 pub use handle_table::{PortOwner, VNODE_BYTES};

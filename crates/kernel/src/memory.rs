@@ -97,7 +97,8 @@ impl FramePool {
     /// Writes bytes into a frame. Caller must hold the only reference.
     pub fn write(&mut self, id: FrameId, offset: usize, data: &[u8]) {
         debug_assert_eq!(
-            self.frame(id).refcount, 1,
+            self.frame(id).refcount,
+            1,
             "writes require an exclusively owned frame (COW must copy first)"
         );
         self.frame_mut(id).data[offset..offset + data.len()].copy_from_slice(data);
@@ -222,7 +223,9 @@ pub fn page_segments(addr: u64, len: usize) -> SysResult<Vec<(Vpn, usize, usize)
     if len == 0 {
         return Err(SysError::InvalidArgument);
     }
-    let end = addr.checked_add(len as u64).ok_or(SysError::InvalidArgument)?;
+    let end = addr
+        .checked_add(len as u64)
+        .ok_or(SysError::InvalidArgument)?;
     let mut out = Vec::new();
     let mut cur = addr;
     while cur < end {
@@ -308,10 +311,7 @@ mod tests {
             vec![(2, 0, 4096), (3, 0, 4096)]
         );
         assert_eq!(page_segments(0, 0), Err(SysError::InvalidArgument));
-        assert_eq!(
-            page_segments(u64::MAX, 2),
-            Err(SysError::InvalidArgument)
-        );
+        assert_eq!(page_segments(u64::MAX, 2), Err(SysError::InvalidArgument));
     }
 
     #[test]

@@ -1,5 +1,7 @@
 //! Messages and the optional send labels (§5, Figure 4).
 
+use std::sync::Arc;
+
 use asbestos_labels::{Handle, Label};
 
 use crate::ids::ExecCtx;
@@ -103,8 +105,9 @@ pub(crate) struct QueuedMessage {
     /// Payload.
     pub body: Value,
     /// The sender's *effective* send label `E_S = P_S ⊔ C_S`, snapshotted at
-    /// send time.
-    pub es: Label,
+    /// send time. `Arc`-shared with the sender's label when `C_S` is a
+    /// no-op, so repeated sends carry the same label identity.
+    pub es: Arc<Label>,
     /// Decontaminate-send label.
     pub ds: Label,
     /// Decontaminate-receive label.

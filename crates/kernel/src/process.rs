@@ -2,6 +2,7 @@
 
 use std::any::Any;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use asbestos_labels::Label;
 
@@ -75,9 +76,14 @@ pub struct Process {
     /// Debug name (e.g. `"netd"`, `"ok-demux"`).
     pub name: String,
     /// The process send label `P_S` — its current contamination.
-    pub send_label: Label,
+    ///
+    /// `Arc`-shared: the delivery cache installs memoized Figure 4 effect
+    /// labels by reference bump, and forked event processes share the
+    /// base's labels until either side mutates (copy-on-write via
+    /// `Arc::make_mut`).
+    pub send_label: Arc<Label>,
     /// The process receive label `P_R` — the contamination it accepts.
-    pub recv_label: Label,
+    pub recv_label: Arc<Label>,
     /// Cycle-accounting category for work done by this process.
     pub category: Category,
     /// Base address space (shared copy-on-write with event processes).
@@ -100,8 +106,8 @@ impl Process {
         let ep_mode = matches!(body, Body::Event(_));
         Process {
             name: name.to_string(),
-            send_label: Label::default_send(),
-            recv_label: Label::default_recv(),
+            send_label: Arc::new(Label::default_send()),
+            recv_label: Arc::new(Label::default_recv()),
             category,
             page_table: PageTable::new(),
             env: BTreeMap::new(),

@@ -47,6 +47,12 @@ pub struct Stats {
     pub context_switches: u64,
     /// Event-process switches within one process.
     pub ep_switches: u64,
+    /// Delivery-decision cache hits (Figure 4 evaluations replayed in O(1)).
+    pub cache_hits: u64,
+    /// Delivery-decision cache misses (full Figure 4 evaluations).
+    pub cache_misses: u64,
+    /// Delivery-decision cache evictions (capacity pressure).
+    pub cache_evictions: u64,
 }
 
 impl Stats {

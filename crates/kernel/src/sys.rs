@@ -161,20 +161,16 @@ impl<'k> Sys<'k> {
     /// The caller's current send label `P_S`.
     pub fn send_label(&self) -> Label {
         match self.ctx.ep {
-            Some(eid) => self.kernel.eps[eid.index()].send_label.clone(),
-            None => self.kernel.processes[self.ctx.pid.index()]
-                .send_label
-                .clone(),
+            Some(eid) => (*self.kernel.eps[eid.index()].send_label).clone(),
+            None => (*self.kernel.processes[self.ctx.pid.index()].send_label).clone(),
         }
     }
 
     /// The caller's current receive label `P_R`.
     pub fn recv_label(&self) -> Label {
         match self.ctx.ep {
-            Some(eid) => self.kernel.eps[eid.index()].recv_label.clone(),
-            None => self.kernel.processes[self.ctx.pid.index()]
-                .recv_label
-                .clone(),
+            Some(eid) => (*self.kernel.eps[eid.index()].recv_label).clone(),
+            None => (*self.kernel.processes[self.ctx.pid.index()].recv_label).clone(),
         }
     }
 
@@ -338,9 +334,14 @@ impl<'k> Sys<'k> {
             return Err(SysError::InvalidArgument);
         }
         let start_vpn = addr / PAGE_SIZE as u64;
-        let end = addr.checked_add(len as u64).ok_or(SysError::InvalidArgument)?;
+        let end = addr
+            .checked_add(len as u64)
+            .ok_or(SysError::InvalidArgument)?;
         let end_vpn = end.div_ceil(PAGE_SIZE as u64);
-        for frame in self.kernel.eps[eid.index()].delta.drain_range(start_vpn, end_vpn) {
+        for frame in self.kernel.eps[eid.index()]
+            .delta
+            .drain_range(start_vpn, end_vpn)
+        {
             self.kernel.frames.release(frame);
         }
         Ok(())
@@ -423,16 +424,26 @@ impl<'k> Sys<'k> {
     // ------------------------------------------------------------------
 
     fn with_send_label(&mut self, f: impl FnOnce(&mut Label)) {
+        // `make_mut` takes a private copy only when the storage is shared
+        // (with an event process, a queued message, or a cache entry).
         match self.ctx.ep {
-            Some(eid) => f(&mut self.kernel.eps[eid.index()].send_label),
-            None => f(&mut self.kernel.processes[self.ctx.pid.index()].send_label),
+            Some(eid) => f(std::sync::Arc::make_mut(
+                &mut self.kernel.eps[eid.index()].send_label,
+            )),
+            None => f(std::sync::Arc::make_mut(
+                &mut self.kernel.processes[self.ctx.pid.index()].send_label,
+            )),
         }
     }
 
     fn with_recv_label(&mut self, f: impl FnOnce(&mut Label)) {
         match self.ctx.ep {
-            Some(eid) => f(&mut self.kernel.eps[eid.index()].recv_label),
-            None => f(&mut self.kernel.processes[self.ctx.pid.index()].recv_label),
+            Some(eid) => f(std::sync::Arc::make_mut(
+                &mut self.kernel.eps[eid.index()].recv_label,
+            )),
+            None => f(std::sync::Arc::make_mut(
+                &mut self.kernel.processes[self.ctx.pid.index()].recv_label,
+            )),
         }
     }
 

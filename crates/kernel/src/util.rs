@@ -16,8 +16,8 @@ use std::rc::Rc;
 use crate::message::Message;
 use crate::process::{EpService, Service};
 use crate::sys::Sys;
-use asbestos_labels::{Handle, Label};
 use crate::value::Value;
+use asbestos_labels::{Handle, Label};
 
 struct FnService<S, F> {
     on_start: Option<S>,
@@ -181,7 +181,11 @@ mod tests {
                 },
             ),
         );
-        let port = kernel.global_env("counter.port").unwrap().as_handle().unwrap();
+        let port = kernel
+            .global_env("counter.port")
+            .unwrap()
+            .as_handle()
+            .unwrap();
         kernel.inject(port, Value::Unit);
         kernel.inject(port, Value::Unit);
         kernel.run();

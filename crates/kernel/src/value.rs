@@ -189,7 +189,10 @@ mod tests {
     #[test]
     fn display_forms() {
         assert_eq!(Value::Unit.to_string(), "()");
-        assert_eq!(Value::List(vec![Value::U64(1), Value::Bool(false)]).to_string(), "[1, false]");
+        assert_eq!(
+            Value::List(vec![Value::U64(1), Value::Bool(false)]).to_string(),
+            "[1, false]"
+        );
         assert_eq!(Value::Bytes(vec![0; 3]).to_string(), "<3 bytes>");
     }
 }

@@ -37,7 +37,8 @@ fn contamination_heartbeat_storage_channel() {
                 sys.publish_env("c.port", Value::Handle(p));
             },
             move |_sys, msg| {
-                h2.borrow_mut().push(msg.body.as_str().unwrap_or("?").into());
+                h2.borrow_mut()
+                    .push(msg.body.as_str().unwrap_or("?").into());
             },
         ),
     );
@@ -177,9 +178,10 @@ fn send_success_reveals_nothing() {
                 o2.borrow_mut().push(sys.send(rport, Value::U64(1)));
                 // Will be dropped (tainted beyond the receiver's label),
                 // but the syscall result is indistinguishable:
-                let args = SendArgs::new()
-                    .contaminate(Label::from_pairs(Level::Star, &[(t, Level::L3)]));
-                o2.borrow_mut().push(sys.send_args(rport, Value::U64(2), &args));
+                let args =
+                    SendArgs::new().contaminate(Label::from_pairs(Level::Star, &[(t, Level::L3)]));
+                o2.borrow_mut()
+                    .push(sys.send_args(rport, Value::U64(2), &args));
             },
             |_, _| {},
         ),

@@ -6,9 +6,7 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use asbestos_kernel::util::{ep_service_fn, service_with_start, Recorder};
-use asbestos_kernel::{
-    Category, EpId, Kernel, Label, Level, SendArgs, Value,
-};
+use asbestos_kernel::{Category, EpId, Kernel, Label, Level, SendArgs, Value};
 
 /// Address where workers keep their per-session counter.
 const SESSION_ADDR: u64 = 0x10_000;
@@ -52,9 +50,7 @@ fn spawn_worker(kernel: &mut Kernel) -> asbestos_kernel::ProcessId {
                     sys.mem_write_u64(SESSION_ADDR + 8, p.raw()).unwrap();
                     p
                 } else {
-                    asbestos_kernel::Handle::from_raw(
-                        sys.mem_read_u64(SESSION_ADDR + 8).unwrap(),
-                    )
+                    asbestos_kernel::Handle::from_raw(sys.mem_read_u64(SESSION_ADDR + 8).unwrap())
                 };
 
                 // Report (session_port, count) to the recorder.
@@ -77,7 +73,11 @@ fn base_port_forks_a_fresh_ep_per_message() {
     let (rec, log) = Recorder::new("rec.port");
     kernel.spawn("recorder", Category::Other, Box::new(rec));
     let worker = spawn_worker(&mut kernel);
-    let wport = kernel.global_env("worker.port").unwrap().as_handle().unwrap();
+    let wport = kernel
+        .global_env("worker.port")
+        .unwrap()
+        .as_handle()
+        .unwrap();
 
     for _ in 0..3 {
         kernel.inject(wport, Value::Unit);
@@ -109,7 +109,11 @@ fn ep_port_resumes_the_same_ep() {
     let (rec, log) = Recorder::new("rec.port");
     kernel.spawn("recorder", Category::Other, Box::new(rec));
     spawn_worker(&mut kernel);
-    let wport = kernel.global_env("worker.port").unwrap().as_handle().unwrap();
+    let wport = kernel
+        .global_env("worker.port")
+        .unwrap()
+        .as_handle()
+        .unwrap();
 
     kernel.inject(wport, Value::Unit);
     kernel.run();
@@ -138,7 +142,11 @@ fn ep_memory_is_isolated_and_cow() {
     let (rec, log) = Recorder::new("rec.port");
     kernel.spawn("recorder", Category::Other, Box::new(rec));
     let worker = spawn_worker(&mut kernel);
-    let wport = kernel.global_env("worker.port").unwrap().as_handle().unwrap();
+    let wport = kernel
+        .global_env("worker.port")
+        .unwrap()
+        .as_handle()
+        .unwrap();
 
     kernel.inject(wport, Value::Unit);
     kernel.inject(wport, Value::Unit);
@@ -196,7 +204,11 @@ fn ep_clean_discards_scratch_pages() {
             },
         ),
     );
-    let port = kernel.global_env("messy.port").unwrap().as_handle().unwrap();
+    let port = kernel
+        .global_env("messy.port")
+        .unwrap()
+        .as_handle()
+        .unwrap();
     kernel.inject(port, Value::Str("tidy".into()));
     kernel.inject(port, Value::Str("messy".into()));
     kernel.run();
@@ -238,7 +250,11 @@ fn ep_exit_frees_pages_and_ports() {
             },
         ),
     );
-    let port = kernel.global_env("transient.port").unwrap().as_handle().unwrap();
+    let port = kernel
+        .global_env("transient.port")
+        .unwrap()
+        .as_handle()
+        .unwrap();
     let frames_before = kernel.kmem_report().user_frame_bytes;
     kernel.inject(port, Value::Unit);
     kernel.run();
@@ -275,7 +291,11 @@ fn ep_labels_are_private_to_each_ep() {
             |_sys, _msg| {},
         ),
     );
-    let wport = kernel.global_env("labeled.port").unwrap().as_handle().unwrap();
+    let wport = kernel
+        .global_env("labeled.port")
+        .unwrap()
+        .as_handle()
+        .unwrap();
 
     // A taint-owner contaminates the worker differently per message.
     kernel.spawn(
@@ -290,9 +310,12 @@ fn ep_labels_are_private_to_each_ep() {
                 for t in [ut, vt] {
                     let cs = Label::from_pairs(Level::Star, &[(t, Level::L3)]);
                     let dr = Label::from_pairs(Level::Star, &[(t, Level::L3)]);
-                    sys.send_args(wport, Value::Unit,
-                        &SendArgs::new().contaminate(cs).raise_recv(dr))
-                        .unwrap();
+                    sys.send_args(
+                        wport,
+                        Value::Unit,
+                        &SendArgs::new().contaminate(cs).raise_recv(dr),
+                    )
+                    .unwrap();
                 }
             },
             |_, _| {},
@@ -372,9 +395,12 @@ fn tainted_ep_cannot_reach_other_users_session_port() {
                     let t = sys.new_handle();
                     let cs = Label::from_pairs(Level::Star, &[(t, Level::L3)]);
                     let dr = Label::from_pairs(Level::Star, &[(t, Level::L3)]);
-                    sys.send_args(wport, Value::Unit,
-                        &SendArgs::new().contaminate(cs).raise_recv(dr))
-                        .unwrap();
+                    sys.send_args(
+                        wport,
+                        Value::Unit,
+                        &SendArgs::new().contaminate(cs).raise_recv(dr),
+                    )
+                    .unwrap();
                 }
             },
             |_, _| {},
@@ -455,7 +481,11 @@ fn many_sessions_cost_about_one_page_each() {
     let (rec, _log) = Recorder::new("rec.port");
     kernel.spawn("recorder", Category::Other, Box::new(rec));
     let worker = spawn_worker(&mut kernel);
-    let wport = kernel.global_env("worker.port").unwrap().as_handle().unwrap();
+    let wport = kernel
+        .global_env("worker.port")
+        .unwrap()
+        .as_handle()
+        .unwrap();
 
     let n = 500;
     let before = kernel.kmem_report();
@@ -467,8 +497,9 @@ fn many_sessions_cost_about_one_page_each() {
 
     let user_pages = (after.user_frame_bytes - before.user_frame_bytes) / 4096;
     assert_eq!(user_pages, n, "exactly one private page per session");
-    let kernel_overhead =
-        after.total_bytes() - before.total_bytes() - (after.user_frame_bytes - before.user_frame_bytes);
+    let kernel_overhead = after.total_bytes()
+        - before.total_bytes()
+        - (after.user_frame_bytes - before.user_frame_bytes);
     let per_session = kernel_overhead / n;
     // EP struct + labels + session-port vnode + port label: well under a
     // page; Figure 6 measures ~0.5 page in the full OKWS configuration.

@@ -6,9 +6,7 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use asbestos_kernel::util::{service_with_start, Recorder};
-use asbestos_kernel::{
-    Category, Handle, Kernel, Label, Level, SendArgs, SysError, Value,
-};
+use asbestos_kernel::{Category, Handle, Kernel, Label, Level, SendArgs, SysError, Value};
 
 fn taint(h: Handle) -> Label {
     Label::from_pairs(Level::Star, &[(h, Level::L3)])
@@ -68,7 +66,11 @@ fn fresh_ports_are_closed_until_granted() {
             move |_, _| *r2.borrow_mut() += 1,
         ),
     );
-    let p = kernel.global_env("closed.port").unwrap().as_handle().unwrap();
+    let p = kernel
+        .global_env("closed.port")
+        .unwrap()
+        .as_handle()
+        .unwrap();
 
     kernel.spawn(
         "stranger",
@@ -112,9 +114,12 @@ fn capability_grant_and_redistribution() {
                 Some("grant-to-alice") => {
                     let p = sys.env("cap.port").unwrap().as_handle().unwrap();
                     let alice = sys.env("alice.cmd").unwrap().as_handle().unwrap();
-                    sys.send_args(alice, Value::Str("you-may-send".into()),
-                        &SendArgs::new().grant(grant(p)))
-                        .unwrap();
+                    sys.send_args(
+                        alice,
+                        Value::Str("you-may-send".into()),
+                        &SendArgs::new().grant(grant(p)),
+                    )
+                    .unwrap();
                 }
                 _ => r2.borrow_mut().push(format!("{}", msg.body)),
             },
@@ -138,9 +143,12 @@ fn capability_grant_and_redistribution() {
                     sys.send(cap_port, Value::Str("from-alice".into())).unwrap();
                     // Redistribute the capability to Bob.
                     let bob = sys.env("bob.cmd").unwrap().as_handle().unwrap();
-                    sys.send_args(bob, Value::Str("you-may-send".into()),
-                        &SendArgs::new().grant(grant(cap_port)))
-                        .unwrap();
+                    sys.send_args(
+                        bob,
+                        Value::Str("you-may-send".into()),
+                        &SendArgs::new().grant(grant(cap_port)),
+                    )
+                    .unwrap();
                 }
             },
         ),
@@ -322,7 +330,11 @@ fn star_holders_resist_contamination() {
         ),
     );
     let ut = kernel.global_env("u.taint").unwrap().as_handle().unwrap();
-    let owner_port = kernel.global_env("owner.port").unwrap().as_handle().unwrap();
+    let owner_port = kernel
+        .global_env("owner.port")
+        .unwrap()
+        .as_handle()
+        .unwrap();
 
     // A tainted process sends to the owner.
     kernel.spawn(
@@ -379,7 +391,11 @@ fn decontaminate_send_clears_taint() {
             },
         ),
     );
-    let victim_port = kernel.global_env("victim.port").unwrap().as_handle().unwrap();
+    let victim_port = kernel
+        .global_env("victim.port")
+        .unwrap()
+        .as_handle()
+        .unwrap();
 
     kernel.spawn(
         "owner",
@@ -396,22 +412,31 @@ fn decontaminate_send_clears_taint() {
                 )
                 .unwrap();
                 // Tell it to try sending (it will fail: tainted).
-                sys.send(victim_port, Value::Str("try-send".into())).unwrap();
+                sys.send(victim_port, Value::Str("try-send".into()))
+                    .unwrap();
                 // Decontaminate it with D_S = {uT ⋆...}? No — D_S lowers the
                 // level back to the default: {uT 1} entries in D_S need ⋆ too.
                 let ds = Label::from_pairs(Level::L3, &[(ut, Level::L1)]);
-                sys.send_args(victim_port, Value::Str("decontaminated".into()),
-                    &SendArgs::new().grant(ds))
-                    .unwrap();
+                sys.send_args(
+                    victim_port,
+                    Value::Str("decontaminated".into()),
+                    &SendArgs::new().grant(ds),
+                )
+                .unwrap();
                 // Now it can send again.
-                sys.send(victim_port, Value::Str("try-send".into())).unwrap();
+                sys.send(victim_port, Value::Str("try-send".into()))
+                    .unwrap();
             },
             |_, _| {},
         ),
     );
 
     kernel.run();
-    assert_eq!(*reached.borrow(), 1, "only the post-decontamination send lands");
+    assert_eq!(
+        *reached.borrow(),
+        1,
+        "only the post-decontamination send lands"
+    );
     assert_eq!(kernel.stats().dropped_label_check, 1);
 }
 
@@ -437,7 +462,8 @@ fn delivery_checks_happen_at_receive_time() {
                 sys.publish_env("recv.port", Value::Handle(p));
             },
             move |sys, msg| {
-                g2.borrow_mut().push(msg.body.as_str().unwrap_or("?").to_string());
+                g2.borrow_mut()
+                    .push(msg.body.as_str().unwrap_or("?").to_string());
                 // After the first message, refuse all taint for t.
                 let t = sys.env("t").unwrap().as_handle().unwrap();
                 let restrict = Label::from_pairs(Level::L3, &[(t, Level::L2)]);
@@ -457,8 +483,10 @@ fn delivery_checks_happen_at_receive_time() {
                 // their deliveries the receiver lowers its receive label, so
                 // only the first lands.
                 let args = SendArgs::new().contaminate(taint(t));
-                sys.send_args(port, Value::Str("first".into()), &args).unwrap();
-                sys.send_args(port, Value::Str("second".into()), &args).unwrap();
+                sys.send_args(port, Value::Str("first".into()), &args)
+                    .unwrap();
+                sys.send_args(port, Value::Str("second".into()), &args)
+                    .unwrap();
             },
             |_, _| {},
         ),
@@ -499,8 +527,7 @@ fn verification_label_proves_identity() {
                     // explicitly names the credential it exercises — the
                     // confused-deputy countermeasure).
                     let v = Label::from_pairs(Level::L3, &[(ug, Level::L0)]);
-                    sys.send_args(fs, Value::Str("u-write".into()),
-                        &SendArgs::new().verify(v))
+                    sys.send_args(fs, Value::Str("u-write".into()), &SendArgs::new().verify(v))
                         .unwrap();
                 }
             },
@@ -523,15 +550,19 @@ fn verification_label_proves_identity() {
                 // as creator).
                 let speaker = sys.env("speaker.port").unwrap().as_handle().unwrap();
                 let ds = Label::from_pairs(Level::L3, &[(ug, Level::L0)]);
-                sys.send_args(speaker, Value::Str("you-speak-for-u".into()),
-                    &SendArgs::new().grant(ds))
-                    .unwrap();
+                sys.send_args(
+                    speaker,
+                    Value::Str("you-speak-for-u".into()),
+                    &SendArgs::new().grant(ds),
+                )
+                .unwrap();
             },
             move |sys, msg| {
                 let ug = sys.env("u.grant").unwrap().as_handle().unwrap();
                 // §5.4: check V(uG) ≤ 0 before accepting the write.
                 if msg.verify.get(ug) <= Level::L0 {
-                    a2.borrow_mut().push(msg.body.as_str().unwrap_or("?").to_string());
+                    a2.borrow_mut()
+                        .push(msg.body.as_str().unwrap_or("?").to_string());
                 }
             },
         ),
@@ -548,9 +579,12 @@ fn verification_label_proves_identity() {
         service_with_start(
             move |sys| {
                 let v = Label::from_pairs(Level::L3, &[(ug, Level::L0)]);
-                sys.send_args(fs, Value::Str("forged-write".into()),
-                    &SendArgs::new().verify(v))
-                    .unwrap();
+                sys.send_args(
+                    fs,
+                    Value::Str("forged-write".into()),
+                    &SendArgs::new().verify(v),
+                )
+                .unwrap();
                 sys.send(fs, Value::Str("unverified-write".into())).unwrap();
             },
             |_, _| {},
@@ -586,7 +620,11 @@ fn verification_label_is_delivered_to_receiver() {
         ),
     );
     kernel.run();
-    let mine = kernel.global_env("sender.handle").unwrap().as_handle().unwrap();
+    let mine = kernel
+        .global_env("sender.handle")
+        .unwrap()
+        .as_handle()
+        .unwrap();
     let entries = log.borrow();
     assert_eq!(entries.len(), 1);
     assert_eq!(entries[0].verify.get(mine), Level::L0);
@@ -618,12 +656,19 @@ fn mandatory_integrity_level_zero_is_fragile() {
             move |sys, _msg| {
                 // After receiving plain input, P_S(uG) must have decayed to 1.
                 let ug = sys.env("ug").unwrap().as_handle().unwrap();
-                assert_eq!(sys.send_label().get(ug), Level::L1,
-                    "level 0 must decay on ordinary input");
+                assert_eq!(
+                    sys.send_label().get(ug),
+                    Level::L1,
+                    "level 0 must decay on ordinary input"
+                );
             },
         ),
     );
-    let tport = kernel.global_env("trusted.port").unwrap().as_handle().unwrap();
+    let tport = kernel
+        .global_env("trusted.port")
+        .unwrap()
+        .as_handle()
+        .unwrap();
     let ug = kernel.global_env("ug").unwrap().as_handle().unwrap();
     assert_eq!(kernel.process(trusted).send_label.get(ug), Level::L0);
 
@@ -678,8 +723,16 @@ fn port_label_blocks_taint_the_process_would_accept() {
             },
         ),
     );
-    let t = kernel.global_env("attachment.taint").unwrap().as_handle().unwrap();
-    let filtered = kernel.global_env("filtered.port").unwrap().as_handle().unwrap();
+    let t = kernel
+        .global_env("attachment.taint")
+        .unwrap()
+        .as_handle()
+        .unwrap();
+    let filtered = kernel
+        .global_env("filtered.port")
+        .unwrap()
+        .as_handle()
+        .unwrap();
     let open = kernel.global_env("open.port").unwrap().as_handle().unwrap();
 
     kernel.spawn(
@@ -689,7 +742,8 @@ fn port_label_blocks_taint_the_process_would_accept() {
             move |sys| {
                 sys.self_contaminate(&taint(t));
                 // Tainted: filtered port refuses, open port accepts.
-                sys.send(filtered, Value::Str("to-filtered".into())).unwrap();
+                sys.send(filtered, Value::Str("to-filtered".into()))
+                    .unwrap();
                 sys.send(open, Value::Str("to-open".into())).unwrap();
             },
             |_, _| {},
@@ -739,9 +793,14 @@ fn port_label_bounds_decontamination() {
                 // Try to contaminate the server while raising its receive
                 // label for our handle: D_R = {mine 3}; the port label says
                 // p_R(mine) = 3 (default), so this one is fine.
-                sys.send_args(srv, Value::Str("ok".into()),
-                    &SendArgs::new().contaminate(taint(mine)).raise_recv(raise(mine)))
-                    .unwrap();
+                sys.send_args(
+                    srv,
+                    Value::Str("ok".into()),
+                    &SendArgs::new()
+                        .contaminate(taint(mine))
+                        .raise_recv(raise(mine)),
+                )
+                .unwrap();
             },
             |_, _| {},
         ),
@@ -765,9 +824,12 @@ fn port_label_bounds_decontamination() {
                 let p2 = sys.new_port(label.clone());
                 sys.set_port_label(p2, label).unwrap();
                 // Self-send with D_R(t2) = 3 > p_R(t2) = 2: dropped (req 4).
-                sys.send_args(p2, Value::Str("forced".into()),
-                    &SendArgs::new().raise_recv(raise(t2)))
-                    .unwrap();
+                sys.send_args(
+                    p2,
+                    Value::Str("forced".into()),
+                    &SendArgs::new().raise_recv(raise(t2)),
+                )
+                .unwrap();
             },
             |_, _| {},
         ),
@@ -828,7 +890,10 @@ fn dissociated_port_drops_messages() {
     kernel.inject(p, Value::Str("after".into()));
     kernel.run();
     assert_eq!(*got.borrow(), 1);
-    assert_eq!(kernel.stats().dropped_no_port + kernel.stats().dropped_no_owner, 1);
+    assert_eq!(
+        kernel.stats().dropped_no_port + kernel.stats().dropped_no_owner,
+        1
+    );
 }
 
 // ---------------------------------------------------------------------
@@ -853,7 +918,11 @@ fn exit_process_cleans_up() {
             },
         ),
     );
-    let p = kernel.global_env("mortal.port").unwrap().as_handle().unwrap();
+    let p = kernel
+        .global_env("mortal.port")
+        .unwrap()
+        .as_handle()
+        .unwrap();
     kernel.inject(p, Value::Unit);
     kernel.inject(p, Value::Unit); // second message: no owner anymore
     kernel.run();
@@ -874,7 +943,10 @@ fn spawned_children_inherit_labels() {
             |sys| {
                 let h = sys.new_handle();
                 sys.publish_env("h", Value::Handle(h));
-                sys.self_contaminate(&Label::from_pairs(Level::Star, &[(Handle::from_raw(1), Level::L2)]));
+                sys.self_contaminate(&Label::from_pairs(
+                    Level::Star,
+                    &[(Handle::from_raw(1), Level::L2)],
+                ));
                 let child = sys
                     .spawn(
                         "child",
@@ -885,10 +957,7 @@ fn spawned_children_inherit_labels() {
                                 // Fork-style privilege distribution: child
                                 // inherits ⋆ for the parent's handle.
                                 assert!(csys.has_star(h));
-                                assert_eq!(
-                                    csys.send_label().get(Handle::from_raw(1)),
-                                    Level::L2
-                                );
+                                assert_eq!(csys.send_label().get(Handle::from_raw(1)), Level::L2);
                             },
                             |_, _| {},
                         ),

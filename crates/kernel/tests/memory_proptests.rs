@@ -29,9 +29,8 @@ const SPACE: u64 = 6 * 4096;
 
 fn arb_op() -> impl Strategy<Value = MemOp> {
     prop_oneof![
-        (0..SPACE - 64, prop::collection::vec(any::<u8>(), 1..64)).prop_map(|(addr, data)| {
-            MemOp::Write { addr, data }
-        }),
+        (0..SPACE - 64, prop::collection::vec(any::<u8>(), 1..64))
+            .prop_map(|(addr, data)| { MemOp::Write { addr, data } }),
         (0..SPACE - 64, 1usize..64).prop_map(|(addr, len)| MemOp::Read { addr, len }),
         (0..SPACE - 64, 1usize..8192).prop_map(|(addr, len)| MemOp::Clean { addr, len }),
     ]
@@ -62,9 +61,7 @@ impl Oracle {
                 let page = self.base_page(vpn);
                 self.overlay.insert(vpn, page);
             }
-            self.overlay
-                .get_mut(&vpn)
-                .expect("inserted above")[(a % 4096) as usize] = b;
+            self.overlay.get_mut(&vpn).expect("inserted above")[(a % 4096) as usize] = b;
         }
     }
 
@@ -172,7 +169,11 @@ fn run_case(base_writes: Vec<(u64, Vec<u8>)>, ops: Vec<MemOp>) {
             MemOp::Clean { addr, len } => oracle.clean(*addr, *len),
         }
     }
-    assert_eq!(*pages.borrow(), oracle.private_pages(), "private page count");
+    assert_eq!(
+        *pages.borrow(),
+        oracle.private_pages(),
+        "private page count"
+    );
 }
 
 /// Observations captured inside the handler (encoded without serde to keep
@@ -198,7 +199,7 @@ fn serde_free_encode(o: &OracleEp) -> String {
     reads.join(";")
 }
 
-fn serde_free_decode(s: &String) -> OracleEp {
+fn serde_free_decode(s: &str) -> OracleEp {
     let mut out = OracleEp::default();
     if s.is_empty() {
         return out;
@@ -236,7 +237,10 @@ fn regression_write_clean_read() {
     run_case(
         vec![(100, vec![1, 2, 3, 4])],
         vec![
-            MemOp::Write { addr: 100, data: vec![9, 9] },
+            MemOp::Write {
+                addr: 100,
+                data: vec![9, 9],
+            },
             MemOp::Read { addr: 100, len: 4 },
             MemOp::Clean { addr: 0, len: 4096 },
             MemOp::Read { addr: 100, len: 4 },
@@ -249,10 +253,19 @@ fn regression_cross_page_write() {
     run_case(
         vec![],
         vec![
-            MemOp::Write { addr: 4090, data: vec![5; 20] },
-            MemOp::Read { addr: 4088, len: 30 },
+            MemOp::Write {
+                addr: 4090,
+                data: vec![5; 20],
+            },
+            MemOp::Read {
+                addr: 4088,
+                len: 30,
+            },
             MemOp::Clean { addr: 4096, len: 1 },
-            MemOp::Read { addr: 4090, len: 20 },
+            MemOp::Read {
+                addr: 4090,
+                len: 20,
+            },
         ],
     );
 }

@@ -85,7 +85,8 @@ fn port_operations_require_ownership() {
             move |sys| {
                 let p = sys.env("p").unwrap().as_handle().unwrap();
                 e2.borrow_mut().push(sys.port_label(p).err());
-                e2.borrow_mut().push(sys.set_port_label(p, Label::top()).err());
+                e2.borrow_mut()
+                    .push(sys.set_port_label(p, Label::top()).err());
                 e2.borrow_mut().push(sys.dissociate_port(p).err());
                 // Nonexistent handles are equally opaque.
                 let ghost = Handle::from_raw(0x1234);
@@ -109,15 +110,15 @@ fn port_operations_require_ownership() {
 #[test]
 fn memory_argument_validation() {
     let results = probe(403, |sys| {
-        let mut out = Vec::new();
-        out.push(("write-empty", sys.mem_write(0, &[]).map(|_| ())));
-        out.push(("read-empty", sys.mem_read(0, 0).map(|_| ())));
-        out.push((
-            "write-overflow",
-            sys.mem_write(u64::MAX - 1, &[1, 2, 3]).map(|_| ()),
-        ));
-        out.push(("write-ok", sys.mem_write(0x5000, &[1]).map(|_| ())));
-        out
+        vec![
+            ("write-empty", sys.mem_write(0, &[]).map(|_| ())),
+            ("read-empty", sys.mem_read(0, 0).map(|_| ())),
+            (
+                "write-overflow",
+                sys.mem_write(u64::MAX - 1, &[1, 2, 3]).map(|_| ()),
+            ),
+            ("write-ok", sys.mem_write(0x5000, &[1]).map(|_| ())),
+        ]
     });
     assert_eq!(
         results,

@@ -11,6 +11,7 @@
 //! the upper bits and the level into the low 3 bits, exactly the user-space
 //! label format the paper describes in §5.6.
 
+use crate::fingerprint::ChunkDigest;
 use crate::handle::Handle;
 use crate::level::Level;
 
@@ -30,9 +31,21 @@ pub fn entry_handle(packed: u64) -> u64 {
 }
 
 /// The level part of a packed entry.
+///
+/// Masks to the low 3 bits first so a full packed word — handle bits and
+/// all — can never panic the decoder. [`pack`] only ever stores the five
+/// valid encodings; the unused encodings 5–7 decode to the most-tainted
+/// level `3` (with a debug assertion) rather than bringing the kernel down
+/// on a corrupted entry.
 #[inline]
 pub fn entry_level(packed: u64) -> Level {
-    Level::from_bits(packed).expect("label entries always hold a valid level encoding")
+    match Level::from_bits(packed & 0x7) {
+        Some(level) => level,
+        None => {
+            debug_assert!(false, "invalid level encoding {:#x}", packed & 0x7);
+            Level::L3
+        }
+    }
 }
 
 /// A sorted run of up to [`CHUNK_CAP`] packed entries with cached level bounds.
@@ -44,6 +57,9 @@ pub struct Chunk {
     min_level: Level,
     /// Maximum level over the entries.
     max_level: Level,
+    /// Cached partial fingerprint over the packed entries; labels combine
+    /// chunk digests in O(chunks) (see [`crate::fingerprint`]).
+    digest: ChunkDigest,
 }
 
 impl Chunk {
@@ -59,22 +75,33 @@ impl Chunk {
             entries,
             min_level: Level::L3,
             max_level: Level::Star,
+            digest: ChunkDigest::EMPTY,
         };
         c.recompute_bounds();
         c
     }
 
-    /// Recomputes the cached min/max levels after a mutation.
+    /// Recomputes the cached min/max levels and fingerprint digest after a
+    /// mutation.
     pub fn recompute_bounds(&mut self) {
         let mut min = Level::L3;
         let mut max = Level::Star;
+        let mut digest = ChunkDigest::EMPTY;
         for &e in &self.entries {
             let lv = entry_level(e);
             min = min.min(lv);
             max = max.max(lv);
+            digest.push(e);
         }
         self.min_level = min;
         self.max_level = max;
+        self.digest = digest;
+    }
+
+    /// The cached fingerprint digest over the packed entries.
+    #[inline]
+    pub fn digest(&self) -> &ChunkDigest {
+        &self.digest
     }
 
     /// The packed entries.
@@ -158,6 +185,36 @@ mod tests {
         let p = pack(0x1fff_ffff_ffff_ffff, Level::Star);
         assert_eq!(entry_handle(p), 0x1fff_ffff_ffff_ffff);
         assert_eq!(entry_level(p), Level::Star);
+    }
+
+    #[test]
+    fn entry_level_never_panics_on_full_packed_word() {
+        // A maximum-handle entry fills all 61 upper bits; decoding the
+        // level must mask before interpreting the word.
+        for lv in Level::ALL {
+            let p = pack(0x1fff_ffff_ffff_ffff, lv);
+            assert_eq!(entry_level(p), lv);
+        }
+        // All-ones word: handle bits are garbage and the level encoding
+        // (7) is one of the unused ones — decode degrades, not panics.
+        let garbage = u64::MAX;
+        if cfg!(debug_assertions) {
+            assert!(std::panic::catch_unwind(|| entry_level(garbage)).is_err());
+        } else {
+            assert_eq!(entry_level(garbage), Level::L3);
+        }
+    }
+
+    #[test]
+    fn digest_tracks_mutation() {
+        let mut c = chunk(&[(1, Level::L1), (2, Level::L2)]);
+        let before = *c.digest();
+        c.entries_mut().push(pack(9, Level::L3));
+        c.recompute_bounds();
+        assert_ne!(*c.digest(), before);
+        c.entries_mut().pop();
+        c.recompute_bounds();
+        assert_eq!(*c.digest(), before);
     }
 
     #[test]

@@ -234,7 +234,9 @@ mod tests {
     fn different_seeds_differ() {
         let a = HandleCipher::new(1);
         let b = HandleCipher::new(2);
-        let same = (0..256u64).filter(|&v| a.encrypt(v) == b.encrypt(v)).count();
+        let same = (0..256u64)
+            .filter(|&v| a.encrypt(v) == b.encrypt(v))
+            .count();
         assert!(same < 4, "seeds produce nearly identical permutations");
     }
 

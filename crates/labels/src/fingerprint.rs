@@ -1,0 +1,168 @@
+//! Structural label fingerprints: cheap 64-bit identities for labels.
+//!
+//! The kernel's Figure 4 delivery rule is evaluated for every message, and
+//! OKWS-style traffic presents the *same* label tuples millions of times —
+//! §5.6's chunk sharing exists precisely because labels are highly
+//! repetitive. To memoize delivery decisions the kernel needs a cheap,
+//! stable identity for a label's logical contents.
+//!
+//! The fingerprint is a polynomial rolling hash over the packed entry
+//! sequence, seeded with the default level and finalized with the entry
+//! count. Polynomial hashing is linear in the seed —
+//! `fold(s, chunk) = s·Rⁿ + fold(0, chunk)` for an `n`-entry chunk — so
+//! each [`crate::chunk::Chunk`] caches its own partial hash and `Rⁿ`, and a
+//! label combines its chunks' caches in O(number of chunks). Crucially the
+//! result depends only on the *logical* entry sequence, never on where the
+//! chunk boundaries fall, so two equal labels built by different operation
+//! histories always agree.
+//!
+//! Fingerprint equality is probabilistic identity: two distinct labels
+//! collide with probability ≈ 2⁻⁶⁴ per pair. The delivery cache keys on
+//! fingerprints of full label tuples (7 independent fingerprints), so a
+//! wrong cached decision needs a simultaneous collision across the tuple —
+//! negligible for a simulator, and the equivalence property tests in
+//! `crates/kernel/tests/delivery_cache.rs` pin the semantics.
+
+use crate::level::Level;
+
+/// The polynomial base. Odd (invertible mod 2⁶⁴) and high-entropy.
+pub const BASE: u64 = 0x2545_F491_4F6C_DD1D;
+
+/// splitmix64's finalizer: a fast 64-bit bijective mixer.
+#[inline]
+pub const fn mix64(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// A partial polynomial hash over a run of packed entries: the pair
+/// `(fold(0, entries), BASE^len)` that lets runs be concatenated in O(1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ChunkDigest {
+    /// `fold(0, entries)`: the hash of the run from a zero seed.
+    pub hash: u64,
+    /// `BASE^len`: what a preceding seed must be multiplied by.
+    pub base_pow: u64,
+}
+
+impl ChunkDigest {
+    /// The digest of an empty run (identity for [`ChunkDigest::extend`]).
+    pub const EMPTY: ChunkDigest = ChunkDigest {
+        hash: 0,
+        base_pow: 1,
+    };
+
+    /// Digests a run of packed entries in one pass.
+    pub fn of_entries(entries: &[u64]) -> ChunkDigest {
+        let mut digest = ChunkDigest::EMPTY;
+        for &e in entries {
+            digest.push(e);
+        }
+        digest
+    }
+
+    /// Appends one packed entry.
+    #[inline]
+    pub fn push(&mut self, packed: u64) {
+        self.hash = self.hash.wrapping_mul(BASE).wrapping_add(mix64(packed));
+        self.base_pow = self.base_pow.wrapping_mul(BASE);
+    }
+
+    /// Appends a whole digested run (the O(1) concatenation).
+    #[inline]
+    pub fn extend(&mut self, other: &ChunkDigest) {
+        self.hash = self
+            .hash
+            .wrapping_mul(other.base_pow)
+            .wrapping_add(other.hash);
+        self.base_pow = self.base_pow.wrapping_mul(other.base_pow);
+    }
+}
+
+/// Combines a label's default level, entry count, and chunk digests into
+/// the label's fingerprint. O(number of chunks).
+pub fn label_fingerprint<'a>(
+    default: Level,
+    len: usize,
+    chunks: impl Iterator<Item = &'a ChunkDigest>,
+) -> u64 {
+    let mut acc = ChunkDigest {
+        // Seed with the default level so `{1}` and `{2}` differ.
+        hash: mix64(0x5EED ^ default.to_bits()),
+        base_pow: 1,
+    };
+    for digest in chunks {
+        acc.extend(digest);
+    }
+    mix64(acc.hash ^ mix64(len as u64 ^ 0x1E01))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chunk::pack;
+
+    #[test]
+    fn concatenation_matches_direct_fold() {
+        let entries: Vec<u64> = (0..100u64).map(|i| pack(i * 3, Level::L3)).collect();
+        let direct = ChunkDigest::of_entries(&entries);
+        // Any split point must produce the same combined digest.
+        for split in [0, 1, 17, 50, 99, 100] {
+            let mut left = ChunkDigest::of_entries(&entries[..split]);
+            let right = ChunkDigest::of_entries(&entries[split..]);
+            left.extend(&right);
+            assert_eq!(left, direct, "split at {split}");
+        }
+    }
+
+    #[test]
+    fn fingerprint_ignores_chunk_boundaries() {
+        let entries: Vec<u64> = (0..150u64).map(|i| pack(i, Level::Star)).collect();
+        let one = ChunkDigest::of_entries(&entries);
+        let a = ChunkDigest::of_entries(&entries[..64]);
+        let b = ChunkDigest::of_entries(&entries[64..128]);
+        let c = ChunkDigest::of_entries(&entries[128..]);
+        let fp_one = label_fingerprint(Level::L1, entries.len(), [&one].into_iter());
+        let fp_split = label_fingerprint(Level::L1, entries.len(), [&a, &b, &c].into_iter());
+        assert_eq!(fp_one, fp_split);
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_content() {
+        let a = ChunkDigest::of_entries(&[pack(1, Level::L3)]);
+        let b = ChunkDigest::of_entries(&[pack(2, Level::L3)]);
+        let c = ChunkDigest::of_entries(&[pack(1, Level::L2)]);
+        let fa = label_fingerprint(Level::L1, 1, [&a].into_iter());
+        let fb = label_fingerprint(Level::L1, 1, [&b].into_iter());
+        let fc = label_fingerprint(Level::L1, 1, [&c].into_iter());
+        let fd = label_fingerprint(Level::L2, 1, [&a].into_iter());
+        assert_ne!(fa, fb, "handle must matter");
+        assert_ne!(fa, fc, "level must matter");
+        assert_ne!(fa, fd, "default must matter");
+    }
+
+    #[test]
+    fn empty_labels_differ_by_default_only() {
+        let fp = |d| label_fingerprint(d, 0, std::iter::empty());
+        let all: Vec<u64> = Level::ALL.iter().map(|&d| fp(d)).collect();
+        for i in 0..all.len() {
+            for j in 0..i {
+                assert_ne!(all[i], all[j]);
+            }
+        }
+        assert_eq!(fp(Level::L1), fp(Level::L1));
+    }
+
+    #[test]
+    fn order_sensitivity() {
+        // Polynomial hashing is order-sensitive (entries are sorted by
+        // handle in labels, so equal entry *sets* always agree anyway).
+        let ab = ChunkDigest::of_entries(&[pack(1, Level::L3), pack(2, Level::L3)]);
+        let ba = ChunkDigest::of_entries(&[pack(2, Level::L3), pack(1, Level::L3)]);
+        assert_ne!(
+            label_fingerprint(Level::L1, 2, [&ab].into_iter()),
+            label_fingerprint(Level::L1, 2, [&ba].into_iter())
+        );
+    }
+}

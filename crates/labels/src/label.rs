@@ -1,12 +1,25 @@
 //! The [`Label`] type: a function from handles to levels (§5.1, §5.6).
 
+use std::cell::Cell;
 use std::cmp::Ordering;
 use std::fmt;
 use std::sync::Arc;
 
 use crate::chunk::{entry_handle, entry_level, pack, Chunk, CHUNK_CAP};
+use crate::fingerprint::label_fingerprint;
 use crate::handle::Handle;
 use crate::level::Level;
+
+thread_local! {
+    /// Per-thread count of [`Label::clone`] calls (monotonic).
+    ///
+    /// The kernel's delivery-cache fast path promises *zero* label clones
+    /// on a cache hit; tests pin that promise by diffing this counter
+    /// around deliveries. Thread-local so concurrently running tests
+    /// (each kernel is single-threaded) cannot perturb each other's
+    /// measurements.
+    static CLONE_COUNT: Cell<u64> = const { Cell::new(0) };
+}
 
 /// Accounted size of the label header, in bytes.
 ///
@@ -45,7 +58,6 @@ pub const CHUNK_MIN_CAP: usize = 30;
 /// * No entry's level equals the default (such entries are redundant and are
 ///   normalized away).
 /// * Chunks are non-empty and hold at most [`CHUNK_CAP`] entries.
-#[derive(Clone)]
 pub struct Label {
     chunks: Vec<Arc<Chunk>>,
     default: Level,
@@ -55,6 +67,24 @@ pub struct Label {
     min_level: Level,
     /// Maximum level over entries and default.
     max_level: Level,
+    /// Cached structural fingerprint (see [`crate::fingerprint`]):
+    /// a 64-bit identity of the logical contents, independent of chunk
+    /// boundaries, recombined from per-chunk digests on every mutation.
+    fp: u64,
+}
+
+impl Clone for Label {
+    fn clone(&self) -> Label {
+        CLONE_COUNT.with(|c| c.set(c.get() + 1));
+        Label {
+            chunks: self.chunks.clone(),
+            default: self.default,
+            len: self.len,
+            min_level: self.min_level,
+            max_level: self.max_level,
+            fp: self.fp,
+        }
+    }
 }
 
 impl Label {
@@ -66,6 +96,7 @@ impl Label {
             len: 0,
             min_level: default,
             max_level: default,
+            fp: label_fingerprint(default, 0, std::iter::empty()),
         }
     }
 
@@ -167,6 +198,26 @@ impl Label {
     #[inline]
     pub fn is_all_star(&self) -> bool {
         self.max_level == Level::Star
+    }
+
+    /// The label's 64-bit structural fingerprint: a probabilistically
+    /// unique identity of the logical contents (default level plus entry
+    /// sequence), independent of chunk boundaries. O(1) — the value is
+    /// maintained incrementally across mutations from per-chunk digests.
+    ///
+    /// Equal labels always have equal fingerprints; distinct labels
+    /// collide with probability ≈ 2⁻⁶⁴. The kernel's delivery cache keys
+    /// on fingerprints (see `asbestos-kernel`'s `delivery` module).
+    #[inline]
+    pub fn fingerprint(&self) -> u64 {
+        self.fp
+    }
+
+    /// Total [`Label::clone`] calls on the current thread. A test
+    /// observability hook: the kernel's cache-hit delivery path must not
+    /// clone labels, and tests verify that by diffing this counter.
+    pub fn clone_count() -> u64 {
+        CLONE_COUNT.with(Cell::get)
     }
 
     /// Iterates explicit `(handle, level)` entries in ascending handle order.
@@ -373,7 +424,8 @@ impl Label {
         if chunk.len() > CHUNK_CAP {
             let right = chunk.entries_mut().split_off(CHUNK_CAP / 2);
             chunk.recompute_bounds();
-            self.chunks.insert(ci + 1, Arc::new(Chunk::from_entries(right)));
+            self.chunks
+                .insert(ci + 1, Arc::new(Chunk::from_entries(right)));
         }
         self.after_mutation();
     }
@@ -399,7 +451,8 @@ impl Label {
         self.after_mutation();
     }
 
-    /// Re-establishes the cached length and level bounds from chunk caches.
+    /// Re-establishes the cached length, level bounds, and fingerprint
+    /// from chunk caches. O(number of chunks), not entries.
     fn after_mutation(&mut self) {
         self.len = self.chunks.iter().map(|c| c.len()).sum();
         let mut min = self.default;
@@ -410,6 +463,11 @@ impl Label {
         }
         self.min_level = min;
         self.max_level = max;
+        self.fp = label_fingerprint(
+            self.default,
+            self.len,
+            self.chunks.iter().map(|c| c.digest()),
+        );
     }
 
     /// Validates all representation invariants; used by tests.
@@ -436,16 +494,22 @@ impl Label {
         assert_eq!(count, self.len, "length cache stale");
         assert_eq!(min, self.min_level, "min cache stale");
         assert_eq!(max, self.max_level, "max cache stale");
+        let rebuilt = Label::from_pairs(self.default, &self.iter().collect::<Vec<_>>());
+        assert_eq!(rebuilt.fp, self.fp, "fingerprint cache stale");
     }
 }
 
 impl PartialEq for Label {
     fn eq(&self, other: &Label) -> bool {
+        // The fingerprint is a function of logical contents only, so a
+        // mismatch proves inequality without walking entries. (A match
+        // does not prove equality — fall through to the logical compare.)
+        if self.fp != other.fp {
+            return false;
+        }
         // Chunk boundaries may differ between equal labels, so compare
         // logical contents.
-        self.default == other.default
-            && self.len == other.len
-            && self.iter().eq(other.iter())
+        self.default == other.default && self.len == other.len && self.iter().eq(other.iter())
     }
 }
 
@@ -504,7 +568,9 @@ impl LabelBuilder {
     pub(crate) fn finish(mut self) -> Label {
         if !self.current.is_empty() {
             self.chunks
-                .push(Arc::new(Chunk::from_entries(std::mem::take(&mut self.current))));
+                .push(Arc::new(Chunk::from_entries(std::mem::take(
+                    &mut self.current,
+                ))));
         }
         let mut label = Label {
             chunks: self.chunks,
@@ -512,6 +578,7 @@ impl LabelBuilder {
             len: 0,
             min_level: self.default,
             max_level: self.default,
+            fp: 0,
         };
         label.after_mutation();
         label
@@ -555,8 +622,8 @@ mod tests {
             &[
                 (h(9), Level::L3),
                 (h(2), Level::Star),
-                (h(9), Level::L0),  // duplicate: last wins
-                (h(4), Level::L1),  // default: dropped
+                (h(9), Level::L0), // duplicate: last wins
+                (h(4), Level::L1), // default: dropped
             ],
         );
         assert_eq!(l.entry_count(), 2);

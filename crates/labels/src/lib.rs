@@ -42,6 +42,7 @@
 
 pub mod chunk;
 pub mod cipher;
+pub mod fingerprint;
 pub mod handle;
 pub mod label;
 pub mod level;

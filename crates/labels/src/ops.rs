@@ -18,12 +18,53 @@ pub fn op_work(labels: &[&Label]) -> usize {
     labels.iter().map(|l| l.entry_count()).sum()
 }
 
+/// A memoization key for one full Figure 4 delivery evaluation: the
+/// structural fingerprints of every label the decision *and* its effects
+/// depend on.
+///
+/// The boolean checks read `(E_S, D_R, V, p_R, Q_R)`; the effect labels
+/// additionally read `D_S` and `Q_S` (`Q_S ← (Q_S ⊓ D_S) ⊔ (E_S ⊓ Q_S⋆)`),
+/// so a key that memoizes effects as well as decisions must cover all
+/// seven. Keys are O(1) to build — every fingerprint is cached in its
+/// label's header — and two identical label tuples always produce the same
+/// key; distinct tuples collide only if one of seven independent 64-bit
+/// fingerprints collides (see [`crate::fingerprint`]).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct DeliveryKey([u64; 7]);
+
+impl DeliveryKey {
+    /// Builds the key from the seven labels of one delivery evaluation.
+    #[allow(clippy::too_many_arguments)]
+    #[inline]
+    pub fn new(
+        es: &Label,
+        ds: &Label,
+        dr: &Label,
+        v: &Label,
+        pr: &Label,
+        qs: &Label,
+        qr: &Label,
+    ) -> DeliveryKey {
+        DeliveryKey([
+            es.fingerprint(),
+            ds.fingerprint(),
+            dr.fingerprint(),
+            v.fingerprint(),
+            pr.fingerprint(),
+            qs.fingerprint(),
+            qr.fingerprint(),
+        ])
+    }
+}
+
 /// A merging cursor over up to `N` labels: at each union handle it yields
 /// every label's level (explicit or default) in one pass, so k-way
 /// operations run in O(total explicit entries) — the same linearity the
 /// paper's kernel has (§5.6), here on the host as well as in virtual cost.
+type EntryIter<'a> = std::iter::Peekable<Box<dyn Iterator<Item = (Handle, Level)> + 'a>>;
+
 struct UnionCursor<'a, const N: usize> {
-    iters: [std::iter::Peekable<Box<dyn Iterator<Item = (Handle, Level)> + 'a>>; N],
+    iters: [EntryIter<'a>; N],
     defaults: [Level; N],
 }
 
@@ -134,7 +175,11 @@ pub fn check_decont_within_port(dr: &Label, pr: &Label) -> bool {
 /// cannot be contaminated with respect to it.
 pub fn apply_receive_contamination(qs: &Label, ds: &Label, es: &Label) -> Label {
     let combine = |q: Level, d: Level, e: Level| -> Level {
-        let star_guard = if q == Level::Star { Level::Star } else { Level::L3 };
+        let star_guard = if q == Level::Star {
+            Level::Star
+        } else {
+            Level::L3
+        };
         q.min(d).max(e.min(star_guard))
     };
     // Fast path: a no-op D_S and an effective send label too low to
@@ -175,13 +220,7 @@ mod tests {
 
     /// Reference (composed) form of `check_delivery` built from the lattice
     /// operations directly.
-    fn check_delivery_composed(
-        es: &Label,
-        qr: &Label,
-        dr: &Label,
-        v: &Label,
-        pr: &Label,
-    ) -> bool {
+    fn check_delivery_composed(es: &Label, qr: &Label, dr: &Label, v: &Label, pr: &Label) -> bool {
         es.leq(&qr.lub(dr).glb(v).glb(pr))
     }
 
@@ -276,8 +315,14 @@ mod tests {
         // D_R = {⋆} is a no-op and needs no privilege.
         assert!(check_decont_recv_privilege(&Label::bottom(), &ps_without));
         // A privileged default needs an all-star sender.
-        assert!(!check_decont_recv_privilege(&Label::new(Level::L2), &ps_with));
-        assert!(check_decont_recv_privilege(&Label::new(Level::L2), &Label::bottom()));
+        assert!(!check_decont_recv_privilege(
+            &Label::new(Level::L2),
+            &ps_with
+        ));
+        assert!(check_decont_recv_privilege(
+            &Label::new(Level::L2),
+            &Label::bottom()
+        ));
     }
 
     #[test]

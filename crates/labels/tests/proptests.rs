@@ -344,8 +344,7 @@ fn regression_mls_emulation() {
     let t = Handle::from_raw(2);
     let unclass_send = Label::default_send();
     let secret_send = Label::from_pairs(Level::L1, &[(s, Level::L3)]);
-    let topsecret_send =
-        Label::from_pairs(Level::L1, &[(s, Level::L3), (t, Level::L3)]);
+    let topsecret_send = Label::from_pairs(Level::L1, &[(s, Level::L3), (t, Level::L3)]);
     let unclass_recv = Label::default_recv();
     let secret_recv = Label::from_pairs(Level::L2, &[(s, Level::L3)]);
     let topsecret_recv = Label::from_pairs(Level::L2, &[(s, Level::L3), (t, Level::L3)]);
@@ -362,4 +361,48 @@ fn regression_mls_emulation() {
     let odd = Label::from_pairs(Level::L1, &[(t, Level::L3)]);
     assert!(!odd.leq(&secret_recv));
     assert!(odd.leq(&topsecret_recv));
+}
+
+// ---------------------------------------------------------------------
+// Structural fingerprints (the delivery-cache identity).
+// ---------------------------------------------------------------------
+
+proptest! {
+    /// Equal labels must have equal fingerprints regardless of how their
+    /// chunk structure came to be — `from_pairs` bulk construction versus
+    /// one-at-a-time mutation produce different chunk boundaries.
+    #[test]
+    fn fingerprint_is_boundary_independent(l in arb_wide_label()) {
+        let pairs: Vec<(Handle, Level)> = l.iter().collect();
+        let mut rebuilt = Label::new(l.default_level());
+        for &(h, lv) in &pairs {
+            rebuilt.set(h, lv);
+        }
+        prop_assert_eq!(l.clone(), rebuilt.clone());
+        prop_assert_eq!(l.fingerprint(), rebuilt.fingerprint());
+    }
+
+    /// Fingerprint inequality must imply label inequality (the property
+    /// the `PartialEq` fast path and the delivery cache both rely on).
+    #[test]
+    fn fingerprint_mismatch_implies_inequality(a in arb_label(), b in arb_label()) {
+        if a.fingerprint() != b.fingerprint() {
+            prop_assert_ne!(a, b);
+        } else {
+            // With a 48-handle domain, equal fingerprints in practice mean
+            // equal labels; verify agreement with the oracle either way.
+            prop_assert_eq!(a == b, to_naive(&a) == to_naive(&b));
+        }
+    }
+
+    /// Mutation keeps the cached fingerprint in sync (remove, re-add,
+    /// overwrite paths all go through `after_mutation`).
+    #[test]
+    fn fingerprint_tracks_mutation(l in arb_label(), h in arb_handle(), lv in arb_level()) {
+        let mut m = l.clone();
+        m.set(h, lv);
+        m.check_invariants();
+        let direct = Label::from_pairs(m.default_level(), &m.iter().collect::<Vec<_>>());
+        prop_assert_eq!(m.fingerprint(), direct.fingerprint());
+    }
 }

@@ -76,9 +76,8 @@ impl ClientDriver {
 
     /// Convenience: issues a GET for `path` (HTTP/1.0, benchmark headers).
     pub fn get(&mut self, kernel: &mut Kernel, tcp_port: u16, path: &str) -> usize {
-        let req = format!(
-            "GET {path} HTTP/1.0\r\nHost: asbestos.test\r\nUser-Agent: bench/0.1\r\n\r\n"
-        );
+        let req =
+            format!("GET {path} HTTP/1.0\r\nHost: asbestos.test\r\nUser-Agent: bench/0.1\r\n\r\n");
         self.open(kernel, tcp_port, req.as_bytes())
     }
 

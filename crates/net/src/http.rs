@@ -35,7 +35,11 @@ impl HttpRequest {
     /// The first path segment, used by ok-demux as the service name:
     /// `/login?u=alice` → `login`.
     pub fn service(&self) -> &str {
-        self.path.trim_start_matches('/').split('/').next().unwrap_or("")
+        self.path
+            .trim_start_matches('/')
+            .split('/')
+            .next()
+            .unwrap_or("")
     }
 }
 
@@ -76,7 +80,10 @@ pub fn parse_request(buf: &[u8]) -> Result<HttpRequest, HttpError> {
     let mut lines = head.split("\r\n");
     let request_line = lines.next().ok_or(HttpError::BadRequestLine)?;
     let mut parts = request_line.split(' ');
-    let method = parts.next().filter(|m| !m.is_empty()).ok_or(HttpError::BadRequestLine)?;
+    let method = parts
+        .next()
+        .filter(|m| !m.is_empty())
+        .ok_or(HttpError::BadRequestLine)?;
     let target = parts.next().ok_or(HttpError::BadRequestLine)?;
     let _version = parts.next().ok_or(HttpError::BadRequestLine)?;
     if parts.next().is_some() {
@@ -161,14 +168,18 @@ mod tests {
 
     #[test]
     fn parses_request_with_query_and_headers() {
-        let raw = b"GET /login?user=alice&pw=secret HTTP/1.0\r\nHost: example.test\r\nX-Tag: 7\r\n\r\n";
+        let raw =
+            b"GET /login?user=alice&pw=secret HTTP/1.0\r\nHost: example.test\r\nX-Tag: 7\r\n\r\n";
         let req = parse_request(raw).unwrap();
         assert_eq!(req.method, "GET");
         assert_eq!(req.path, "/login");
         assert_eq!(req.service(), "login");
         assert_eq!(req.param("user"), Some("alice"));
         assert_eq!(req.param("pw"), Some("secret"));
-        assert_eq!(req.headers.get("host").map(String::as_str), Some("example.test"));
+        assert_eq!(
+            req.headers.get("host").map(String::as_str),
+            Some("example.test")
+        );
         assert_eq!(req.headers.get("x-tag").map(String::as_str), Some("7"));
         assert!(req.body.is_empty());
     }

@@ -105,8 +105,9 @@ impl Netd {
         // will respond to all messages on uC with replies contaminated with
         // uT 3"). netd itself holds uT ⋆, so its own label is unaffected.
         let reply_args = || match taint {
-            Some(t) => SendArgs::new()
-                .contaminate(Label::from_pairs(Level::Star, &[(t, Level::L3)])),
+            Some(t) => {
+                SendArgs::new().contaminate(Label::from_pairs(Level::Star, &[(t, Level::L3)]))
+            }
             None => SendArgs::new(),
         };
         match msg {
@@ -120,7 +121,11 @@ impl Netd {
                 let bytes = if peek {
                     self.net.borrow().server_peek(conn, limit)
                 } else {
-                    self.net.borrow_mut().server_read(conn, limit).to_vec().into()
+                    self.net
+                        .borrow_mut()
+                        .server_read(conn, limit)
+                        .to_vec()
+                        .into()
                 };
                 sys.charge(NETD_EVENT_CYCLES + bytes.len() as u64 * NETD_BYTE_CYCLES);
                 let body = NetMsg::ReadR {
@@ -141,10 +146,8 @@ impl Netd {
                 // label to {uC 0, uT 3, 2}.
                 sys.raise_recv(taint, Level::L3)
                     .expect("AddTaint must arrive with a ⋆ grant for the taint handle");
-                let port_label = Label::from_pairs(
-                    Level::L2,
-                    &[(uc, Level::L0), (taint, Level::L3)],
-                );
+                let port_label =
+                    Label::from_pairs(Level::L2, &[(uc, Level::L0), (taint, Level::L3)]);
                 sys.set_port_label(uc, port_label)
                     .expect("netd owns every connection port");
                 if let Some(s) = self.conns.get_mut(&uc) {

@@ -106,27 +106,23 @@ impl NetMsg {
                 Value::Str("write".into()),
                 Value::Bytes(bytes.clone()),
             ]),
-            NetMsg::AddTaint { taint } => Value::List(vec![
-                Value::Str("add-taint".into()),
-                Value::Handle(*taint),
-            ]),
+            NetMsg::AddTaint { taint } => {
+                Value::List(vec![Value::Str("add-taint".into()), Value::Handle(*taint)])
+            }
             NetMsg::Close => Value::List(vec![Value::Str("close".into())]),
-            NetMsg::Select { reply } => Value::List(vec![
-                Value::Str("select".into()),
-                Value::Handle(*reply),
-            ]),
-            NetMsg::NewConn { port } => Value::List(vec![
-                Value::Str("new-conn".into()),
-                Value::Handle(*port),
-            ]),
+            NetMsg::Select { reply } => {
+                Value::List(vec![Value::Str("select".into()), Value::Handle(*reply)])
+            }
+            NetMsg::NewConn { port } => {
+                Value::List(vec![Value::Str("new-conn".into()), Value::Handle(*port)])
+            }
             NetMsg::ReadR { bytes } => Value::List(vec![
                 Value::Str("read-r".into()),
                 Value::Bytes(bytes.clone()),
             ]),
-            NetMsg::SelectR { available } => Value::List(vec![
-                Value::Str("select-r".into()),
-                Value::U64(*available),
-            ]),
+            NetMsg::SelectR { available } => {
+                Value::List(vec![Value::Str("select-r".into()), Value::U64(*available)])
+            }
         }
     }
 
@@ -180,11 +176,27 @@ mod tests {
     fn roundtrip_all_variants() {
         let h = Handle::from_raw(0x42);
         let msgs = vec![
-            NetMsg::DevNewConn { conn: 7, tcp_port: 80 },
-            NetMsg::Listen { tcp_port: 80, notify: h },
-            NetMsg::Read { max: 512, reply: h, peek: false },
-            NetMsg::Read { max: 64, reply: h, peek: true },
-            NetMsg::Write { bytes: vec![1, 2, 3] },
+            NetMsg::DevNewConn {
+                conn: 7,
+                tcp_port: 80,
+            },
+            NetMsg::Listen {
+                tcp_port: 80,
+                notify: h,
+            },
+            NetMsg::Read {
+                max: 512,
+                reply: h,
+                peek: false,
+            },
+            NetMsg::Read {
+                max: 64,
+                reply: h,
+                peek: true,
+            },
+            NetMsg::Write {
+                bytes: vec![1, 2, 3],
+            },
             NetMsg::AddTaint { taint: h },
             NetMsg::Close,
             NetMsg::Select { reply: h },

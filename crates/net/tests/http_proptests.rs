@@ -1,7 +1,7 @@
 //! Property tests for the HTTP layer: build→parse roundtrips and
 //! no-panic guarantees on arbitrary input.
 
-use asbestos_net::http::{build_response, parse_request, parse_query};
+use asbestos_net::http::{build_response, parse_query, parse_request};
 use proptest::prelude::*;
 
 fn arb_token() -> impl Strategy<Value = String> {

@@ -39,7 +39,11 @@ fn connection_notify_read_write_roundtrip() {
                 let control = sys.env(NETD_CONTROL_ENV).unwrap().as_handle().unwrap();
                 sys.send(
                     control,
-                    NetMsg::Listen { tcp_port: 80, notify }.to_value(),
+                    NetMsg::Listen {
+                        tcp_port: 80,
+                        notify,
+                    }
+                    .to_value(),
                 )
                 .unwrap();
             },
@@ -50,7 +54,12 @@ fn connection_notify_read_write_roundtrip() {
                     // Grant netd ⋆ for the reply port alongside the READ.
                     sys.send_args(
                         port,
-                        NetMsg::Read { max: 4096, reply, peek: false }.to_value(),
+                        NetMsg::Read {
+                            max: 4096,
+                            reply,
+                            peek: false,
+                        }
+                        .to_value(),
                         &SendArgs::new().grant(star_grant(reply)),
                     )
                     .unwrap();
@@ -113,8 +122,15 @@ fn tainted_replies_contaminate_and_port_label_opens_for_owner() {
                 let notify = sys.new_port(Label::top());
                 sys.set_port_label(notify, Label::top()).unwrap();
                 let control = sys.env(NETD_CONTROL_ENV).unwrap().as_handle().unwrap();
-                sys.send(control, NetMsg::Listen { tcp_port: 80, notify }.to_value())
-                    .unwrap();
+                sys.send(
+                    control,
+                    NetMsg::Listen {
+                        tcp_port: 80,
+                        notify,
+                    }
+                    .to_value(),
+                )
+                .unwrap();
             },
             move |sys, msg| {
                 if let Some(NetMsg::NewConn { port: uc }) = NetMsg::from_value(&msg.body) {
@@ -132,9 +148,12 @@ fn tainted_replies_contaminate_and_port_label_opens_for_owner() {
                     // carries v's taint. Send to it first so it attacks while
                     // the connection is still open.
                     let attacker = sys.env("attacker.port").unwrap().as_handle().unwrap();
-                    sys.send_args(attacker, Value::Handle(uc),
-                        &SendArgs::new().grant(star_grant(uc)))
-                        .unwrap();
+                    sys.send_args(
+                        attacker,
+                        Value::Handle(uc),
+                        &SendArgs::new().grant(star_grant(uc)),
+                    )
+                    .unwrap();
                     // Step 6: forward uC to the rightful worker, granting
                     // uC ⋆ and contaminating it with uT 3 (raising its
                     // receive label too).
@@ -165,8 +184,14 @@ fn tainted_replies_contaminate_and_port_label_opens_for_owner() {
             },
             |sys, msg| {
                 if let Some(uc) = msg.body.as_handle() {
-                    sys.send(uc, NetMsg::Write { bytes: b"users-own-data".to_vec() }.to_value())
-                        .unwrap();
+                    sys.send(
+                        uc,
+                        NetMsg::Write {
+                            bytes: b"users-own-data".to_vec(),
+                        }
+                        .to_value(),
+                    )
+                    .unwrap();
                     sys.send(uc, NetMsg::Close.to_value()).unwrap();
                 }
             },
@@ -189,8 +214,14 @@ fn tainted_replies_contaminate_and_port_label_opens_for_owner() {
             |sys, msg| {
                 if let Some(uc) = msg.body.as_handle() {
                     // send succeeds; delivery must be dropped by uC's label.
-                    sys.send(uc, NetMsg::Write { bytes: b"stolen".to_vec() }.to_value())
-                        .unwrap();
+                    sys.send(
+                        uc,
+                        NetMsg::Write {
+                            bytes: b"stolen".to_vec(),
+                        }
+                        .to_value(),
+                    )
+                    .unwrap();
                 }
             },
         ),
@@ -203,7 +234,10 @@ fn tainted_replies_contaminate_and_port_label_opens_for_owner() {
     // Only the rightful worker's bytes made it out.
     assert_eq!(driver.completed(), 1);
     assert_eq!(driver.request(0).response, b"users-own-data");
-    assert!(kernel.stats().dropped_label_check >= 1, "attacker write dropped");
+    assert!(
+        kernel.stats().dropped_label_check >= 1,
+        "attacker write dropped"
+    );
 
     // And netd is still untainted for uT (it holds ⋆): its send label shows
     // uT at ⋆, so future users are unaffected.
@@ -230,8 +264,15 @@ fn tainted_read_contaminates_reader() {
                 let notify = sys.new_port(Label::top());
                 sys.set_port_label(notify, Label::top()).unwrap();
                 let control = sys.env(NETD_CONTROL_ENV).unwrap().as_handle().unwrap();
-                sys.send(control, NetMsg::Listen { tcp_port: 80, notify }.to_value())
-                    .unwrap();
+                sys.send(
+                    control,
+                    NetMsg::Listen {
+                        tcp_port: 80,
+                        notify,
+                    }
+                    .to_value(),
+                )
+                .unwrap();
             },
             move |sys, msg| match NetMsg::from_value(&msg.body) {
                 Some(NetMsg::NewConn { port: uc }) => {
@@ -249,15 +290,17 @@ fn tainted_read_contaminates_reader() {
                     // Keep the right to receive uT-tainted replies, then
                     // renounce declassification privilege: ⋆ → 1.
                     sys.raise_recv(ut, Level::L3).unwrap();
-                    sys.self_contaminate(&Label::from_pairs(
-                        Level::Star,
-                        &[(ut, Level::L1)],
-                    ));
+                    sys.self_contaminate(&Label::from_pairs(Level::Star, &[(ut, Level::L1)]));
                     let reply = sys.new_port(Label::top());
                     sys.set_port_label(reply, Label::top()).unwrap();
                     sys.send_args(
                         uc,
-                        NetMsg::Read { max: 4096, reply, peek: false }.to_value(),
+                        NetMsg::Read {
+                            max: 4096,
+                            reply,
+                            peek: false,
+                        }
+                        .to_value(),
                         &SendArgs::new().grant(star_grant(reply)),
                     )
                     .unwrap();
@@ -274,6 +317,10 @@ fn tainted_read_contaminates_reader() {
     driver.open(&mut kernel, 80, b"secret");
     kernel.run();
 
-    assert_eq!(*reader_label.borrow(), Some(Level::L3), "reader got tainted");
+    assert_eq!(
+        *reader_label.borrow(),
+        Some(Level::L3),
+        "reader got tainted"
+    );
     let _ = reader;
 }

@@ -206,8 +206,7 @@ impl Service for OkCache {
             let _ = sys.send_args(
                 trusted,
                 DbMsg::AdminPort { port: admin }.to_value(),
-                &SendArgs::new()
-                    .grant(Label::from_pairs(Level::L3, &[(admin, Level::Star)])),
+                &SendArgs::new().grant(Label::from_pairs(Level::L3, &[(admin, Level::Star)])),
             );
         }
     }
@@ -308,11 +307,24 @@ mod tests {
     fn roundtrip() {
         let h = Handle::from_raw(3);
         let msgs = vec![
-            CacheMsg::Put { user: "u".into(), key: "k".into(), bytes: vec![1] },
-            CacheMsg::Get { key: "k".into(), reply: h },
-            CacheMsg::Hit { key: "k".into(), bytes: vec![2] },
+            CacheMsg::Put {
+                user: "u".into(),
+                key: "k".into(),
+                bytes: vec![1],
+            },
+            CacheMsg::Get {
+                key: "k".into(),
+                reply: h,
+            },
+            CacheMsg::Hit {
+                key: "k".into(),
+                bytes: vec![2],
+            },
             CacheMsg::GetDone { key: "k".into() },
-            CacheMsg::Evict { user: "u".into(), key: "k".into() },
+            CacheMsg::Evict {
+                user: "u".into(),
+                key: "k".into(),
+            },
         ];
         for m in msgs {
             assert_eq!(CacheMsg::from_value(&m.to_value()), Some(m));

@@ -9,9 +9,7 @@
 
 use std::collections::BTreeMap;
 
-use asbestos_kernel::{
-    Handle, Label, Level, Message, SendArgs, Service, Sys, Value,
-};
+use asbestos_kernel::{Handle, Label, Level, Message, SendArgs, Service, Sys, Value};
 use asbestos_net::{parse_request, HttpRequest, NetMsg, NETD_CONTROL_ENV};
 
 use crate::idd::IDD_PORT_ENV;
@@ -216,7 +214,8 @@ impl OkDemux {
         let Some(state) = self.pending.get_mut(&reply_port) else {
             return;
         };
-        let Phase::AwaitingLogin { req } = std::mem::replace(&mut state.phase, Phase::ReadingRequest)
+        let Phase::AwaitingLogin { req } =
+            std::mem::replace(&mut state.phase, Phase::ReadingRequest)
         else {
             return;
         };
@@ -238,7 +237,10 @@ impl OkDemux {
         };
         let conn = state.conn;
         let service = req.service().to_string();
-        let entry = self.services.get(&service).expect("service checked in handle_head");
+        let entry = self
+            .services
+            .get(&service)
+            .expect("service checked in handle_head");
 
         // §7.2 step 5: register the user's taint with netd (granting uT ⋆),
         // so responses can flow back over uC and nowhere else.
@@ -258,11 +260,7 @@ impl OkDemux {
 
         if let Some(&session_port) = self.sessions.get(&(user.to_string(), service.clone())) {
             // §7.3: route to the existing session event process.
-            let _ = sys.send_args(
-                session_port,
-                handoff,
-                &SendArgs::new().grant(star(conn)),
-            );
+            let _ = sys.send_args(session_port, handoff, &SendArgs::new().grant(star(conn)));
         } else if let Some(worker_port) = entry.port {
             // §7.2 step 6: fork a fresh event process in the worker. Grant
             // uC ⋆ and uG ⋆; contaminate with uT 3 (or grant uT ⋆ to
@@ -272,7 +270,11 @@ impl OkDemux {
                 SendArgs::new()
                     .grant(Label::from_pairs(
                         Level::L3,
-                        &[(conn, Level::Star), (grant, Level::Star), (taint, Level::Star)],
+                        &[
+                            (conn, Level::Star),
+                            (grant, Level::Star),
+                            (taint, Level::Star),
+                        ],
                     ))
                     .raise_recv(taint3(taint))
             } else {
@@ -318,7 +320,8 @@ impl Service for OkDemux {
         // Registration port (workers), control port (session events), and
         // the netd notification port.
         let reg = sys.new_port(Label::top());
-        sys.set_port_label(reg, Label::top()).expect("creator owns the port");
+        sys.set_port_label(reg, Label::top())
+            .expect("creator owns the port");
         sys.publish_env(DEMUX_REG_ENV, Value::Handle(reg));
         self.reg_port = Some(reg);
 
@@ -380,10 +383,7 @@ impl Service for OkDemux {
                     // §7.3: "ok-demux cleans u's user-worker pairs out of
                     // its session table." Drop the uW ⋆ entry too.
                     if let Some(port) = self.sessions.remove(&(user, service)) {
-                        sys.self_contaminate(&Label::from_pairs(
-                            Level::Star,
-                            &[(port, Level::L1)],
-                        ));
+                        sys.self_contaminate(&Label::from_pairs(Level::Star, &[(port, Level::L1)]));
                     }
                 }
                 _ => {}

@@ -266,7 +266,13 @@ impl Service for Idd {
                     if let (Some(sql), Some(admin)) =
                         (items.get(1).and_then(Value::as_str), self.admin)
                     {
-                        let _ = sys.send(admin, DbMsg::Ddl { sql: sql.to_string() }.to_value());
+                        let _ = sys.send(
+                            admin,
+                            DbMsg::Ddl {
+                                sql: sql.to_string(),
+                            }
+                            .to_value(),
+                        );
                     }
                 }
             }
@@ -361,8 +367,7 @@ impl Service for Idd {
                         reply: port,
                     }
                     .to_value(),
-                    &SendArgs::new()
-                        .grant(Label::from_pairs(Level::L3, &[(port, Level::Star)])),
+                    &SendArgs::new().grant(Label::from_pairs(Level::L3, &[(port, Level::Star)])),
                 );
             }
             _ => {}

@@ -41,10 +41,7 @@ pub struct ServiceSpec {
 
 impl ServiceSpec {
     /// A service built by `factory`.
-    pub fn new(
-        name: &str,
-        factory: impl FnMut() -> Box<dyn WorkerLogic> + 'static,
-    ) -> ServiceSpec {
+    pub fn new(name: &str, factory: impl FnMut() -> Box<dyn WorkerLogic> + 'static) -> ServiceSpec {
         ServiceSpec {
             name: name.to_string(),
             declassifier: false,
@@ -180,8 +177,7 @@ impl Service for Launcher {
         let _ = sys.send_args(
             demux_control,
             Value::Str("verification-grant".into()),
-            &SendArgs::new()
-                .grant(Label::from_pairs(Level::L3, &[(demux_verify, Level::Star)])),
+            &SendArgs::new().grant(Label::from_pairs(Level::L3, &[(demux_verify, Level::Star)])),
         );
 
         // Workers: spawn, then activate (the activation event process
@@ -210,8 +206,7 @@ impl Service for Launcher {
                     verify: *wv,
                 }
                 .to_value(),
-                &SendArgs::new()
-                    .grant(Label::from_pairs(Level::L3, &[(*wv, Level::Star)])),
+                &SendArgs::new().grant(Label::from_pairs(Level::L3, &[(*wv, Level::Star)])),
             );
         }
 
@@ -221,8 +216,7 @@ impl Service for Launcher {
             .env(IDD_PORT_ENV)
             .and_then(|v| v.as_handle())
             .expect("idd publishes its login port");
-        let launcher_v =
-            Label::from_pairs(Level::L3, &[(launcher_verify, Level::L0)]);
+        let launcher_v = Label::from_pairs(Level::L3, &[(launcher_verify, Level::L0)]);
         for ddl in &config.worker_tables {
             let _ = sys.send_args(
                 idd_port,

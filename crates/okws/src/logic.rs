@@ -205,10 +205,7 @@ pub struct ParamLength;
 
 impl WorkerLogic for ParamLength {
     fn on_request(&self, _session: &mut dyn SessionStore, req: &HttpRequest) -> Action {
-        let len: usize = req
-            .param("len")
-            .and_then(|l| l.parse().ok())
-            .unwrap_or(11);
+        let len: usize = req.param("len").and_then(|l| l.parse().ok()).unwrap_or(11);
         Action::ok(vec![b'x'; len])
     }
 
@@ -272,9 +269,7 @@ impl WorkerLogic for CachedProfile {
             Some(hit) => Action::ok(hit),
             None => Action::DbQuery {
                 sql: "SELECT owner, bio FROM profiles WHERE owner = ?".into(),
-                params: vec![SqlValue::Text(
-                    req.param("get").unwrap_or("").to_string(),
-                )],
+                params: vec![SqlValue::Text(req.param("get").unwrap_or("").to_string())],
             },
         }
     }
@@ -454,7 +449,10 @@ mod tests {
             logic.on_request(&mut mem, &req("/profile")),
             Action::Respond { status: 400, .. }
         ));
-        let rows = vec![vec![SqlValue::Text("u".into()), SqlValue::Text("bio".into())]];
+        let rows = vec![vec![
+            SqlValue::Text("u".into()),
+            SqlValue::Text("bio".into()),
+        ]];
         match logic.on_db_rows(&mut mem, &req("/profile?get=u"), &rows) {
             Action::Respond { body, .. } => assert_eq!(body, b"u:bio\n"),
             other => panic!("unexpected action: {other:?}"),

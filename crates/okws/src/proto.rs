@@ -237,20 +237,55 @@ mod tests {
     fn roundtrip() {
         let h = Handle::from_raw(9);
         let msgs = vec![
-            OkwsMsg::Activate { service: "store".into(), verify: h },
-            OkwsMsg::Register { service: "store".into(), port: h },
-            OkwsMsg::Login { user: "u".into(), password: "p".into(), reply: h },
-            OkwsMsg::LoginR { ok: true, user: "u".into(), taint: Some(h), grant: Some(h) },
-            OkwsMsg::LoginR { ok: false, user: "u".into(), taint: None, grant: None },
-            OkwsMsg::AddUser { user: "u".into(), password: "p".into() },
+            OkwsMsg::Activate {
+                service: "store".into(),
+                verify: h,
+            },
+            OkwsMsg::Register {
+                service: "store".into(),
+                port: h,
+            },
+            OkwsMsg::Login {
+                user: "u".into(),
+                password: "p".into(),
+                reply: h,
+            },
+            OkwsMsg::LoginR {
+                ok: true,
+                user: "u".into(),
+                taint: Some(h),
+                grant: Some(h),
+            },
+            OkwsMsg::LoginR {
+                ok: false,
+                user: "u".into(),
+                taint: None,
+                grant: None,
+            },
+            OkwsMsg::AddUser {
+                user: "u".into(),
+                password: "p".into(),
+            },
             OkwsMsg::ChangePassword {
                 user: "u".into(),
                 new_password: "p2".into(),
                 reply: h,
             },
-            OkwsMsg::ConnHandoff { conn: h, user: "u".into(), taint: h, grant: h },
-            OkwsMsg::SessionNew { user: "u".into(), service: "s".into(), port: h },
-            OkwsMsg::SessionEnd { user: "u".into(), service: "s".into() },
+            OkwsMsg::ConnHandoff {
+                conn: h,
+                user: "u".into(),
+                taint: h,
+                grant: h,
+            },
+            OkwsMsg::SessionNew {
+                user: "u".into(),
+                service: "s".into(),
+                port: h,
+            },
+            OkwsMsg::SessionEnd {
+                user: "u".into(),
+                service: "s".into(),
+            },
         ];
         for m in msgs {
             assert_eq!(OkwsMsg::from_value(&m.to_value()), Some(m));

@@ -20,9 +20,7 @@
 //! Figure 6 "active session" experiment disables the cleanup.
 
 use asbestos_db::{DbMsg, SqlValue};
-use asbestos_kernel::{
-    EpService, Handle, Label, Level, Message, SendArgs, Sys, Value,
-};
+use asbestos_kernel::{EpService, Handle, Label, Level, Message, SendArgs, Sys, Value};
 use asbestos_net::{http, parse_request, HttpRequest, NetMsg};
 
 use crate::logic::{Action, SessionStore, WorkerLogic};
@@ -108,11 +106,13 @@ impl Worker {
     // ------------------------------------------------------------------
 
     fn read_u64(sys: &Sys<'_>, addr: u64) -> u64 {
-        sys.mem_read_u64(addr).expect("worker memory reads stay in range")
+        sys.mem_read_u64(addr)
+            .expect("worker memory reads stay in range")
     }
 
     fn write_u64(sys: &mut Sys<'_>, addr: u64, v: u64) {
-        sys.mem_write_u64(addr, v).expect("worker memory writes stay in range");
+        sys.mem_write_u64(addr, v)
+            .expect("worker memory writes stay in range");
     }
 
     fn read_handle(sys: &Sys<'_>, addr: u64) -> Handle {
@@ -153,7 +153,9 @@ impl Worker {
         if len == 0 {
             return None;
         }
-        let bytes = sys.mem_read(REQUEST_BUF, len).expect("stored request readable");
+        let bytes = sys
+            .mem_read(REQUEST_BUF, len)
+            .expect("stored request readable");
         parse_request(&bytes).ok()
     }
 
@@ -455,8 +457,8 @@ impl EpService for Worker {
 
     fn on_event(&self, sys: &mut Sys<'_>, msg: &Message) {
         sys.charge(15_000); // dispatch overhead
-        // Launcher activation: register with ok-demux, then discard this
-        // throwaway event process (§7.1).
+                            // Launcher activation: register with ok-demux, then discard this
+                            // throwaway event process (§7.1).
         if let Some(OkwsMsg::Activate { service, verify }) = OkwsMsg::from_value(&msg.body) {
             if service == self.service {
                 let demux = sys
@@ -494,7 +496,11 @@ impl EpService for Worker {
         }
 
         let state = Self::read_u64(sys, SESSION_PAGE + OFF_STATE);
-        match (state, NetMsg::from_value(&msg.body), DbMsg::from_value(&msg.body)) {
+        match (
+            state,
+            NetMsg::from_value(&msg.body),
+            DbMsg::from_value(&msg.body),
+        ) {
             (ST_AWAIT_REQUEST, Some(NetMsg::ReadR { bytes }), _) => {
                 Self::store_request(sys, &bytes);
                 let Some(req) = Self::load_request(sys) else {
@@ -578,7 +584,10 @@ struct EpSessionStore<'a, 'k> {
 
 impl SessionStore for EpSessionStore<'_, '_> {
     fn read(&self, offset: u64, len: usize) -> Vec<u8> {
-        assert!(offset as usize + len <= SESSION_CAPACITY, "session read out of range");
+        assert!(
+            offset as usize + len <= SESSION_CAPACITY,
+            "session read out of range"
+        );
         self.sys
             .mem_read(SESSION_PAGE + SESSION_DATA_OFF + offset, len)
             .expect("bounds asserted above")

@@ -32,7 +32,13 @@ fn password_change_flow() {
 
     // Alice changes her password through the passwd worker.
     let (status, body) = client
-        .request_sync(&mut kernel, "passwd", "alice", "first-pw", &[("new", "second-pw")])
+        .request_sync(
+            &mut kernel,
+            "passwd",
+            "alice",
+            "first-pw",
+            &[("new", "second-pw")],
+        )
         .expect("passwd responds");
     assert_eq!(status, 200);
     assert_eq!(body, b"password changed");
@@ -47,7 +53,13 @@ fn password_change_flow() {
     // via the cached session, so it succeeds; the *observable* contract is
     // the ExecR outcome above plus idd's table state below.
     let (status, _) = client
-        .request_sync(&mut kernel, "passwd", "alice", "first-pw", &[("new", "third-pw")])
+        .request_sync(
+            &mut kernel,
+            "passwd",
+            "alice",
+            "first-pw",
+            &[("new", "third-pw")],
+        )
         .expect("passwd responds again (session cached)");
     assert_eq!(status, 200);
 }
@@ -78,11 +90,23 @@ fn shared_cache_accelerates_and_isolates() {
     // Alice stores a private bio, then reads it through the caching worker
     // twice: the first read misses (DB path + cache fill), the second hits.
     client
-        .request_sync(&mut kernel, "profile", "alice", "first-pw", &[("set", "alice-bio")])
+        .request_sync(
+            &mut kernel,
+            "profile",
+            "alice",
+            "first-pw",
+            &[("set", "alice-bio")],
+        )
         .unwrap();
 
     let (_, body) = client
-        .request_sync(&mut kernel, "cprofile", "alice", "first-pw", &[("get", "alice")])
+        .request_sync(
+            &mut kernel,
+            "cprofile",
+            "alice",
+            "first-pw",
+            &[("get", "alice")],
+        )
         .unwrap();
     assert_eq!(body, b"alice:alice-bio\n");
 
@@ -94,7 +118,13 @@ fn shared_cache_accelerates_and_isolates() {
     assert_eq!(entries_after_fill, 1, "first read filled the cache");
 
     let (_, body) = client
-        .request_sync(&mut kernel, "cprofile", "alice", "first-pw", &[("get", "alice")])
+        .request_sync(
+            &mut kernel,
+            "cprofile",
+            "alice",
+            "first-pw",
+            &[("get", "alice")],
+        )
         .unwrap();
     assert_eq!(body, b"alice:alice-bio\n", "cache hit serves the same view");
 
@@ -104,7 +134,13 @@ fn shared_cache_accelerates_and_isolates() {
     // the DB gives bob nothing either.
     let drops_before = kernel.stats().dropped_label_check;
     let (status, body) = client
-        .request_sync(&mut kernel, "cprofile", "bob", "bob-pw", &[("get", "alice")])
+        .request_sync(
+            &mut kernel,
+            "cprofile",
+            "bob",
+            "bob-pw",
+            &[("get", "alice")],
+        )
         .unwrap();
     assert_eq!(status, 200);
     assert_eq!(body, b"", "bob sees neither cache entry nor rows");
@@ -119,11 +155,20 @@ fn shared_cache_accelerates_and_isolates() {
         .service_as::<OkCache>(cache_pid)
         .expect("downcast cache")
         .len();
-    assert_eq!(entries_now, 1, "bob's empty view overwrote under his ownership");
+    assert_eq!(
+        entries_now, 1,
+        "bob's empty view overwrote under his ownership"
+    );
     // Alice reads again: the entry now belongs to bob, so *alice's* hit is
     // dropped and she transparently falls back to the database.
     let (_, body) = client
-        .request_sync(&mut kernel, "cprofile", "alice", "first-pw", &[("get", "alice")])
+        .request_sync(
+            &mut kernel,
+            "cprofile",
+            "alice",
+            "first-pw",
+            &[("get", "alice")],
+        )
         .unwrap();
     assert_eq!(body, b"alice:alice-bio\n");
 }
@@ -132,7 +177,13 @@ fn shared_cache_accelerates_and_isolates() {
 fn cache_not_deployed_degrades_gracefully() {
     let (mut kernel, _okws, mut client) = deployment(304, false);
     let (status, body) = client
-        .request_sync(&mut kernel, "cprofile", "alice", "first-pw", &[("get", "alice")])
+        .request_sync(
+            &mut kernel,
+            "cprofile",
+            "alice",
+            "first-pw",
+            &[("get", "alice")],
+        )
         .unwrap();
     assert_eq!(status, 503);
     assert_eq!(body, b"cache not deployed");

@@ -31,12 +31,17 @@ fn store_deployment(seed: u64, users: &[(&str, &str)]) -> (Kernel, Okws, OkwsCli
 
 #[test]
 fn figure5_request_flow_and_session_cache() {
-    let (mut kernel, _okws, mut client) =
-        store_deployment(201, &[("alice", "pw-a")]);
+    let (mut kernel, _okws, mut client) = store_deployment(201, &[("alice", "pw-a")]);
 
     // First request: authenticates, forks W[alice], stores data.
     let (status, body) = client
-        .request_sync(&mut kernel, "store", "alice", "pw-a", &[("data", "first-secret")])
+        .request_sync(
+            &mut kernel,
+            "store",
+            "alice",
+            "pw-a",
+            &[("data", "first-secret")],
+        )
         .expect("response arrives");
     assert_eq!(status, 200);
     assert!(body.is_empty(), "no previous data");
@@ -51,7 +56,8 @@ fn figure5_request_flow_and_session_cache() {
     assert!(body.starts_with(b"first-secret"));
     assert_eq!(body.len(), 1024, "§9.1's ~1K response");
     assert_eq!(
-        kernel.stats().eps_created, eps_after_first,
+        kernel.stats().eps_created,
+        eps_after_first,
         "no new event process for a cached session"
     );
 }
@@ -89,10 +95,22 @@ fn sessions_are_isolated_between_users() {
         store_deployment(203, &[("alice", "pw-a"), ("bob", "pw-b")]);
 
     client
-        .request_sync(&mut kernel, "store", "alice", "pw-a", &[("data", "alice-secret")])
+        .request_sync(
+            &mut kernel,
+            "store",
+            "alice",
+            "pw-a",
+            &[("data", "alice-secret")],
+        )
         .unwrap();
     client
-        .request_sync(&mut kernel, "store", "bob", "pw-b", &[("data", "bob-secret")])
+        .request_sync(
+            &mut kernel,
+            "store",
+            "bob",
+            "pw-b",
+            &[("data", "bob-secret")],
+        )
         .unwrap();
 
     // Each user gets exactly their own state back.
@@ -121,7 +139,13 @@ fn logout_ends_the_session() {
     let (mut kernel, _okws, mut client) = store_deployment(204, &[("alice", "pw-a")]);
 
     client
-        .request_sync(&mut kernel, "store", "alice", "pw-a", &[("data", "persisted")])
+        .request_sync(
+            &mut kernel,
+            "store",
+            "alice",
+            "pw-a",
+            &[("data", "persisted")],
+        )
         .unwrap();
     let worker = kernel.find_process("worker-store").unwrap();
     assert_eq!(kernel.live_eps(worker).len(), 1);
@@ -131,7 +155,10 @@ fn logout_ends_the_session() {
         .unwrap();
     assert_eq!(status, 200);
     assert_eq!(body, b"goodbye");
-    assert!(kernel.live_eps(worker).is_empty(), "ep_exit freed the session");
+    assert!(
+        kernel.live_eps(worker).is_empty(),
+        "ep_exit freed the session"
+    );
 
     // A new request forks a fresh event process with empty state.
     let (_, body) = client
@@ -206,7 +233,9 @@ fn compromised_worker_cannot_leak_across_users() {
     config
         .services
         .push(ServiceSpec::new("evil", || Box::new(EvilEcho)));
-    config.worker_tables.push("CREATE TABLE loot (stolen)".into());
+    config
+        .worker_tables
+        .push("CREATE TABLE loot (stolen)".into());
     config.users.push(("alice".into(), "pw-a".into()));
     config.users.push(("mallory".into(), "pw-m".into()));
     let okws = Okws::start(&mut kernel, config);
@@ -215,7 +244,13 @@ fn compromised_worker_cannot_leak_across_users() {
     // Alice uses the (compromised) service; her secret lands in the DB —
     // but in a row owned by alice.
     let (_, body) = client
-        .request_sync(&mut kernel, "evil", "alice", "pw-a", &[("data", "alice-card-number")])
+        .request_sync(
+            &mut kernel,
+            "evil",
+            "alice",
+            "pw-a",
+            &[("data", "alice-card-number")],
+        )
         .unwrap();
     assert_eq!(body, b"stored");
 
@@ -322,7 +357,11 @@ fn raw_compromise_cannot_reach_external_sink() {
     assert_eq!(status, 200);
     assert_eq!(body, b"served");
     // The exfiltration send happened — and was dropped by the kernel.
-    assert_eq!(*received.borrow(), 0, "sink must never hear from tainted workers");
+    assert_eq!(
+        *received.borrow(),
+        0,
+        "sink must never hear from tainted workers"
+    );
     assert!(kernel.stats().dropped_label_check > drops_before);
 }
 
@@ -347,13 +386,25 @@ fn declassifier_publishes_and_workers_read() {
 
     // Alice stores a *private* bio via the ordinary worker.
     let (_, body) = client
-        .request_sync(&mut kernel, "profile", "alice", "pw-a", &[("set", "private-bio")])
+        .request_sync(
+            &mut kernel,
+            "profile",
+            "alice",
+            "pw-a",
+            &[("set", "private-bio")],
+        )
         .unwrap();
     assert_eq!(body, b"stored");
 
     // And publishes a public bio via the declassifier.
     let (_, body) = client
-        .request_sync(&mut kernel, "pubprofile", "alice", "pw-a", &[("set", "public-bio")])
+        .request_sync(
+            &mut kernel,
+            "pubprofile",
+            "alice",
+            "pw-a",
+            &[("set", "public-bio")],
+        )
         .unwrap();
     assert_eq!(body, b"stored");
 
@@ -409,7 +460,13 @@ fn queue_exhaustion_degrades_to_drops_not_leaks() {
         store_deployment(211, &[("alice", "pw-a"), ("bob", "pw-b")]);
     // Establish both sessions under normal conditions.
     client
-        .request_sync(&mut kernel, "store", "alice", "pw-a", &[("data", "alice-data")])
+        .request_sync(
+            &mut kernel,
+            "store",
+            "alice",
+            "pw-a",
+            &[("data", "alice-data")],
+        )
         .unwrap();
     client
         .request_sync(&mut kernel, "store", "bob", "pw-b", &[("data", "bob-data")])
@@ -424,13 +481,20 @@ fn queue_exhaustion_degrades_to_drops_not_leaks() {
     }
     kernel.run();
     client.driver.poll(&kernel);
-    assert!(kernel.stats().dropped_queue_full > 0, "overload actually occurred");
+    assert!(
+        kernel.stats().dropped_queue_full > 0,
+        "overload actually occurred"
+    );
 
     // Every response that did arrive is the right user's data.
     for (i, idx) in idxs.iter().enumerate() {
         if let Some((status, body)) = client.parse_response(*idx) {
             if status == 200 && !body.is_empty() {
-                let expect: &[u8] = if i % 2 == 0 { b"alice-data" } else { b"bob-data" };
+                let expect: &[u8] = if i % 2 == 0 {
+                    b"alice-data"
+                } else {
+                    b"bob-data"
+                };
                 assert!(
                     body.starts_with(expect),
                     "request {i} got the wrong user's data"
@@ -473,14 +537,24 @@ fn label_growth_matches_section_9_3() {
     let demux_before = kernel.process(demux).send_label.entry_count();
 
     for (u, p) in &users {
-        client.request_sync(&mut kernel, "bench", u, p, &[]).unwrap();
+        client
+            .request_sync(&mut kernel, "bench", u, p, &[])
+            .unwrap();
     }
 
     let idd_after = kernel.process(idd).send_label.entry_count();
     let netd_after = kernel.process(netd).recv_label.entry_count();
     let demux_after = kernel.process(demux).send_label.entry_count();
-    assert_eq!(idd_after - idd_before, 2 * users.len(), "uT ⋆ + uG ⋆ per user in idd");
-    assert_eq!(netd_after - netd_before, users.len(), "one uT 3 raise per user in netd");
+    assert_eq!(
+        idd_after - idd_before,
+        2 * users.len(),
+        "uT ⋆ + uG ⋆ per user in idd"
+    );
+    assert_eq!(
+        netd_after - netd_before,
+        users.len(),
+        "one uT 3 raise per user in netd"
+    );
     assert!(
         demux_after - demux_before >= users.len(),
         "ok-demux holds at least one session-port handle per session"

@@ -92,7 +92,9 @@ fn main() {
     let mut kernel = Kernel::new(1088);
     let mut config = OkwsConfig::new(80);
     // "board" keeps everything private; "publish" is the declassifier.
-    config.services.push(ServiceSpec::new("board", || Box::new(Board)));
+    config
+        .services
+        .push(ServiceSpec::new("board", || Box::new(Board)));
     config
         .services
         .push(ServiceSpec::new("publish", || Box::new(Board)).declassifier());
@@ -106,8 +108,13 @@ fn main() {
     // Alice drafts privately, then posts through the declassifier. The
     // draft lives in her session event process; the board row is public.
     let (_, body) = client
-        .request_sync(&mut kernel, "publish", "alice", "a-pw",
-            &[("draft", "labels+are+great")])
+        .request_sync(
+            &mut kernel,
+            "publish",
+            "alice",
+            "a-pw",
+            &[("draft", "labels+are+great")],
+        )
         .unwrap();
     println!("alice: {}", String::from_utf8_lossy(&body));
     let (_, body) = client
@@ -118,7 +125,13 @@ fn main() {
     // Bob also drafts — but through the *private* board worker, and posts
     // there: his row stays owned by him.
     client
-        .request_sync(&mut kernel, "board", "bob", "b-pw", &[("draft", "bob+private+note")])
+        .request_sync(
+            &mut kernel,
+            "board",
+            "bob",
+            "b-pw",
+            &[("draft", "bob+private+note")],
+        )
         .unwrap();
     client
         .request_sync(&mut kernel, "board", "bob", "b-pw", &[("post", "1")])

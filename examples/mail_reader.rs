@@ -36,10 +36,8 @@ fn main() {
                 // ...but its command port refuses it: p_R = {quarantine 1, 3}.
                 // The kernel filters before delivery — the reader's own code
                 // never sees attachment-tainted traffic on this port.
-                let filtered = sys.new_port(Label::from_pairs(
-                    Level::L3,
-                    &[(quarantine, Level::L1)],
-                ));
+                let filtered =
+                    sys.new_port(Label::from_pairs(Level::L3, &[(quarantine, Level::L1)]));
                 sys.set_port_label(
                     filtered,
                     Label::from_pairs(Level::L3, &[(quarantine, Level::L1)]),
@@ -55,8 +53,16 @@ fn main() {
         ),
     );
     kernel.run();
-    let quarantine = kernel.global_env("quarantine").unwrap().as_handle().unwrap();
-    let reader_port = kernel.global_env("reader.port").unwrap().as_handle().unwrap();
+    let quarantine = kernel
+        .global_env("quarantine")
+        .unwrap()
+        .as_handle()
+        .unwrap();
+    let reader_port = kernel
+        .global_env("reader.port")
+        .unwrap()
+        .as_handle()
+        .unwrap();
 
     // The filesystem: a clean system service; its messages flow normally.
     kernel.spawn(
@@ -97,7 +103,11 @@ fn main() {
         None,
     );
     // Hand the viewer an "attachment" to open; its spoof attempt follows.
-    let viewer_port = kernel.global_env("viewer.port").unwrap().as_handle().unwrap();
+    let viewer_port = kernel
+        .global_env("viewer.port")
+        .unwrap()
+        .as_handle()
+        .unwrap();
     kernel.inject(viewer_port, Value::Str("attachment bytes".into()));
     kernel.run();
 

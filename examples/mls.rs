@@ -53,8 +53,16 @@ fn main() {
     );
     kernel.run();
     let _ = admin;
-    let s = kernel.global_env("mls.secret").unwrap().as_handle().unwrap();
-    let t = kernel.global_env("mls.topsecret").unwrap().as_handle().unwrap();
+    let s = kernel
+        .global_env("mls.secret")
+        .unwrap()
+        .as_handle()
+        .unwrap();
+    let t = kernel
+        .global_env("mls.topsecret")
+        .unwrap()
+        .as_handle()
+        .unwrap();
 
     // One mailbox process per clearance, logging what it receives.
     let logs: Rc<RefCell<Vec<(String, String)>>> = Rc::new(RefCell::new(Vec::new()));
@@ -142,11 +150,7 @@ fn main() {
         println!("  {text:<22} -> {mailbox}");
     }
     let received = logs.borrow();
-    let got = |mbx: &str, msg: &str| {
-        received
-            .iter()
-            .any(|(m, x)| m == mbx && x.starts_with(msg))
-    };
+    let got = |mbx: &str, msg: &str| received.iter().any(|(m, x)| m == mbx && x.starts_with(msg));
     // Everyone receives unclassified reports.
     assert!(got("unclassified", "unclassified"));
     assert!(got("secret", "unclassified"));

@@ -34,9 +34,18 @@ fn main() {
 
     // --- Session state, cached in an event process (§7.3) -------------
     let (_, body) = client
-        .request_sync(&mut kernel, "store", "alice", "wonderland", &[("data", "alice's first note")])
+        .request_sync(
+            &mut kernel,
+            "store",
+            "alice",
+            "wonderland",
+            &[("data", "alice's first note")],
+        )
         .expect("response");
-    println!("alice stores a note; previous state: {:?}", String::from_utf8_lossy(&body));
+    println!(
+        "alice stores a note; previous state: {:?}",
+        String::from_utf8_lossy(&body)
+    );
     let (_, body) = client
         .request_sync(&mut kernel, "store", "alice", "wonderland", &[])
         .expect("response");
@@ -47,19 +56,40 @@ fn main() {
 
     // --- Private state in the database (§7.5) -------------------------
     client
-        .request_sync(&mut kernel, "profile", "alice", "wonderland", &[("set", "alice-private-bio")])
+        .request_sync(
+            &mut kernel,
+            "profile",
+            "alice",
+            "wonderland",
+            &[("set", "alice-private-bio")],
+        )
         .expect("response");
     let (_, body) = client
-        .request_sync(&mut kernel, "profile", "alice", "wonderland", &[("get", "alice")])
+        .request_sync(
+            &mut kernel,
+            "profile",
+            "alice",
+            "wonderland",
+            &[("get", "alice")],
+        )
         .expect("response");
-    println!("alice reads her own profile: {:?}", String::from_utf8_lossy(&body));
+    println!(
+        "alice reads her own profile: {:?}",
+        String::from_utf8_lossy(&body)
+    );
 
     // Bob asks for alice's profile through the same (untrusted!) worker
     // code: ok-dbproxy sends the row tainted aT 3 and the kernel drops it
     // at bob's event process. Bob sees nothing.
     let drops = kernel.stats().dropped_label_check;
     let (_, body) = client
-        .request_sync(&mut kernel, "profile", "bob", "builder", &[("get", "alice")])
+        .request_sync(
+            &mut kernel,
+            "profile",
+            "bob",
+            "builder",
+            &[("get", "alice")],
+        )
         .expect("response");
     println!(
         "bob reads alice's profile: {:?} ({} row dropped by the kernel)",
@@ -71,10 +101,22 @@ fn main() {
     // Alice publishes through the declassifier worker, which holds aT ⋆
     // and writes a row with owner id 0.
     client
-        .request_sync(&mut kernel, "publish", "alice", "wonderland", &[("set", "alice-public-bio")])
+        .request_sync(
+            &mut kernel,
+            "publish",
+            "alice",
+            "wonderland",
+            &[("set", "alice-public-bio")],
+        )
         .expect("response");
     let (_, body) = client
-        .request_sync(&mut kernel, "profile", "bob", "builder", &[("get", "alice")])
+        .request_sync(
+            &mut kernel,
+            "profile",
+            "bob",
+            "builder",
+            &[("get", "alice")],
+        )
         .expect("response");
     println!(
         "after declassification, bob sees: {:?}",
@@ -98,6 +140,17 @@ fn main() {
         kernel.stats().delivered,
         kernel.stats().dropped_total(),
         kernel.stats().eps_created
+    );
+    println!(
+        "  delivery cache: {} hits, {} misses ({} decisions cached, {} bytes)",
+        kernel.stats().cache_hits,
+        kernel.stats().cache_misses,
+        kernel.delivery_cache_len(),
+        kernel.kmem_report().delivery_cache_bytes
+    );
+    assert!(
+        kernel.stats().cache_hits > 0,
+        "repeated OKWS traffic must hit the delivery cache"
     );
     println!("\nokws_demo OK");
 }

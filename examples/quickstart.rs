@@ -19,7 +19,10 @@ fn main() {
 
     // The trusted file server (holds ⋆ for every user's taint compartment).
     let fs = spawn_fs(&mut kernel);
-    println!("file server up; system integrity compartment s = {}", fs.system);
+    println!(
+        "file server up; system integrity compartment s = {}",
+        fs.system
+    );
 
     // u's terminal: an output device only u's information may reach.
     let printed = Rc::new(RefCell::new(Vec::<String>::new()));
@@ -35,7 +38,8 @@ fn main() {
             },
             move |_sys, msg| {
                 if let Some(bytes) = msg.body.as_bytes() {
-                    sink.borrow_mut().push(String::from_utf8_lossy(bytes).into_owned());
+                    sink.borrow_mut()
+                        .push(String::from_utf8_lossy(bytes).into_owned());
                 }
             },
         ),
@@ -59,8 +63,15 @@ fn main() {
                         sys.set_port_label(reply, Label::top()).unwrap();
                         sys.set_env("reply", Value::Handle(reply));
                         let fs = sys.env("fs.port").unwrap().as_handle().unwrap();
-                        sys.send(fs, FsMsg::AddUser { user: user.clone(), reply }.to_value())
-                            .unwrap();
+                        sys.send(
+                            fs,
+                            FsMsg::AddUser {
+                                user: user.clone(),
+                                reply,
+                            }
+                            .to_value(),
+                        )
+                        .unwrap();
                     }
                 },
                 move |sys, msg| {
@@ -75,7 +86,9 @@ fn main() {
                         sys.set_env("last-read", Value::Bytes(d));
                         return;
                     }
-                    let Some(items) = msg.body.as_list() else { return };
+                    let Some(items) = msg.body.as_list() else {
+                        return;
+                    };
                     match items.first().and_then(Value::as_str) {
                         Some("write") => {
                             let name = items[1].as_str().unwrap().to_string();
@@ -86,7 +99,12 @@ fn main() {
                             let v = Label::from_pairs(Level::L3, &[(grant, Level::L0)]);
                             sys.send_args(
                                 fs,
-                                FsMsg::Write { name, data, reply: None }.to_value(),
+                                FsMsg::Write {
+                                    name,
+                                    data,
+                                    reply: None,
+                                }
+                                .to_value(),
                                 &SendArgs::new().verify(v),
                             )
                             .unwrap();
@@ -95,7 +113,8 @@ fn main() {
                             let name = items[1].as_str().unwrap().to_string();
                             let fs = sys.env("fs.port").unwrap().as_handle().unwrap();
                             let reply = sys.env("reply").unwrap().as_handle().unwrap();
-                            sys.send(fs, FsMsg::Read { name, reply }.to_value()).unwrap();
+                            sys.send(fs, FsMsg::Read { name, reply }.to_value())
+                                .unwrap();
                         }
                         Some("show") => {
                             // Forward the last read data to the terminal.
@@ -125,17 +144,36 @@ fn main() {
     let v_cmd = kernel.global_env("v.cmd").unwrap().as_handle().unwrap();
 
     // Create both users' files, then drive the shells.
-    kernel.inject(fs.port, FsMsg::Create { name: "u-diary".into(), user: "u".into() }.to_value());
-    kernel.inject(fs.port, FsMsg::Create { name: "v-notes".into(), user: "v".into() }.to_value());
+    kernel.inject(
+        fs.port,
+        FsMsg::Create {
+            name: "u-diary".into(),
+            user: "u".into(),
+        }
+        .to_value(),
+    );
+    kernel.inject(
+        fs.port,
+        FsMsg::Create {
+            name: "v-notes".into(),
+            user: "v".into(),
+        }
+        .to_value(),
+    );
     kernel.run();
 
     // u writes a diary entry, reads it (the shell becomes uT-tainted), and
     // shows it on the terminal. Allowed: U_S = {uT 3, 1} ⊑ UT_R = {uT 3, 2}.
     // (Run between commands: "read" completes asynchronously, like every
     // Asbestos protocol round trip.)
-    kernel.inject(u_cmd, Value::List(vec![
-        "write".into(), "u-diary".into(), Value::Bytes(b"dear diary, labels work".to_vec()),
-    ]));
+    kernel.inject(
+        u_cmd,
+        Value::List(vec![
+            "write".into(),
+            "u-diary".into(),
+            Value::Bytes(b"dear diary, labels work".to_vec()),
+        ]),
+    );
     kernel.run();
     kernel.inject(u_cmd, Value::List(vec!["read".into(), "u-diary".into()]));
     kernel.run();
@@ -148,9 +186,14 @@ fn main() {
     // then tries to push them to u's terminal. The kernel drops the send:
     // V_S = {vT 3, 1} ⋢ UT_R = {uT 3, 2}.
     let drops_before = kernel.stats().dropped_label_check;
-    kernel.inject(v_cmd, Value::List(vec![
-        "write".into(), "v-notes".into(), Value::Bytes(b"v's secrets".to_vec()),
-    ]));
+    kernel.inject(
+        v_cmd,
+        Value::List(vec![
+            "write".into(),
+            "v-notes".into(),
+            Value::Bytes(b"v's secrets".to_vec()),
+        ]),
+    );
     kernel.run();
     kernel.inject(v_cmd, Value::List(vec!["read".into(), "v-notes".into()]));
     kernel.run();

@@ -77,16 +77,30 @@ fn application_goal_user_isolation() {
     // Everyone stores a secret in both places.
     for (u, p) in [("alice", "a"), ("bob", "b"), ("carol", "c")] {
         client
-            .request_sync(&mut kernel, "store", u, p, &[("data", &format!("{u}-session-secret"))])
+            .request_sync(
+                &mut kernel,
+                "store",
+                u,
+                p,
+                &[("data", &format!("{u}-session-secret"))],
+            )
             .unwrap();
         client
-            .request_sync(&mut kernel, "profile", u, p, &[("set", &format!("{u}-db-secret"))])
+            .request_sync(
+                &mut kernel,
+                "profile",
+                u,
+                p,
+                &[("set", &format!("{u}-db-secret"))],
+            )
             .unwrap();
     }
 
     // Everyone sees exactly their own data.
     for (u, p) in [("alice", "a"), ("bob", "b"), ("carol", "c")] {
-        let (_, body) = client.request_sync(&mut kernel, "store", u, p, &[]).unwrap();
+        let (_, body) = client
+            .request_sync(&mut kernel, "store", u, p, &[])
+            .unwrap();
         assert!(body.starts_with(format!("{u}-session-secret").as_bytes()));
         for (other, _) in [("alice", "a"), ("bob", "b"), ("carol", "c")] {
             let (_, body) = client
@@ -118,7 +132,9 @@ fn worker_crash_containment() {
     let okws = Okws::start(&mut kernel, config);
     let mut client = OkwsClient::new(&okws);
 
-    client.request_sync(&mut kernel, "store", "u", "pw", &[("data", "x")]).unwrap();
+    client
+        .request_sync(&mut kernel, "store", "u", "pw", &[("data", "x")])
+        .unwrap();
     let store_pid = kernel.find_process("worker-store").unwrap();
     kernel.kill_process(store_pid);
 
@@ -153,7 +169,13 @@ fn simulation_is_deterministic() {
         let mut client = OkwsClient::new(&okws);
         for i in 0..5 {
             client
-                .request_sync(&mut kernel, "bench", &format!("u{i}"), &format!("p{i}"), &[])
+                .request_sync(
+                    &mut kernel,
+                    "bench",
+                    &format!("u{i}"),
+                    &format!("p{i}"),
+                    &[],
+                )
                 .unwrap();
         }
         (
@@ -182,7 +204,10 @@ fn database_direct_usage() {
     )
     .unwrap();
     let result = db
-        .run_with_params("SELECT v FROM kv WHERE k = ?", &[SqlValue::Text("lang".into())])
+        .run_with_params(
+            "SELECT v FROM kv WHERE k = ?",
+            &[SqlValue::Text("lang".into())],
+        )
         .unwrap();
     assert_eq!(result.rows, vec![vec![SqlValue::Text("rust".into())]]);
 }
@@ -227,7 +252,14 @@ fn no_laundering_through_file_server() {
         ),
     );
     kernel.run();
-    kernel.inject(fs.port, asbestos::fs::FsMsg::Create { name: "public-board".into(), user: String::new() }.to_value());
+    kernel.inject(
+        fs.port,
+        asbestos::fs::FsMsg::Create {
+            name: "public-board".into(),
+            user: String::new(),
+        }
+        .to_value(),
+    );
     kernel.run();
 
     let tw = kernel.global_env("tw.port").unwrap().as_handle().unwrap();

@@ -122,12 +122,24 @@ fn logout_churn_does_not_leak_memory() {
     // Build every session once, then log everyone out: baseline.
     for i in 0..USERS {
         client
-            .request_sync(&mut kernel, "store", &format!("u{i}"), &format!("p{i}"), &[("data", "x")])
+            .request_sync(
+                &mut kernel,
+                "store",
+                &format!("u{i}"),
+                &format!("p{i}"),
+                &[("data", "x")],
+            )
             .unwrap();
     }
     for i in 0..USERS {
         client
-            .request_sync(&mut kernel, "store", &format!("u{i}"), &format!("p{i}"), &[("logout", "1")])
+            .request_sync(
+                &mut kernel,
+                "store",
+                &format!("u{i}"),
+                &format!("p{i}"),
+                &[("logout", "1")],
+            )
             .unwrap();
     }
     let baseline = kernel.kmem_report().user_frame_bytes;
@@ -137,12 +149,24 @@ fn logout_churn_does_not_leak_memory() {
     for round in 0..5 {
         for i in 0..USERS {
             client
-                .request_sync(&mut kernel, "store", &format!("u{i}"), &format!("p{i}"), &[("data", "y")])
+                .request_sync(
+                    &mut kernel,
+                    "store",
+                    &format!("u{i}"),
+                    &format!("p{i}"),
+                    &[("data", "y")],
+                )
                 .unwrap();
         }
         for i in 0..USERS {
             client
-                .request_sync(&mut kernel, "store", &format!("u{i}"), &format!("p{i}"), &[("logout", "1")])
+                .request_sync(
+                    &mut kernel,
+                    "store",
+                    &format!("u{i}"),
+                    &format!("p{i}"),
+                    &[("logout", "1")],
+                )
                 .unwrap();
         }
         let now = kernel.kernel_user_frames();
