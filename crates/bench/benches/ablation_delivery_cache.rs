@@ -12,8 +12,9 @@
 //! `delivery_cache/throughput_ratio` prints the measured messages/second
 //! with the cache on and off; the acceptance bar is ≥ 2× on this workload.
 
-use asbestos_kernel::util::service_with_start;
-use asbestos_kernel::{Category, Handle, Kernel, Label, Level, Value, DEFAULT_DELIVERY_CACHE_CAP};
+use asbestos_bench::report::{bench_test_mode, BenchReport};
+use asbestos_bench::workload_tuples::{deploy_repeated_tuple, trigger_round, TupleWorkload};
+use asbestos_kernel::{Handle, Kernel, DEFAULT_DELIVERY_CACHE_CAP};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::time::Instant;
 
@@ -24,73 +25,27 @@ const ENTRIES: u64 = 32;
 /// Messages per user per round.
 const BURST: usize = 32;
 
-/// Deploys one sink service plus [`USERS`] senders whose send labels carry
-/// disjoint [`ENTRIES`]-handle taints; returns the senders' trigger ports.
+/// The Figure 9 topology: every user bursts at one shared, long-lived
+/// service port on a single-shard kernel.
+const WORKLOAD: TupleWorkload = TupleWorkload {
+    users: USERS,
+    entries: ENTRIES,
+    burst: BURST,
+    handle_base: 0x1000,
+    handle_stride: 0x100,
+    per_user_sinks: false,
+    cross_shard: false,
+};
+
+/// Deploys the shared-sink repeated-tuple workload (see
+/// `asbestos_bench::workload_tuples`); returns the trigger ports.
 fn setup(cache_capacity: usize) -> (Kernel, Vec<Handle>) {
-    let mut kernel = Kernel::new(0xCAFE);
-    kernel.set_delivery_cache_capacity(cache_capacity);
-
-    kernel.spawn(
-        "sink",
-        Category::Other,
-        service_with_start(
-            |sys| {
-                let p = sys.new_port(Label::top());
-                sys.set_port_label(p, Label::top()).unwrap();
-                sys.publish_env("sink.port", Value::Handle(p));
-            },
-            |_sys, _msg| {},
-        ),
-    );
-    let sink = kernel.global_env("sink.port").unwrap().as_handle().unwrap();
-    let sink_pid = kernel.find_process("sink").unwrap();
-    // The sink accepts arbitrary contamination, like a service that has
-    // raised its receive label for every registered user.
-    kernel.set_process_labels(sink_pid, None, Some(Label::top()));
-
-    let mut trigger_ports = Vec::new();
-    for user in 0..USERS {
-        let name = format!("user{user}");
-        let key = format!("{name}.port");
-        let publish_key = key.clone();
-        kernel.spawn(
-            &name,
-            Category::Other,
-            service_with_start(
-                move |sys| {
-                    let p = sys.new_port(Label::top());
-                    sys.set_port_label(p, Label::top()).unwrap();
-                    sys.publish_env(&publish_key, Value::Handle(p));
-                },
-                move |sys, _msg| {
-                    for i in 0..BURST {
-                        sys.send(sink, Value::U64(i as u64)).unwrap();
-                    }
-                },
-            ),
-        );
-        trigger_ports.push(kernel.global_env(&key).unwrap().as_handle().unwrap());
-        // The user's session taint: ENTRIES distinct compartment handles.
-        let pid = kernel.find_process(&name).unwrap();
-        let pairs: Vec<(Handle, Level)> = (0..ENTRIES)
-            .map(|j| {
-                (
-                    Handle::from_raw(0x1000 + user as u64 * 0x100 + j),
-                    Level::L2,
-                )
-            })
-            .collect();
-        kernel.set_process_labels(pid, Some(Label::from_pairs(Level::L1, &pairs)), None);
-    }
-    (kernel, trigger_ports)
+    deploy_repeated_tuple(0xCAFE, 1, cache_capacity, &WORKLOAD)
 }
 
 /// One round: every user bursts at the sink; runs to idle.
 fn round(kernel: &mut Kernel, triggers: &[Handle]) {
-    for &port in triggers {
-        kernel.inject(port, Value::Unit);
-    }
-    kernel.run();
+    trigger_round(kernel, triggers);
 }
 
 fn bench_delivery(c: &mut Criterion) {
@@ -134,6 +89,30 @@ fn bench_throughput_ratio(c: &mut Criterion) {
         on / off,
         hit_rate * 100.0
     );
+    if !bench_test_mode() {
+        // Track the perf trajectory across PRs at the repo root.
+        let mut report = BenchReport::new("ablation_delivery_cache");
+        report.push_row(
+            "cache=off",
+            &[
+                ("msgs_per_sec", off),
+                ("users", USERS as f64),
+                ("entries", ENTRIES as f64),
+            ],
+        );
+        report.push_row(
+            "cache=on",
+            &[
+                ("msgs_per_sec", on),
+                ("hit_rate", hit_rate),
+                ("users", USERS as f64),
+                ("entries", ENTRIES as f64),
+            ],
+        );
+        report.push_summary("throughput_ratio", on / off);
+        report.push_summary("hit_rate", hit_rate);
+        report.write_at_repo_root("delivery_cache");
+    }
     // Keep the benchmark visible in `--test` listings.
     c.bench_function("delivery_cache/throughput_ratio", |b| b.iter(|| ()));
 }

@@ -1,0 +1,181 @@
+//! The OKWS repeated-tuple workload, shared by the perf benches.
+//!
+//! One parameterized builder models the Figure 9 regime — a pool of
+//! per-user senders, each carrying a distinct multi-entry taint label
+//! (the per-user `uT`/`uG` handles OKWS accumulates), repeatedly
+//! bursting at long-lived service ports. Every user's delivery tuple
+//! repeats exactly (§5.6's observation that labels are highly
+//! repetitive), which is what the delivery-decision cache keys on.
+//!
+//! `ablation_delivery_cache` uses the *shared-sink* topology (all users
+//! hit one service port, single shard); `scale_shards` uses *per-user
+//! sinks* placed either on the sender's shard or deliberately one shard
+//! away. Keeping both on this builder keeps the two benches' numbers
+//! comparable and prevents the workloads from silently diverging.
+
+use asbestos_kernel::util::service_with_start;
+use asbestos_kernel::{Category, Handle, Kernel, Label, Level, Value};
+
+/// Shape of one repeated-tuple deployment.
+#[derive(Clone, Copy)]
+pub struct TupleWorkload {
+    /// Concurrent user sessions (distinct label tuples).
+    pub users: usize,
+    /// Explicit entries per user send label (per-user compartments).
+    pub entries: u64,
+    /// Messages per user per round.
+    pub burst: usize,
+    /// Base raw handle value for the synthetic taint compartments.
+    pub handle_base: u64,
+    /// Raw-handle stride between users' compartment ranges.
+    pub handle_stride: u64,
+    /// `false`: all users burst at one shared sink (the Figure 9 shape);
+    /// `true`: each user has its own sink (the sharding shape).
+    pub per_user_sinks: bool,
+    /// With per-user sinks: place each sink one shard away from its
+    /// sender so every message rides the cross-shard router.
+    pub cross_shard: bool,
+}
+
+/// Deploys the workload over `shards` shards with the given delivery
+/// cache capacity; returns the kernel and the senders' trigger ports.
+///
+/// Senders are pinned round-robin (`user % shards`); the shared sink, or
+/// each per-user sink, is placed per the workload's topology. Every
+/// sink's receive label is opened to `{3}`, like a service that raised
+/// its receive label for every registered user; every sender's send
+/// label carries its `entries` disjoint compartments at level 2.
+pub fn deploy_repeated_tuple(
+    seed: u64,
+    shards: usize,
+    cache_capacity: usize,
+    w: &TupleWorkload,
+) -> (Kernel, Vec<Handle>) {
+    let mut kernel = Kernel::new_sharded(seed, shards);
+    kernel.set_delivery_cache_capacity(cache_capacity);
+
+    let spawn_sink = |kernel: &mut Kernel, shard: usize, name: &str, key: String| {
+        let publish_key = key.clone();
+        kernel.spawn_on(
+            shard,
+            name,
+            Category::Okws,
+            service_with_start(
+                move |sys| {
+                    let p = sys.new_port(Label::top());
+                    sys.set_port_label(p, Label::top()).unwrap();
+                    sys.publish_env(&publish_key, Value::Handle(p));
+                },
+                |_sys, _msg| {},
+            ),
+        );
+        let port = kernel.global_env(&key).unwrap().as_handle().unwrap();
+        let pid = kernel.find_process(name).unwrap();
+        kernel.set_process_labels(pid, None, Some(Label::top()));
+        port
+    };
+
+    let shared_sink = if w.per_user_sinks {
+        None
+    } else {
+        Some(spawn_sink(&mut kernel, 0, "sink", "sink.port".into()))
+    };
+
+    let mut trigger_ports = Vec::new();
+    for user in 0..w.users {
+        let send_shard = user % shards;
+        let sink = match shared_sink {
+            Some(port) => port,
+            None => {
+                let sink_shard = if w.cross_shard {
+                    (user + 1) % shards
+                } else {
+                    send_shard
+                };
+                spawn_sink(
+                    &mut kernel,
+                    sink_shard,
+                    &format!("sink{user}"),
+                    format!("user{user}.sink"),
+                )
+            }
+        };
+
+        let trig_key = format!("user{user}.trigger");
+        let publish_key = trig_key.clone();
+        let burst = w.burst;
+        kernel.spawn_on(
+            send_shard,
+            &format!("user{user}"),
+            Category::Okws,
+            service_with_start(
+                move |sys| {
+                    let p = sys.new_port(Label::top());
+                    sys.set_port_label(p, Label::top()).unwrap();
+                    sys.publish_env(&publish_key, Value::Handle(p));
+                },
+                move |sys, _msg| {
+                    for i in 0..burst {
+                        sys.send(sink, Value::U64(i as u64)).unwrap();
+                    }
+                },
+            ),
+        );
+        trigger_ports.push(kernel.global_env(&trig_key).unwrap().as_handle().unwrap());
+
+        // The user's session taint: `entries` distinct compartment
+        // handles — the repeated tuple the delivery cache keys on.
+        let pid = kernel.find_process(&format!("user{user}")).unwrap();
+        let pairs: Vec<(Handle, Level)> = (0..w.entries)
+            .map(|j| {
+                (
+                    Handle::from_raw(w.handle_base + user as u64 * w.handle_stride + j),
+                    Level::L2,
+                )
+            })
+            .collect();
+        kernel.set_process_labels(pid, Some(Label::from_pairs(Level::L1, &pairs)), None);
+    }
+    (kernel, trigger_ports)
+}
+
+/// One round: every user bursts at its sink; runs to idle.
+pub fn trigger_round(kernel: &mut Kernel, triggers: &[Handle]) {
+    for &port in triggers {
+        kernel.inject(port, Value::Unit);
+    }
+    kernel.run();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shared_and_per_user_topologies_deliver_every_burst() {
+        let w = TupleWorkload {
+            users: 4,
+            entries: 3,
+            burst: 5,
+            handle_base: 0x1000,
+            handle_stride: 0x100,
+            per_user_sinks: false,
+            cross_shard: false,
+        };
+        let (mut kernel, triggers) = deploy_repeated_tuple(1, 1, 0, &w);
+        trigger_round(&mut kernel, &triggers);
+        // 4 triggers + 4×5 burst messages, none dropped.
+        assert_eq!(kernel.stats().delivered, 4 + 20);
+        assert_eq!(kernel.stats().dropped_total(), 0);
+
+        let w2 = TupleWorkload {
+            per_user_sinks: true,
+            cross_shard: true,
+            ..w
+        };
+        let (mut kernel, triggers) = deploy_repeated_tuple(1, 2, 0, &w2);
+        trigger_round(&mut kernel, &triggers);
+        assert_eq!(kernel.stats().delivered, 4 + 20);
+        assert_eq!(kernel.stats().dropped_total(), 0);
+    }
+}

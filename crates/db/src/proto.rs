@@ -168,7 +168,7 @@ impl DbMsg {
                 user: items.get(1)?.as_str()?.to_string(),
                 sql: items.get(2)?.as_str()?.to_string(),
                 params: value_to_params(items.get(3)?)?,
-                reply: items.get(4).and_then(Value::as_handle),
+                reply: items.get(4).and_then(|v| v.as_handle()),
             }),
             "exec-r" => Some(DbMsg::ExecR {
                 ok: items.get(1)?.as_bool()?,

@@ -464,7 +464,7 @@ pub fn spawn_dbproxy(kernel: &mut Kernel) -> DbHandle {
     let pid = kernel.spawn("ok-dbproxy", Category::Okdb, Box::new(DbProxy::new()));
     let port = kernel
         .global_env(DB_PORT_ENV)
-        .and_then(Value::as_handle)
+        .and_then(|v| v.as_handle())
         .expect("proxy publishes its worker port");
     DbHandle { pid, port }
 }

@@ -1,8 +1,8 @@
 //! ok-dbproxy policy tests: the §7.5 write gate and per-row taint, plus the
 //! §7.6 decentralized declassification flow, all through real processes.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::Arc;
+use std::sync::Mutex;
 
 use asbestos_db::{spawn_dbproxy, DbMsg, DB_PORT_ENV, DB_TRUSTED_ENV};
 use asbestos_kernel::util::service_with_start;
@@ -107,8 +107,8 @@ fn spawn_trusted(kernel: &mut Kernel) {
 
 /// Spawns a worker process for `user`; returns its command port key and a
 /// shared log of database replies it received.
-fn spawn_worker(kernel: &mut Kernel, name: &'static str) -> Rc<RefCell<Vec<DbMsg>>> {
-    let log = Rc::new(RefCell::new(Vec::new()));
+fn spawn_worker(kernel: &mut Kernel, name: &'static str) -> Arc<Mutex<Vec<DbMsg>>> {
+    let log = Arc::new(Mutex::new(Vec::new()));
     let log2 = log.clone();
     kernel.spawn(
         name,
@@ -124,7 +124,7 @@ fn spawn_worker(kernel: &mut Kernel, name: &'static str) -> Rc<RefCell<Vec<DbMsg
             },
             move |sys, msg| {
                 if let Some(db_msg) = DbMsg::from_value(&msg.body) {
-                    log2.borrow_mut().push(db_msg);
+                    log2.lock().unwrap().push(db_msg);
                     return;
                 }
                 let Some(items) = msg.body.as_list() else {
@@ -194,7 +194,7 @@ fn cmd(kernel: &Kernel, name: &str) -> Handle {
 }
 
 /// A worker's observed reply stream.
-type MsgLog = Rc<RefCell<Vec<DbMsg>>>;
+type MsgLog = Arc<Mutex<Vec<DbMsg>>>;
 
 /// Full environment: trusted party, proxy, two user workers, store table.
 fn setup(seed: u64) -> (Kernel, MsgLog, MsgLog) {
@@ -248,16 +248,16 @@ fn verified_writes_land_with_owner_id() {
         "INSERT INTO store VALUES ('color', 'red')",
     );
     assert_eq!(
-        alice_log.borrow().last(),
+        alice_log.lock().unwrap().last(),
         Some(&DbMsg::ExecR {
             ok: true,
             affected: 1
         })
     );
     // Read back: one tainted row plus the untainted Done.
-    alice_log.borrow_mut().clear();
+    alice_log.lock().unwrap().clear();
     query(&mut kernel, "alice-worker", "SELECT k, v FROM store");
-    let log = alice_log.borrow();
+    let log = alice_log.lock().unwrap();
     assert_eq!(
         *log,
         vec![
@@ -282,16 +282,16 @@ fn unverified_writes_are_refused() {
     );
     kernel.run();
     assert_eq!(
-        alice_log.borrow().last(),
+        alice_log.lock().unwrap().last(),
         Some(&DbMsg::ExecR {
             ok: false,
             affected: 0
         })
     );
     // Nothing landed.
-    alice_log.borrow_mut().clear();
+    alice_log.lock().unwrap().clear();
     query(&mut kernel, "alice-worker", "SELECT k FROM store");
-    assert_eq!(*alice_log.borrow(), vec![DbMsg::Done]);
+    assert_eq!(*alice_log.lock().unwrap(), vec![DbMsg::Done]);
 }
 
 #[test]
@@ -302,7 +302,7 @@ fn user_id_column_is_unreachable() {
         "alice-worker",
         "INSERT INTO store VALUES ('c', 'red')",
     );
-    alice_log.borrow_mut().clear();
+    alice_log.lock().unwrap().clear();
     // Neither writes nor reads may mention the hidden column (§7.5: "The
     // workers themselves cannot access or change this column").
     exec(
@@ -311,22 +311,30 @@ fn user_id_column_is_unreachable() {
         "UPDATE store SET user_id = 0 WHERE k = 'c'",
     );
     assert_eq!(
-        alice_log.borrow().last(),
+        alice_log.lock().unwrap().last(),
         Some(&DbMsg::ExecR {
             ok: false,
             affected: 0
         })
     );
-    alice_log.borrow_mut().clear();
+    alice_log.lock().unwrap().clear();
     query(&mut kernel, "alice-worker", "SELECT user_id FROM store");
-    assert_eq!(*alice_log.borrow(), vec![DbMsg::Done], "projection refused");
-    alice_log.borrow_mut().clear();
+    assert_eq!(
+        *alice_log.lock().unwrap(),
+        vec![DbMsg::Done],
+        "projection refused"
+    );
+    alice_log.lock().unwrap().clear();
     query(
         &mut kernel,
         "alice-worker",
         "SELECT k FROM store WHERE user_id = 0",
     );
-    assert_eq!(*alice_log.borrow(), vec![DbMsg::Done], "filter refused");
+    assert_eq!(
+        *alice_log.lock().unwrap(),
+        vec![DbMsg::Done],
+        "filter refused"
+    );
 }
 
 #[test]
@@ -345,7 +353,7 @@ fn rows_are_isolated_between_users() {
 
     // Alice's SELECT matches both rows; the proxy sends both, each tainted
     // by its owner; the kernel drops bob's row at alice's door.
-    alice_log.borrow_mut().clear();
+    alice_log.lock().unwrap().clear();
     let drops_before = kernel.stats().dropped_label_check;
     query(
         &mut kernel,
@@ -353,7 +361,7 @@ fn rows_are_isolated_between_users() {
         "SELECT v FROM store WHERE k = 'color'",
     );
     assert_eq!(
-        *alice_log.borrow(),
+        *alice_log.lock().unwrap(),
         vec![
             DbMsg::Row {
                 values: vec!["red".into()]
@@ -368,14 +376,14 @@ fn rows_are_isolated_between_users() {
     );
 
     // Bob sees only his.
-    bob_log.borrow_mut().clear();
+    bob_log.lock().unwrap().clear();
     query(
         &mut kernel,
         "bob-worker",
         "SELECT v FROM store WHERE k = 'color'",
     );
     assert_eq!(
-        *bob_log.borrow(),
+        *bob_log.lock().unwrap(),
         vec![
             DbMsg::Row {
                 values: vec!["blue".into()]
@@ -395,14 +403,14 @@ fn writes_cannot_touch_other_users_rows() {
     );
     // Bob's malicious broad UPDATE and DELETE are silently scoped to bob's
     // (empty) row set by the owner guard.
-    bob_log.borrow_mut().clear();
+    bob_log.lock().unwrap().clear();
     exec(
         &mut kernel,
         "bob-worker",
         "UPDATE store SET v = 'hacked' WHERE k = 'color'",
     );
     assert_eq!(
-        bob_log.borrow().last(),
+        bob_log.lock().unwrap().last(),
         Some(&DbMsg::ExecR {
             ok: true,
             affected: 0
@@ -410,17 +418,17 @@ fn writes_cannot_touch_other_users_rows() {
     );
     exec(&mut kernel, "bob-worker", "DELETE FROM store");
     assert_eq!(
-        bob_log.borrow().last(),
+        bob_log.lock().unwrap().last(),
         Some(&DbMsg::ExecR {
             ok: true,
             affected: 0
         })
     );
     // Alice's row is intact.
-    alice_log.borrow_mut().clear();
+    alice_log.lock().unwrap().clear();
     query(&mut kernel, "alice-worker", "SELECT v FROM store");
     assert_eq!(
-        *alice_log.borrow(),
+        *alice_log.lock().unwrap(),
         vec![
             DbMsg::Row {
                 values: vec!["red".into()]
@@ -495,7 +503,7 @@ fn policy_persists_across_reboot() {
         "SELECT v FROM store WHERE k = 'color'",
     );
     assert_eq!(
-        *alice_log2.borrow(),
+        *alice_log2.lock().unwrap(),
         vec![
             DbMsg::Row {
                 values: vec!["red".into()]
@@ -503,14 +511,14 @@ fn policy_persists_across_reboot() {
             DbMsg::Done
         ]
     );
-    bob_log2.borrow_mut().clear();
+    bob_log2.lock().unwrap().clear();
     query(
         &mut kernel,
         "bob-worker",
         "SELECT v FROM store WHERE k = 'color'",
     );
     assert_eq!(
-        *bob_log2.borrow(),
+        *bob_log2.lock().unwrap(),
         vec![
             DbMsg::Row {
                 values: vec!["blue".into()]
@@ -580,7 +588,7 @@ fn declassified_rows_are_public_and_untainted() {
         "INSERT INTO profiles VALUES ('alice', 'public bio')",
     );
     assert_eq!(
-        decl_log.borrow().last(),
+        decl_log.lock().unwrap().last(),
         Some(&DbMsg::ExecR {
             ok: true,
             affected: 1
@@ -588,7 +596,7 @@ fn declassified_rows_are_public_and_untainted() {
     );
 
     // Bob reads it: untainted row, no drops.
-    bob_log.borrow_mut().clear();
+    bob_log.lock().unwrap().clear();
     let drops_before = kernel.stats().dropped_label_check;
     query(
         &mut kernel,
@@ -596,7 +604,7 @@ fn declassified_rows_are_public_and_untainted() {
         "SELECT bio FROM profiles WHERE name = 'alice'",
     );
     assert_eq!(
-        *bob_log.borrow(),
+        *bob_log.lock().unwrap(),
         vec![
             DbMsg::Row {
                 values: vec!["public bio".into()]

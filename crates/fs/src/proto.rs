@@ -151,7 +151,7 @@ impl FsMsg {
             "write" => Some(FsMsg::Write {
                 name: items.get(1)?.as_str()?.to_string(),
                 data: items.get(2)?.as_bytes()?.to_vec(),
-                reply: items.get(3).and_then(Value::as_handle),
+                reply: items.get(3).and_then(|v| v.as_handle()),
             }),
             "write-r" => Some(FsMsg::WriteR {
                 name: items.get(1)?.as_str()?.to_string(),

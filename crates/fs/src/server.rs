@@ -234,11 +234,11 @@ pub fn spawn_fs(kernel: &mut Kernel) -> FsHandle {
     let pid = kernel.spawn("fs", Category::Other, Box::new(FileServer::new()));
     let port = kernel
         .global_env(FS_PORT_ENV)
-        .and_then(Value::as_handle)
+        .and_then(|v| v.as_handle())
         .expect("fs publishes its port");
     let system = kernel
         .global_env(FS_SYSTEM_COMPARTMENT_ENV)
-        .and_then(Value::as_handle)
+        .and_then(|v| v.as_handle())
         .expect("fs publishes the system compartment");
     FsHandle { pid, port, system }
 }

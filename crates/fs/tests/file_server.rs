@@ -2,8 +2,8 @@
 //! §5.4 integrity policies, and transitive leak prevention through the
 //! server.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::Arc;
+use std::sync::Mutex;
 
 use asbestos_fs::{spawn_fs, FsMsg};
 use asbestos_kernel::util::service_with_start;
@@ -131,7 +131,7 @@ fn taint_on_read_and_figure2_isolation() {
 
     // u's terminal: a sink that only u's data may reach. Its receive label
     // is {uT 3, 2}, assigned out of band as in Figure 2.
-    let seen = Rc::new(RefCell::new(Vec::<Vec<u8>>::new()));
+    let seen = Arc::new(Mutex::new(Vec::<Vec<u8>>::new()));
     let s2 = seen.clone();
     let term = kernel.spawn(
         "u-terminal",
@@ -144,7 +144,7 @@ fn taint_on_read_and_figure2_isolation() {
             },
             move |_sys, msg| {
                 if let Some(b) = msg.body.as_bytes() {
-                    s2.borrow_mut().push(b.to_vec());
+                    s2.lock().unwrap().push(b.to_vec());
                 }
             },
         ),
@@ -201,7 +201,7 @@ fn taint_on_read_and_figure2_isolation() {
         Value::List(vec!["forward-to".into(), Value::Handle(term_port)]),
     );
     kernel.run();
-    assert_eq!(*seen.borrow(), vec![b"dear diary".to_vec()]);
+    assert_eq!(*seen.lock().unwrap(), vec![b"dear diary".to_vec()]);
 
     // u's shell is now tainted with uT 3.
     assert_eq!(kernel.process(u_shell).send_label.get(u_taint), Level::L3);
@@ -261,7 +261,11 @@ fn taint_on_read_and_figure2_isolation() {
     );
     kernel.run();
     assert_eq!(kernel.stats().dropped_label_check, drops + 1);
-    assert_eq!(seen.borrow().len(), 1, "terminal saw only u's own send");
+    assert_eq!(
+        seen.lock().unwrap().len(),
+        1,
+        "terminal saw only u's own send"
+    );
 }
 
 #[test]
@@ -314,7 +318,7 @@ fn writes_require_speak_for_proof() {
     kernel.run();
 
     // Verify the content through u's own read path.
-    let contents = Rc::new(RefCell::new(None));
+    let contents = Arc::new(Mutex::new(None));
     let c2 = contents.clone();
     kernel.spawn(
         "auditor",
@@ -329,7 +333,7 @@ fn writes_require_speak_for_proof() {
             },
             move |_sys, msg| {
                 if let Some(FsMsg::ReadR { data, .. }) = FsMsg::from_value(&msg.body) {
-                    *c2.borrow_mut() = data;
+                    *c2.lock().unwrap() = data;
                 }
             },
         ),
@@ -350,7 +354,7 @@ fn writes_require_speak_for_proof() {
         .to_value(),
     );
     kernel.run();
-    assert_eq!(contents.borrow().as_deref(), Some(&b"mine"[..]));
+    assert_eq!(contents.lock().unwrap().as_deref(), Some(&b"mine"[..]));
 }
 
 #[test]
@@ -439,7 +443,7 @@ fn system_files_mandatory_integrity() {
     assert_eq!(kernel.stats().dropped_label_check, drops_before + 1);
 
     // Contents are still the clean daemon's.
-    let contents = Rc::new(RefCell::new(None));
+    let contents = Arc::new(Mutex::new(None));
     let c2 = contents.clone();
     kernel.spawn(
         "auditor",
@@ -452,7 +456,7 @@ fn system_files_mandatory_integrity() {
             },
             move |_sys, msg| {
                 if let Some(FsMsg::ReadR { data, .. }) = FsMsg::from_value(&msg.body) {
-                    *c2.borrow_mut() = data;
+                    *c2.lock().unwrap() = data;
                 }
             },
         ),
@@ -471,7 +475,7 @@ fn system_files_mandatory_integrity() {
         .to_value(),
     );
     kernel.run();
-    assert_eq!(contents.borrow().as_deref(), Some(&b"root:x:0"[..]));
+    assert_eq!(contents.lock().unwrap().as_deref(), Some(&b"root:x:0"[..]));
 }
 
 #[test]

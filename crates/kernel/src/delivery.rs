@@ -14,7 +14,13 @@
 //!   stored and installed as `Arc<Label>`.
 //! * [`DeliveryOutcome`] — what one scheduler step did; the per-step
 //!   `Stats` bookkeeping happens in exactly one place
-//!   ([`Kernel::step_outcome`]) instead of at every drop site.
+//!   ([`KernelShard::step_outcome`]) instead of at every drop site.
+//!
+//! Since the kernel was sharded, the engine below runs *per shard*: each
+//! [`KernelShard`] drains its own mailboxes against its own processes,
+//! ports, cache, and clock, so N shards run N of these loops on parallel
+//! threads without sharing a byte of mutable state. Cross-shard sends
+//! are routed between rounds by the coordinator (see `kernel.rs`).
 //!
 //! The cache is semantically invisible: fingerprints identify label
 //! *contents*, so label mutation anywhere simply produces different keys —
@@ -30,14 +36,15 @@ use asbestos_labels::{ops, ops::DeliveryKey, Handle, Label};
 use crate::cycles::Category;
 use crate::handle_table::PortOwner;
 use crate::ids::ExecCtx;
-use crate::kernel::Kernel;
 use crate::message::{Message, QueuedMessage};
+use crate::router::Router;
+use crate::shard::KernelShard;
 use crate::stats::DropReason;
 
 /// Default bound on cached delivery decisions.
 pub const DEFAULT_DELIVERY_CACHE_CAP: usize = 1 << 16;
 
-/// What one call to [`Kernel::step_outcome`] did.
+/// What one call to [`crate::Kernel::step_outcome`] did.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum DeliveryOutcome {
     /// No message was pending; the system is idle.
@@ -101,6 +108,12 @@ impl Mailboxes {
     /// Total pending messages.
     pub fn len(&self) -> usize {
         self.len
+    }
+
+    /// Pending messages for one destination port (the per-port
+    /// backpressure bound checks this).
+    pub fn port_len(&self, port: Handle) -> usize {
+        self.boxes.get(&port).map_or(0, VecDeque::len)
     }
 
     /// Iterates all pending messages (accounting and god-mode stats; no
@@ -233,25 +246,19 @@ impl DeliveryCache {
 // The delivery engine.
 // ---------------------------------------------------------------------
 
-impl Kernel {
-    /// Attempts one message delivery. Returns `false` when no message is
-    /// pending (the system is idle).
-    pub fn step(&mut self) -> bool {
-        self.step_outcome() != DeliveryOutcome::Idle
-    }
-
+impl KernelShard {
     /// Attempts one message delivery and reports what happened.
     ///
     /// All per-step `Stats` bookkeeping lives here: drop reasons, the
     /// delivered counter, and the cache counters are recorded in one
     /// place, so the delivery logic below returns outcomes instead of
     /// mutating counters at every exit point.
-    pub fn step_outcome(&mut self) -> DeliveryOutcome {
+    pub(crate) fn step_outcome(&mut self, router: &Router) -> DeliveryOutcome {
         let Some(qm) = self.mailboxes.pop_next() else {
             return DeliveryOutcome::Idle;
         };
         self.clock.charge(Category::KernelIpc, self.cost.recv_base);
-        let outcome = self.deliver(qm);
+        let outcome = self.deliver(router, qm);
         match outcome {
             DeliveryOutcome::Dropped(reason) => self.stats.record_drop(reason),
             DeliveryOutcome::Delivered => self.stats.delivered += 1,
@@ -264,9 +271,26 @@ impl Kernel {
         outcome
     }
 
+    /// Drains this shard's mailboxes until idle or until `budget` steps
+    /// have run; returns `(steps, hit_budget)`. One drain is one shard's
+    /// half of a barrier round: local sends issued by handlers keep the
+    /// drain going (exactly the monolithic engine's behavior), while
+    /// cross-shard sends accumulate in the outbox for the coordinator.
+    pub(crate) fn drain(&mut self, router: &Router, budget: u64) -> (u64, bool) {
+        let mut steps = 0;
+        while self.mailboxes.len() > 0 {
+            if steps >= budget {
+                return (steps, true);
+            }
+            self.step_outcome(router);
+            steps += 1;
+        }
+        (steps, false)
+    }
+
     /// Evaluates Figure 4 for one popped message and, if it passes,
     /// invokes the receiver.
-    fn deliver(&mut self, qm: QueuedMessage) -> DeliveryOutcome {
+    fn deliver(&mut self, router: &Router, qm: QueuedMessage) -> DeliveryOutcome {
         // Resolve the destination port.
         let Some(port_state) = self.handles.port(qm.port) else {
             return DeliveryOutcome::Dropped(DropReason::NoSuchPort);
@@ -411,7 +435,7 @@ impl Kernel {
             body: qm.body,
             verify: qm.v,
         };
-        self.invoke(pid, ep, is_new_ep, &msg);
+        self.invoke(router, pid, ep, is_new_ep, &msg);
         DeliveryOutcome::Delivered
     }
 }
@@ -472,6 +496,109 @@ mod tests {
         assert_eq!(m.len(), 1);
         m.pop_next();
         assert!(m.pop_next().is_none());
+    }
+
+    /// A transparent reference model of the documented scheduling
+    /// contract: one FIFO per port, ports enter the rotation on their
+    /// first pending message, each pop serves the front port and rotates
+    /// it to the back while it has messages left.
+    #[derive(Default)]
+    struct RotationModel {
+        queues: BTreeMap<u64, VecDeque<u64>>,
+        rotation: VecDeque<u64>,
+    }
+
+    impl RotationModel {
+        fn push(&mut self, port: u64, tag: u64) {
+            let q = self.queues.entry(port).or_default();
+            if q.is_empty() {
+                self.rotation.push_back(port);
+            }
+            q.push_back(tag);
+        }
+
+        fn pop(&mut self) -> Option<(u64, u64)> {
+            let port = self.rotation.pop_front()?;
+            let q = self.queues.get_mut(&port).unwrap();
+            let tag = q.pop_front().unwrap();
+            if !q.is_empty() {
+                self.rotation.push_back(port);
+            }
+            Some((port, tag))
+        }
+    }
+
+    /// Round-robin fairness, pinned as properties over random workloads:
+    ///
+    /// 1. **Model equivalence**: under arbitrary interleavings of pushes
+    ///    and pops, every pop matches the documented rotation model.
+    /// 2. **Per-port FIFO**: each port's messages pop in push order.
+    /// 3. **Bounded waiting**: during a pure drain (no pushes racing in),
+    ///    between consecutive pops of port `p` — a window where `p` is
+    ///    continuously pending — every other port is popped at most once,
+    ///    so no pending port ever waits more than one full rotation.
+    #[test]
+    fn round_robin_fairness_properties() {
+        use proptest::prelude::*;
+        use proptest::test_runner::TestRng;
+
+        let mut rng = TestRng::deterministic(concat!(module_path!(), "::fairness"));
+        let ops = proptest::collection::vec((0u64..8, any::<bool>()), 1..200);
+        for _case in 0..256 {
+            let plan = ops.generate(&mut rng);
+            let mut m = Mailboxes::default();
+            let mut model = RotationModel::default();
+            let mut pushed_per_port: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
+            let mut popped: Vec<(u64, u64)> = Vec::new();
+            let check_pop = |m: &mut Mailboxes, model: &mut RotationModel| {
+                let got = m
+                    .pop_next()
+                    .map(|q| (q.port.raw(), q.body.as_u64().unwrap()));
+                assert_eq!(got, model.pop(), "pop deviates from the rotation model");
+                got
+            };
+            for (tag, (port, pop_after)) in plan.into_iter().enumerate() {
+                let tag = tag as u64;
+                m.push(qm(port, tag));
+                model.push(port, tag);
+                pushed_per_port.entry(port).or_default().push(tag);
+                if pop_after {
+                    popped.extend(check_pop(&mut m, &mut model));
+                }
+            }
+            // Pure drain phase: ports stay pending until their last pop.
+            let mut drain: Vec<(u64, u64)> = Vec::new();
+            while let Some(entry) = check_pop(&mut m, &mut model) {
+                drain.push(entry);
+            }
+            popped.extend(drain.iter().copied());
+
+            // (2) Per-port FIFO order is push order.
+            let mut popped_per_port: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
+            for &(port, t) in &popped {
+                popped_per_port.entry(port).or_default().push(t);
+            }
+            assert_eq!(popped_per_port, pushed_per_port, "per-port FIFO");
+
+            // (3) Bounded waiting over the drain. Only windows between
+            // *consecutive* pops of `p` count: after its final pop the
+            // port is empty, so it is not waiting on anyone.
+            for (i, &(p, _)) in drain.iter().enumerate() {
+                if !drain[i + 1..].iter().any(|&(q, _)| q == p) {
+                    continue;
+                }
+                let mut seen = std::collections::HashSet::new();
+                for &(q, _) in drain.iter().skip(i + 1) {
+                    if q == p {
+                        break;
+                    }
+                    assert!(
+                        seen.insert(q),
+                        "port {q} served twice while {p} was waiting (window at pop {i})"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -58,9 +58,16 @@ pub struct HandleTable {
 impl HandleTable {
     /// Creates a table whose allocator is keyed from `seed`.
     pub fn new(seed: u64) -> HandleTable {
+        HandleTable::with_partition(seed, 0, 1)
+    }
+
+    /// Creates a table owning one lane of a partitioned allocator: all
+    /// lanes share the seed-keyed cipher (one handle namespace) but draw
+    /// disjoint counters, so kernel shards never mint colliding handles.
+    pub fn with_partition(seed: u64, lane: u64, lanes: u64) -> HandleTable {
         HandleTable {
             vnodes: BTreeMap::new(),
-            allocator: HandleAllocator::new(seed),
+            allocator: HandleAllocator::with_partition(seed, lane, lanes),
         }
     }
 

@@ -1,26 +1,56 @@
-//! The kernel simulator: process/port state, spawning, and the god-mode
-//! surface. The delivery engine (scheduler, Figure 4 evaluation, decision
-//! cache) lives in [`crate::delivery`].
+//! The kernel coordinator: shard construction, placement, god-mode
+//! surface, and the barrier-synchronized round scheduler.
+//!
+//! Since PR 2 the kernel is a set of [`KernelShard`]s — each a complete,
+//! isolated delivery engine (see [`crate::shard`]) — plus the shared
+//! [`Router`] maps and this coordinator. The coordinator owns placement
+//! (which shard a spawned process lands on), drives the round schedule,
+//! and merges per-shard statistics, clocks, and memory reports into the
+//! whole-kernel views the paper figures read.
+//!
+//! **Round schedule.** `run()` repeats two phases until quiescence:
+//!
+//! 1. *Drain* — every shard with pending messages drains its mailboxes to
+//!    idle, exactly like the monolithic engine did, running handlers and
+//!    processing their same-shard sends in the same pass. With more than
+//!    one active shard the drains run on parallel `std::thread::scope`
+//!    threads. Shards share no *delivery* state, so per-shard traces are
+//!    independent of thread scheduling and runs are reproducible — with
+//!    one carve-out: handlers that read a shared [`Router`] map (the
+//!    global environment, via `Sys::env` fallthrough) mid-round race
+//!    against same-round writes from other shards. Workloads that follow
+//!    the §4 bootstrap convention (publish during spawn, read later)
+//!    never hit this; see `router.rs` for the full contract.
+//! 2. *Route* — the coordinator moves every outbox message into its
+//!    destination shard's mailboxes, in shard order and send order, then
+//!    starts the next round. Queue bounds are applied here, against the
+//!    destination shard, by the same code the local send path uses.
+//!
+//! A kernel built with `shards = 1` never routes, never spawns a thread,
+//! and executes the identical code path the pre-sharding engine did —
+//! `tests/shard_determinism.rs` pins that configuration bit-for-bit, so
+//! all paper figures (fig6–fig9) are unaffected by sharding.
 
-use std::collections::BTreeMap;
 use std::sync::Arc;
 
-use asbestos_labels::{ops, Handle, Label};
+use asbestos_labels::{Handle, Label};
 
 use crate::cycles::{Category, CostModel, CycleClock, CycleSnapshot};
-use crate::delivery::{DeliveryCache, Mailboxes, DEFAULT_DELIVERY_CACHE_CAP};
+use crate::delivery::DeliveryOutcome;
 use crate::event_process::EventProcess;
-use crate::handle_table::{HandleTable, PortOwner};
-use crate::ids::{EpId, ExecCtx, ProcessId};
-use crate::memory::{FramePool, PAGE_SIZE};
-use crate::message::{Message, QueuedMessage, SendArgs};
+use crate::handle_table::HandleTable;
+use crate::ids::{EpId, ProcessId, MAX_SHARDS};
+use crate::memory::PAGE_SIZE;
+use crate::message::QueuedMessage;
 use crate::process::{Body, EpService, Process, Service};
-use crate::stats::{DropReason, Stats};
-use crate::sys::Sys;
+use crate::router::Router;
+use crate::shard::KernelShard;
+use crate::stats::Stats;
 use crate::value::Value;
 
-/// Default bound on queued messages (the resource-exhaustion backstop §8
-/// mentions; drops past this limit are silent, like label drops).
+/// Default bound on queued messages per shard (the resource-exhaustion
+/// backstop §8 mentions; drops past this limit are silent, like label
+/// drops).
 pub const DEFAULT_QUEUE_LIMIT: usize = 1 << 20;
 
 /// A point-in-time memory accounting report (the Figure 6 measurement).
@@ -55,55 +85,82 @@ impl KmemReport {
     pub fn total_pages(&self) -> usize {
         self.total_bytes().div_ceil(PAGE_SIZE)
     }
+
+    /// Adds another report's counts into this one (shard merging).
+    pub(crate) fn absorb(&mut self, other: &KmemReport) {
+        self.process_bytes += other.process_bytes;
+        self.ep_bytes += other.ep_bytes;
+        self.handle_bytes += other.handle_bytes;
+        self.queue_bytes += other.queue_bytes;
+        self.delivery_cache_bytes += other.delivery_cache_bytes;
+        self.user_frame_bytes += other.user_frame_bytes;
+    }
 }
 
 /// The Asbestos kernel simulator.
 ///
 /// A `Kernel` owns every process, event process, port, queued message, and
-/// simulated page, plus the virtual cycle clock. It is deterministic: the
-/// same spawn order, injections, and seed produce the same schedule, cycle
+/// simulated page, partitioned across one or more [`KernelShard`]s, plus
+/// the virtual cycle clocks. It is deterministic: the same spawn order,
+/// injections, seed, and shard count produce the same schedule, cycle
 /// counts, and memory report.
 ///
-/// Drive it by [`Kernel::spawn`]ing services, [`Kernel::inject`]ing external
-/// events, and calling [`Kernel::run`].
+/// Drive it by [`Kernel::spawn`]ing services, [`Kernel::inject`]ing
+/// external events, and calling [`Kernel::run`].
 pub struct Kernel {
-    pub(crate) cost: CostModel,
-    pub(crate) clock: CycleClock,
-    pub(crate) handles: HandleTable,
-    pub(crate) processes: Vec<Process>,
-    pub(crate) eps: Vec<EventProcess>,
-    pub(crate) frames: FramePool,
-    pub(crate) mailboxes: Mailboxes,
-    pub(crate) queue_limit: usize,
-    pub(crate) delivery_cache: DeliveryCache,
-    pub(crate) stats: Stats,
-    pub(crate) global_env: BTreeMap<String, Value>,
-    pub(crate) last_ctx: Option<ExecCtx>,
+    shards: Vec<KernelShard>,
+    router: Router,
+    /// Round-robin cursor for default spawn placement.
+    next_spawn_shard: usize,
+    /// Round-robin cursor for the sequential `step()` debug scheduler.
+    step_cursor: usize,
 }
 
 impl Kernel {
-    /// Creates a kernel with the default cost model; `seed` keys the handle
-    /// cipher.
+    /// Creates a single-shard kernel with the default cost model; `seed`
+    /// keys the handle cipher. This is the paper-figure configuration.
     pub fn new(seed: u64) -> Kernel {
-        Kernel::with_cost_model(seed, CostModel::default())
+        Kernel::with_cost_model_sharded(seed, CostModel::default(), 1)
     }
 
-    /// Creates a kernel with an explicit cost model.
+    /// Creates a single-shard kernel with an explicit cost model.
     pub fn with_cost_model(seed: u64, cost: CostModel) -> Kernel {
+        Kernel::with_cost_model_sharded(seed, cost, 1)
+    }
+
+    /// Creates a kernel with `shards` parallel delivery engines.
+    pub fn new_sharded(seed: u64, shards: usize) -> Kernel {
+        Kernel::with_cost_model_sharded(seed, CostModel::default(), shards)
+    }
+
+    /// Creates a sharded kernel with an explicit cost model.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= shards <= MAX_SHARDS`.
+    pub fn with_cost_model_sharded(seed: u64, cost: CostModel, shards: usize) -> Kernel {
+        assert!(
+            (1..=MAX_SHARDS).contains(&shards),
+            "shard count must be in 1..={MAX_SHARDS}"
+        );
         Kernel {
-            cost,
-            clock: CycleClock::new(),
-            handles: HandleTable::new(seed),
-            processes: Vec::new(),
-            eps: Vec::new(),
-            frames: FramePool::new(),
-            mailboxes: Mailboxes::default(),
-            queue_limit: DEFAULT_QUEUE_LIMIT,
-            delivery_cache: DeliveryCache::new(DEFAULT_DELIVERY_CACHE_CAP),
-            stats: Stats::default(),
-            global_env: BTreeMap::new(),
-            last_ctx: None,
+            shards: (0..shards)
+                .map(|i| KernelShard::new(seed, i as u16, shards, cost.clone()))
+                .collect(),
+            router: Router::new(shards),
+            next_spawn_shard: 0,
+            step_cursor: 0,
         }
+    }
+
+    /// Number of kernel shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Read-only access to one shard (god-mode observability).
+    pub fn shard(&self, shard: usize) -> &KernelShard {
+        &self.shards[shard]
     }
 
     // ------------------------------------------------------------------
@@ -111,61 +168,57 @@ impl Kernel {
     // ------------------------------------------------------------------
 
     /// Spawns an ordinary service process with default labels and empty
-    /// environment, then runs its `on_start` hook.
+    /// environment, then runs its `on_start` hook. Placement is
+    /// round-robin across shards; use [`Kernel::spawn_on`] to pin.
     pub fn spawn(
         &mut self,
         name: &str,
         category: Category,
         service: Box<dyn Service>,
     ) -> ProcessId {
-        self.spawn_body(name, category, Body::Plain(service), None)
+        let shard = self.pick_shard();
+        self.spawn_on(shard, name, category, service)
+    }
+
+    /// Spawns an ordinary service process on a specific shard.
+    pub fn spawn_on(
+        &mut self,
+        shard: usize,
+        name: &str,
+        category: Category,
+        service: Box<dyn Service>,
+    ) -> ProcessId {
+        self.shards[shard].spawn_body(&self.router, name, category, Body::Plain(service), None)
     }
 
     /// Spawns an event-process service (§6): after `on_base_start` returns,
     /// every message to a base-owned port forks a fresh event process.
+    /// Placement is round-robin; use [`Kernel::spawn_ep_service_on`] to pin.
     pub fn spawn_ep_service(
         &mut self,
         name: &str,
         category: Category,
         service: Box<dyn EpService>,
     ) -> ProcessId {
-        self.spawn_body(name, category, Body::Event(service), None)
+        let shard = self.pick_shard();
+        self.spawn_ep_service_on(shard, name, category, service)
     }
 
-    pub(crate) fn spawn_body(
+    /// Spawns an event-process service on a specific shard.
+    pub fn spawn_ep_service_on(
         &mut self,
+        shard: usize,
         name: &str,
         category: Category,
-        body: Body,
-        inherit_from: Option<ProcessId>,
+        service: Box<dyn EpService>,
     ) -> ProcessId {
-        let mut proc = Process::new(name, category, body);
-        if let Some(parent) = inherit_from {
-            let p = &self.processes[parent.index()];
-            // Fork semantics: the child inherits the parent's labels (§5.3's
-            // "either by forking or using ... decontamination") and env.
-            proc.send_label = p.send_label.clone();
-            proc.recv_label = p.recv_label.clone();
-            proc.env = p.env.clone();
-        }
-        self.processes.push(proc);
-        let pid = ProcessId((self.processes.len() - 1) as u32);
-        // Run the start hook in the new process's (base) context.
-        let mut body = self.processes[pid.index()]
-            .body
-            .take()
-            .expect("freshly spawned process has a body");
-        {
-            let mut sys = Sys::new(self, ExecCtx { pid, ep: None }, false);
-            match &mut body {
-                Body::Plain(s) => s.on_start(&mut sys),
-                Body::Event(s) => s.on_base_start(&mut sys),
-            }
-        }
-        if self.processes[pid.index()].alive {
-            self.processes[pid.index()].body = Some(body);
-        }
-        pid
+        self.shards[shard].spawn_body(&self.router, name, category, Body::Event(service), None)
+    }
+
+    fn pick_shard(&mut self) -> usize {
+        let shard = self.next_spawn_shard;
+        self.next_spawn_shard = (shard + 1) % self.shards.len();
+        shard
     }
 
     // ------------------------------------------------------------------
@@ -174,10 +227,13 @@ impl Kernel {
 
     /// Injects a message from outside the label system (device interrupts,
     /// test drivers). Injected messages carry `E_S = {⋆}` and therefore pass
-    /// every label check — they model hardware, not processes.
+    /// every label check — they model hardware, not processes — and, like
+    /// hardware, they bypass the queue bounds.
     pub fn inject(&mut self, port: Handle, body: Value) {
-        self.stats.injected += 1;
-        self.mailboxes.push(QueuedMessage {
+        let dest = self.router.shard_of(port) as usize;
+        let shard = &mut self.shards[dest];
+        shard.stats.injected += 1;
+        shard.mailboxes.push(QueuedMessage {
             port,
             body,
             es: Arc::new(Label::bottom()),
@@ -191,31 +247,45 @@ impl Kernel {
     /// Sets a global environment entry (the §4 bootstrapping namespace,
     /// written by init/launcher-level code).
     pub fn set_global_env(&mut self, key: &str, value: Value) {
-        self.global_env.insert(key.to_string(), value);
-    }
-
-    /// Sets the message-queue bound. Sends past the bound drop silently,
-    /// the same way label failures do (§4, §8). The bound covers all
-    /// mailboxes together, like the single queue it generalizes.
-    pub fn set_queue_limit(&mut self, limit: usize) {
-        self.queue_limit = limit;
-    }
-
-    /// Sets the delivery-decision cache bound, in cached decisions.
-    /// Capacity 0 disables caching entirely (every delivery evaluates
-    /// Figure 4 from scratch — the ablation baseline).
-    pub fn set_delivery_cache_capacity(&mut self, capacity: usize) {
-        self.delivery_cache.set_capacity(capacity);
-    }
-
-    /// Number of currently cached delivery decisions.
-    pub fn delivery_cache_len(&self) -> usize {
-        self.delivery_cache.len()
+        self.router.env_set(key, value);
     }
 
     /// Reads a global environment entry.
-    pub fn global_env(&self, key: &str) -> Option<&Value> {
-        self.global_env.get(key)
+    pub fn global_env(&self, key: &str) -> Option<Value> {
+        self.router.env_get(key)
+    }
+
+    /// Sets the per-shard message-queue bound. Sends past the bound drop
+    /// silently, the same way label failures do (§4, §8). On a
+    /// single-shard kernel this is the whole-kernel bound it always was.
+    pub fn set_queue_limit(&mut self, limit: usize) {
+        for shard in &mut self.shards {
+            shard.queue_limit = limit;
+        }
+    }
+
+    /// Sets the per-port message-queue bound. A port whose mailbox holds
+    /// this many pending messages silently drops further sends
+    /// ([`crate::DropReason::PortQueueFull`]), so one hot port cannot
+    /// consume a shard's whole queue budget and starve its neighbors.
+    pub fn set_port_queue_limit(&mut self, limit: usize) {
+        for shard in &mut self.shards {
+            shard.port_queue_limit = limit;
+        }
+    }
+
+    /// Sets the delivery-decision cache bound, in cached decisions per
+    /// shard. Capacity 0 disables caching entirely (every delivery
+    /// evaluates Figure 4 from scratch — the ablation baseline).
+    pub fn set_delivery_cache_capacity(&mut self, capacity: usize) {
+        for shard in &mut self.shards {
+            shard.delivery_cache.set_capacity(capacity);
+        }
+    }
+
+    /// Number of currently cached delivery decisions, over all shards.
+    pub fn delivery_cache_len(&self) -> usize {
+        self.shards.iter().map(|s| s.delivery_cache.len()).sum()
     }
 
     /// Assigns process labels out of band (god-mode).
@@ -224,7 +294,7 @@ impl Kernel {
     /// tests and fixtures use this for the same purpose. Simulated services
     /// can never do this — they go through the Figure 4 rules.
     pub fn set_process_labels(&mut self, pid: ProcessId, send: Option<Label>, recv: Option<Label>) {
-        let p = &mut self.processes[pid.index()];
+        let p = &mut self.shards[pid.shard()].processes[pid.index()];
         if let Some(s) = send {
             p.send_label = Arc::new(s);
         }
@@ -235,35 +305,116 @@ impl Kernel {
 
     /// Forcibly terminates a process (god-mode; used for failure injection).
     pub fn kill_process(&mut self, pid: ProcessId) {
-        if self.processes[pid.index()].alive {
-            self.processes[pid.index()].alive = false;
-            self.processes[pid.index()].body = None;
-            self.cleanup_process(pid);
+        let shard = &mut self.shards[pid.shard()];
+        if shard.processes[pid.index()].alive {
+            shard.processes[pid.index()].alive = false;
+            shard.processes[pid.index()].body = None;
+            shard.cleanup_process(&self.router, pid);
         }
     }
 
     // ------------------------------------------------------------------
-    // Scheduling. (`step` itself lives in `delivery.rs` with the rest of
-    // the delivery engine.)
+    // Scheduling.
     // ------------------------------------------------------------------
 
-    /// Runs until the queue drains, with a safety bound; returns the number
-    /// of delivery attempts.
+    /// Attempts one message delivery. Returns `false` when no message is
+    /// pending (the system is idle).
+    ///
+    /// This is the sequential debug scheduler: on a multi-shard kernel it
+    /// round-robins one delivery at a time across shards and routes after
+    /// every step. [`Kernel::run`] is the parallel round scheduler. On a
+    /// single-shard kernel the two are identical.
+    pub fn step(&mut self) -> bool {
+        self.step_outcome() != DeliveryOutcome::Idle
+    }
+
+    /// Attempts one message delivery and reports what happened.
+    pub fn step_outcome(&mut self) -> DeliveryOutcome {
+        loop {
+            let n = self.shards.len();
+            for i in 0..n {
+                let idx = (self.step_cursor + i) % n;
+                if self.shards[idx].mailboxes.len() > 0 {
+                    let outcome = self.shards[idx].step_outcome(&self.router);
+                    self.step_cursor = (idx + 1) % n;
+                    self.flush_outboxes();
+                    return outcome;
+                }
+            }
+            // Every mailbox is empty, but coordinator-phase sends (a
+            // handler running inside `spawn`'s on_start, say) may have
+            // parked messages in an outbox. Route them and look again;
+            // only a fruitless flush means the kernel is truly idle.
+            if self.flush_outboxes() == 0 {
+                return DeliveryOutcome::Idle;
+            }
+        }
+    }
+
+    /// Runs until every shard's queue drains, with a safety bound; returns
+    /// the number of delivery attempts.
     ///
     /// # Panics
     ///
     /// Panics after `limit` steps — two services ping-ponging messages
-    /// forever is a bug in simulated code, not a state to spin in.
+    /// forever is a bug in simulated code, not a state to spin in. (On a
+    /// multi-shard kernel the bound is enforced per shard per round, so a
+    /// run can perform slightly more than `limit` total deliveries before
+    /// a single runaway shard trips it.)
     pub fn run_limited(&mut self, limit: u64) -> u64 {
-        let mut steps = 0;
-        while self.step() {
-            steps += 1;
-            assert!(
-                steps < limit,
-                "kernel did not go idle after {limit} deliveries: livelock in simulated services?"
-            );
+        if self.shards.len() == 1 {
+            // The monolithic engine's loop, bit for bit.
+            let mut steps = 0;
+            while self.shards[0].step_outcome(&self.router) != DeliveryOutcome::Idle {
+                steps += 1;
+                assert!(
+                    steps < limit,
+                    "kernel did not go idle after {limit} deliveries: livelock in simulated services?"
+                );
+            }
+            return steps;
         }
-        steps
+        let mut steps = 0u64;
+        loop {
+            let budget = limit.saturating_sub(steps);
+            let router = &self.router;
+            let active: Vec<&mut KernelShard> = self
+                .shards
+                .iter_mut()
+                .filter(|s| s.mailboxes.len() > 0)
+                .collect();
+            let results: Vec<(u64, bool)> = if active.len() <= 1 {
+                // One busy shard: drain inline, no thread overhead.
+                active
+                    .into_iter()
+                    .map(|shard| shard.drain(router, budget))
+                    .collect()
+            } else {
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = active
+                        .into_iter()
+                        .map(|shard| scope.spawn(move || shard.drain(router, budget)))
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| match h.join() {
+                            Ok(result) => result,
+                            Err(panic) => std::panic::resume_unwind(panic),
+                        })
+                        .collect()
+                })
+            };
+            for (n, hit_budget) in results {
+                steps += n;
+                assert!(
+                    !hit_budget,
+                    "kernel did not go idle after {limit} deliveries: livelock in simulated services?"
+                );
+            }
+            if self.flush_outboxes() == 0 {
+                return steps;
+            }
+        }
     }
 
     /// Runs until idle with a generous default bound.
@@ -271,266 +422,158 @@ impl Kernel {
         self.run_limited(100_000_000)
     }
 
-    // ------------------------------------------------------------------
-    // Internal machinery.
-    // ------------------------------------------------------------------
-
-    pub(crate) fn create_ep(&mut self, pid: ProcessId) -> EpId {
-        let p = &self.processes[pid.index()];
-        // `Arc` bumps: the EP shares the base's label storage until either
-        // side's labels change.
-        let ep = EventProcess::new(pid, Arc::clone(&p.send_label), Arc::clone(&p.recv_label));
-        self.eps.push(ep);
-        let eid = EpId((self.eps.len() - 1) as u32);
-        self.processes[pid.index()].eps.push(eid);
-        self.stats.eps_created += 1;
-        self.clock.charge(Category::KernelIpc, self.cost.ep_create);
-        eid
-    }
-
-    pub(crate) fn invoke(
-        &mut self,
-        pid: ProcessId,
-        ep: Option<EpId>,
-        is_new_ep: bool,
-        msg: &Message,
-    ) {
-        let Some(mut body) = self.processes[pid.index()].body.take() else {
-            return;
-        };
-        {
-            let mut sys = Sys::new(self, ExecCtx { pid, ep }, is_new_ep);
-            match &mut body {
-                Body::Plain(s) => s.on_message(&mut sys, msg),
-                Body::Event(s) => s.on_event(&mut sys, msg),
+    /// Routes every outbox message into its destination shard's mailboxes
+    /// (the barrier half of a round). Deterministic: source shards are
+    /// drained in shard order, each in send order, and the destination
+    /// shard applies its queue bounds exactly as it would to a local send.
+    fn flush_outboxes(&mut self) -> u64 {
+        let mut moved = 0;
+        for src in 0..self.shards.len() {
+            if self.shards[src].outbox.is_empty() {
+                continue;
+            }
+            let outbox = std::mem::take(&mut self.shards[src].outbox);
+            for (dest, qm) in outbox {
+                moved += 1;
+                self.shards[dest as usize].enqueue_checked(qm);
             }
         }
-        if self.processes[pid.index()].alive {
-            self.processes[pid.index()].body = Some(body);
-        } else {
-            drop(body);
-            self.cleanup_process(pid);
-            return;
-        }
-        if let Some(eid) = ep {
-            if !self.eps[eid.index()].alive {
-                self.cleanup_ep(eid);
-            }
-        }
-    }
-
-    pub(crate) fn cleanup_ep(&mut self, eid: EpId) {
-        let pid = self.eps[eid.index()].process;
-        for frame in self.eps[eid.index()].delta.drain_all() {
-            self.frames.release(frame);
-        }
-        let ports: Vec<Handle> = std::mem::take(&mut self.eps[eid.index()].ports);
-        for port in ports {
-            self.handles.dissociate(port);
-        }
-        self.eps[eid.index()].alive = false;
-        self.processes[pid.index()].eps.retain(|&e| e != eid);
-        self.stats.eps_exited += 1;
-    }
-
-    pub(crate) fn cleanup_process(&mut self, pid: ProcessId) {
-        let eps: Vec<EpId> = self.processes[pid.index()].eps.clone();
-        for eid in eps {
-            self.cleanup_ep(eid);
-        }
-        for port in self.handles.ports_owned_by(PortOwner::Process(pid)) {
-            self.handles.dissociate(port);
-        }
-        let table = std::mem::take(&mut self.processes[pid.index()].page_table);
-        for (_, frame) in table.iter() {
-            self.frames.release(frame);
-        }
-        self.processes[pid.index()].alive = false;
+        moved
     }
 
     // ------------------------------------------------------------------
-    // God-mode observability.
+    // God-mode observability (whole-kernel views over the shards).
     // ------------------------------------------------------------------
 
-    /// Kernel statistics (delivery and drop counters).
-    pub fn stats(&self) -> &Stats {
-        &self.stats
+    /// Kernel statistics, merged across shards.
+    pub fn stats(&self) -> Stats {
+        let mut total = Stats::default();
+        for shard in &self.shards {
+            total.absorb(&shard.stats);
+        }
+        total
     }
 
-    /// The virtual clock.
-    pub fn clock(&self) -> &CycleClock {
-        &self.clock
+    /// The virtual clock, merged across shards (per-category totals sum;
+    /// `now` is total cycles consumed everywhere).
+    pub fn clock(&self) -> CycleClock {
+        let mut total = CycleClock::new();
+        for shard in &self.shards {
+            total.absorb(&shard.clock);
+        }
+        total
     }
 
-    /// Snapshot of the clock for interval measurements.
+    /// Snapshot of the merged clock for interval measurements.
     pub fn cycle_snapshot(&self) -> CycleSnapshot {
-        self.clock.snapshot()
+        self.clock().snapshot()
     }
 
-    /// Current virtual time in cycles.
+    /// Current virtual time in cycles (total cycles across shards — the
+    /// work metric). For the *elapsed-time* view of a parallel kernel use
+    /// [`Kernel::elapsed_cycles`].
     pub fn now(&self) -> u64 {
-        self.clock.now()
+        self.shards.iter().map(|s| s.clock.now()).sum()
+    }
+
+    /// Modeled elapsed time in cycles: the busiest shard's clock. Shards
+    /// are parallel cores, so the slowest one bounds the simulated wall
+    /// clock; timestamps and latency measurements must use this, not
+    /// [`Kernel::now`]'s summed total. Identical to `now()` on a
+    /// single-shard kernel.
+    pub fn elapsed_cycles(&self) -> u64 {
+        self.shards.iter().map(|s| s.clock.now()).max().unwrap_or(0)
     }
 
     /// The cost model in effect.
     pub fn cost_model(&self) -> &CostModel {
-        &self.cost
+        &self.shards[0].cost
     }
 
     /// Read-only access to a process.
     pub fn process(&self, pid: ProcessId) -> &Process {
-        &self.processes[pid.index()]
+        &self.shards[pid.shard()].processes[pid.index()]
     }
 
     /// Read-only access to an event process.
     pub fn event_process(&self, eid: EpId) -> &EventProcess {
-        &self.eps[eid.index()]
+        &self.shards[eid.shard()].eps[eid.index()]
     }
 
     /// All live event-process ids for a process.
     pub fn live_eps(&self, pid: ProcessId) -> Vec<EpId> {
-        self.processes[pid.index()].eps.clone()
+        self.shards[pid.shard()].processes[pid.index()].eps.clone()
     }
 
     /// Total event processes ever created.
     pub fn ep_count(&self) -> usize {
-        self.eps.len()
+        self.shards.iter().map(|s| s.eps.len()).sum()
     }
 
     /// Number of processes ever spawned.
     pub fn process_count(&self) -> usize {
-        self.processes.len()
+        self.shards.iter().map(|s| s.processes.len()).sum()
     }
 
     /// Finds a process by debug name (god-mode test convenience).
     pub fn find_process(&self, name: &str) -> Option<ProcessId> {
-        self.processes
-            .iter()
-            .position(|p| p.name == name)
-            .map(|i| ProcessId(i as u32))
+        for shard in &self.shards {
+            if let Some(i) = shard.processes.iter().position(|p| p.name == name) {
+                return Some(ProcessId::new(shard.id, i));
+            }
+        }
+        None
     }
 
-    /// The handle table (ports, vnodes).
+    /// The handle table (ports, vnodes) of shard 0 — the whole table on a
+    /// single-shard kernel. Multi-shard callers should go through
+    /// [`Kernel::shard`] for per-shard tables or
+    /// [`Kernel::handles_allocated`] for the global count.
     pub fn handle_table(&self) -> &HandleTable {
-        &self.handles
+        &self.shards[0].handles
     }
 
-    /// Pending (sent but undelivered) messages across all mailboxes.
+    /// Total handles ever allocated, across all shards.
+    pub fn handles_allocated(&self) -> u64 {
+        self.shards.iter().map(|s| s.handles.allocated()).sum()
+    }
+
+    /// Pending (sent but undelivered) messages across all shards.
     pub fn queue_len(&self) -> usize {
-        self.mailboxes.len()
+        self.shards
+            .iter()
+            .map(|s| s.mailboxes.len() + s.outbox.len())
+            .sum()
     }
 
     /// Pending messages sent by a given process (god-mode; used by tests to
     /// verify that compromised services actually attempted exfiltration).
     pub fn queued_from(&self, pid: ProcessId) -> usize {
-        self.mailboxes
+        self.shards
             .iter()
+            .flat_map(|s| s.mailboxes.iter().chain(s.outbox.iter().map(|(_, qm)| qm)))
             .filter(|m| m.from.is_some_and(|c| c.pid == pid))
             .count()
     }
 
     /// Downcasts a process's service body for test inspection.
     pub fn service_as<T: 'static>(&self, pid: ProcessId) -> Option<&T> {
-        match self.processes[pid.index()].body.as_ref()? {
+        match self.shards[pid.shard()].processes[pid.index()]
+            .body
+            .as_ref()?
+        {
             Body::Plain(s) => s.as_any()?.downcast_ref::<T>(),
             Body::Event(s) => s.as_any()?.downcast_ref::<T>(),
         }
     }
 
     /// Memory accounting across all kernel structures and user frames
-    /// (Figure 6's measurement).
+    /// (Figure 6's measurement), merged across shards.
     pub fn kmem_report(&self) -> KmemReport {
-        let process_bytes = self
-            .processes
-            .iter()
-            .filter(|p| p.alive)
-            .map(Process::kernel_bytes)
-            .sum();
-        let ep_bytes = self
-            .eps
-            .iter()
-            .filter(|e| e.alive)
-            .map(EventProcess::kernel_bytes)
-            .sum();
-        let handle_bytes = self.handles.kernel_bytes();
-        let queue_bytes = self.mailboxes.iter().map(QueuedMessage::queue_bytes).sum();
-        let delivery_cache_bytes = self.delivery_cache.bytes();
-        let user_frame_bytes = self.frames.frames_in_use() * PAGE_SIZE;
-        KmemReport {
-            process_bytes,
-            ep_bytes,
-            handle_bytes,
-            queue_bytes,
-            delivery_cache_bytes,
-            user_frame_bytes,
+        let mut total = KmemReport::default();
+        for shard in &self.shards {
+            total.absorb(&shard.kmem_report());
         }
-    }
-}
-
-// The send path lives here (rather than in `sys.rs`) so all queue policy is
-// in one file.
-impl Kernel {
-    pub(crate) fn send_from(
-        &mut self,
-        ctx: ExecCtx,
-        port: Handle,
-        body: Value,
-        args: &SendArgs,
-    ) -> Result<(), crate::error::SysError> {
-        let category = self.processes[ctx.pid.index()].category;
-        let ps: &Arc<Label> = match ctx.ep {
-            Some(eid) => &self.eps[eid.index()].send_label,
-            None => &self.processes[ctx.pid.index()].send_label,
-        };
-
-        // Charge send cost up front: base + payload + label argument
-        // processing. Privilege-failing sends still did this work in the
-        // simulated kernel, so they are charged too.
-        let label_work = (args.label_work() + ps.entry_count() + 1) as u64;
-        self.clock.charge(Category::KernelIpc, self.cost.send_base);
-        self.clock.charge(
-            Category::KernelIpc,
-            body.size_bytes() as u64 * self.cost.msg_byte + label_work * self.cost.label_entry,
-        );
-        let _ = category;
-
-        // Figure 4 requirement (2): D_S(h) < 3 ⇒ P_S(h) = ⋆.
-        if !ops::check_decont_send_privilege(&args.decont_send, ps) {
-            return Err(crate::error::SysError::PrivilegeViolation);
-        }
-        // Figure 4 requirement (3): D_R(h) > ⋆ ⇒ P_S(h) = ⋆.
-        if !ops::check_decont_recv_privilege(&args.decont_recv, ps) {
-            return Err(crate::error::SysError::PrivilegeViolation);
-        }
-
-        // E_S = P_S ⊔ C_S, snapshotted now; delivery checks happen when the
-        // receiver is scheduled (§4: delivery is decided at receive time).
-        // A no-op C_S — the common case — shares P_S by reference, which
-        // also keeps E_S's fingerprint stable across sends and is what
-        // makes the delivery cache hit for repeated traffic.
-        // (`is_all_star` implies uniform: entries at the default level are
-        // normalized away, so an all-star label has no explicit entries.)
-        let es = if args.contaminate.is_all_star() {
-            Arc::clone(ps)
-        } else {
-            Arc::new(ops::effective_send(ps, &args.contaminate))
-        };
-
-        if self.mailboxes.len() >= self.queue_limit {
-            // Resource exhaustion drops are silent, like label drops (§4).
-            self.stats.record_drop(DropReason::QueueFull);
-            return Ok(());
-        }
-        self.stats.sent += 1;
-        self.mailboxes.push(QueuedMessage {
-            port,
-            body,
-            es,
-            ds: args.decont_send.clone(),
-            dr: args.decont_recv.clone(),
-            v: args.verify.clone(),
-            from: Some(ctx),
-        });
-        Ok(())
+        total
     }
 }

@@ -43,9 +43,21 @@
 //!
 //! ## Architecture
 //!
-//! The kernel is split between [`kernel`] (process/port state, spawning,
-//! god-mode observability) and [`delivery`] (everything that happens to a
-//! queued message). Two structures define the delivery engine:
+//! The kernel is a set of [`shard::KernelShard`]s — each a complete,
+//! isolated delivery engine owning its own processes, event processes,
+//! ports, frames, mailboxes, decision cache, clock, and stats — behind a
+//! [`Kernel`] coordinator that owns placement, the barrier-synchronized
+//! round scheduler (parallel `std::thread::scope` drains plus
+//! deterministic outbox routing), and the merged whole-kernel views. The
+//! only cross-shard state is the router's two read-mostly maps (port
+//! directory, global environment); label evaluation always runs on the
+//! destination port's shard, so Figure 4 semantics are untouched by the
+//! partitioning, and `shards = 1` (the paper-figure configuration) is
+//! pinned bit-for-bit against the pre-sharding engine by
+//! `tests/shard_determinism.rs`.
+//!
+//! Within one shard, [`delivery`] is everything that happens to a queued
+//! message. Two structures define that engine:
 //!
 //! **Per-port mailboxes, round-robin scheduled.** Queued messages live in
 //! one FIFO per destination port. A deterministic round-robin rotation —
@@ -84,6 +96,8 @@ pub mod kernel;
 pub mod memory;
 pub mod message;
 pub mod process;
+mod router;
+pub mod shard;
 pub mod stats;
 pub mod sys;
 pub mod util;
@@ -94,11 +108,12 @@ pub use delivery::{DeliveryOutcome, DEFAULT_DELIVERY_CACHE_CAP};
 pub use error::{SysError, SysResult};
 pub use event_process::{EventProcess, EP_STRUCT_BYTES};
 pub use handle_table::{PortOwner, VNODE_BYTES};
-pub use ids::{EpId, ExecCtx, ProcessId};
-pub use kernel::{Kernel, KmemReport};
+pub use ids::{EpId, ExecCtx, ProcessId, MAX_SHARDS};
+pub use kernel::{Kernel, KmemReport, DEFAULT_QUEUE_LIMIT};
 pub use memory::PAGE_SIZE;
 pub use message::{Message, SendArgs};
 pub use process::{EpService, Process, Service, PROCESS_STRUCT_BYTES};
+pub use shard::{KernelShard, DEFAULT_PORT_QUEUE_LIMIT};
 pub use stats::{DropReason, Stats};
 pub use sys::Sys;
 pub use value::Value;

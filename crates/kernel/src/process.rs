@@ -24,7 +24,12 @@ pub const PROCESS_STRUCT_BYTES: usize = 320;
 /// handler are queued and delivered in later scheduler steps, so multi-step
 /// protocols keep their pending state in `self` (continuation style — the
 /// same structure an efficient event-driven server has on any OS, §6).
-pub trait Service: 'static {
+///
+/// `Send` is a supertrait because processes live on kernel shards and
+/// shards execute on scoped threads; captured state crosses threads with
+/// its shard (use `Arc<Mutex<…>>`, not `Rc<RefCell<…>>`, for god-mode
+/// observation channels).
+pub trait Service: Send + 'static {
     /// Invoked once when the process starts, before any message delivery.
     /// Typical services create their ports here and publish them via the
     /// environment (§4's bootstrapping convention).
@@ -48,7 +53,10 @@ pub trait Service: 'static {
 /// process: `on_event` takes `&self` precisely because per-user state must
 /// live in simulated memory — where the kernel can enforce copy-on-write
 /// isolation — not in Rust fields shared across users.
-pub trait EpService: 'static {
+///
+/// `Send` is a supertrait for the same reason as [`Service`]: event
+/// processes execute on their shard's thread.
+pub trait EpService: Send + 'static {
     /// One-time base-process setup (create ports, write initial memory).
     fn on_base_start(&mut self, _sys: &mut Sys<'_>) {}
 
@@ -147,7 +155,11 @@ mod tests {
     #[test]
     fn kernel_bytes_includes_labels() {
         let p = Process::new("test", Category::Other, Body::Plain(Box::new(Nop)));
-        // 320 bytes of process structure + two ~300-byte labels.
-        assert_eq!(p.kernel_bytes(), PROCESS_STRUCT_BYTES + 600);
+        // Process structure plus exactly the labels' own accounting —
+        // computed, not hardcoded, so label-representation changes don't
+        // break this test.
+        let label_bytes = p.send_label.heap_bytes() + p.recv_label.heap_bytes();
+        assert!(label_bytes > 0, "default labels occupy heap");
+        assert_eq!(p.kernel_bytes(), PROCESS_STRUCT_BYTES + label_bytes);
     }
 }

@@ -1,0 +1,155 @@
+//! Cross-shard routing state.
+//!
+//! A sharded kernel partitions all process, port, and queue state across
+//! [`crate::shard::KernelShard`]s; the [`Router`] is the only state shared
+//! between them. It holds exactly two read-mostly maps:
+//!
+//! * the **port directory** — which shard owns each port handle, written
+//!   once at `new_port` time (ports never migrate), read on every send
+//!   that does not resolve locally;
+//! * the **global environment** — the §4 bootstrapping namespace, which
+//!   was always whole-kernel state.
+//!
+//! Everything else a delivery touches (labels, mailboxes, frames, the
+//! decision cache) is shard-private, which is what lets shards run their
+//! delivery loops on parallel threads without taking a single lock on the
+//! hot path: a shard only consults the directory for ports it does not
+//! own, and messages crossing shards travel through per-shard outboxes
+//! that the coordinator drains between barrier-synchronized rounds.
+//!
+//! Determinism: directory entries are created before any other shard can
+//! learn the handle (handle values propagate through messages and the
+//! environment, both of which synchronize at round barriers), so lookup
+//! races cannot occur in workloads that follow the §4 bootstrap
+//! convention. The *environment* is the one shared-state carve-out:
+//! when two shards touch one key in the same round — a write racing a
+//! write, or a write racing a `Sys::env` read — the winner is decided by
+//! lock order, i.e. by thread scheduling, and such workloads are not
+//! reproducible. Publish during spawn (the coordinator phase) and read
+//! later, as §4's bootstrap does, and every run is deterministic;
+//! single-shard kernels take none of these paths.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::RwLock;
+
+use asbestos_labels::Handle;
+
+use crate::value::Value;
+
+/// Shared cross-shard state: the port directory and the global
+/// environment. See the module docs for the determinism contract.
+pub(crate) struct Router {
+    num_shards: u16,
+    /// Port handle → owning shard. Only populated when `num_shards > 1`;
+    /// a single-shard kernel resolves everything locally.
+    ports: RwLock<HashMap<Handle, u16>>,
+    /// The §4 global environment (init/launcher bootstrap namespace).
+    env: RwLock<BTreeMap<String, Value>>,
+}
+
+impl Router {
+    pub fn new(num_shards: usize) -> Router {
+        Router {
+            num_shards: num_shards as u16,
+            ports: RwLock::new(HashMap::new()),
+            env: RwLock::new(BTreeMap::new()),
+        }
+    }
+
+    /// Records that `port` is owned by `shard`. Single-shard kernels skip
+    /// the directory entirely (everything is local).
+    pub fn register_port(&self, port: Handle, shard: u16) {
+        if self.num_shards > 1 {
+            self.ports
+                .write()
+                .expect("port directory lock")
+                .insert(port, shard);
+        }
+    }
+
+    /// Forgets a port that lost its receive rights (dissociation, owner
+    /// exit). Keeps the directory bounded by *live* ports; a racing or
+    /// stale send falls back to the hash shard and drops `NoSuchPort`,
+    /// the same outcome the owning shard's dissociated vnode produces.
+    pub fn unregister_port(&self, port: Handle) {
+        if self.num_shards > 1 {
+            self.ports
+                .write()
+                .expect("port directory lock")
+                .remove(&port);
+        }
+    }
+
+    /// The shard a message to `port` must be evaluated on.
+    ///
+    /// Unknown handles (plain compartments, bogus values) fall back to a
+    /// deterministic hash of the handle value; the chosen shard finds no
+    /// vnode and records the `NoSuchPort` drop, exactly as a single-shard
+    /// kernel would.
+    pub fn shard_of(&self, port: Handle) -> u16 {
+        if self.num_shards == 1 {
+            return 0;
+        }
+        if let Some(&shard) = self.ports.read().expect("port directory lock").get(&port) {
+            return shard;
+        }
+        (port.raw() % self.num_shards as u64) as u16
+    }
+
+    /// Reads a global environment entry.
+    pub fn env_get(&self, key: &str) -> Option<Value> {
+        self.env.read().expect("env lock").get(key).cloned()
+    }
+
+    /// Writes a global environment entry.
+    pub fn env_set(&self, key: &str, value: Value) {
+        self.env
+            .write()
+            .expect("env lock")
+            .insert(key.to_string(), value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn directory_and_fallback() {
+        let r = Router::new(4);
+        let p = Handle::from_raw(0x123);
+        // Unknown: deterministic hash fallback.
+        assert_eq!(r.shard_of(p), (0x123 % 4) as u16);
+        r.register_port(p, 3);
+        assert_eq!(r.shard_of(p), 3);
+    }
+
+    #[test]
+    fn single_shard_skips_directory() {
+        let r = Router::new(1);
+        let p = Handle::from_raw(0x999);
+        r.register_port(p, 0);
+        assert_eq!(r.shard_of(p), 0);
+        assert!(r.ports.read().unwrap().is_empty());
+    }
+
+    #[test]
+    fn unregister_forgets_ports() {
+        let r = Router::new(4);
+        let p = Handle::from_raw(0x40);
+        r.register_port(p, 2);
+        assert_eq!(r.shard_of(p), 2);
+        r.unregister_port(p);
+        // Back to the hash fallback, and the map holds nothing.
+        assert_eq!(r.shard_of(p), 0);
+        assert!(r.ports.read().unwrap().is_empty());
+    }
+
+    #[test]
+    fn env_roundtrip() {
+        let r = Router::new(2);
+        assert_eq!(r.env_get("x"), None);
+        r.env_set("x", Value::U64(9));
+        assert_eq!(r.env_get("x"), Some(Value::U64(9)));
+    }
+}

@@ -1,0 +1,379 @@
+//! One kernel shard: a self-contained slice of the kernel.
+//!
+//! A [`KernelShard`] owns every structure one delivery touches — the
+//! processes and event processes scheduled on it, the vnode table for the
+//! ports they own, the frame pool backing their memory, the per-port
+//! mailboxes feeding its delivery loop, the delivery-decision cache, the
+//! cycle clock, and the statistics counters. Shards share no mutable
+//! state: the only cross-shard structures are the read-mostly
+//! [`Router`](crate::router::Router) maps, and messages between shards
+//! travel through each shard's outbox, drained by the coordinator between
+//! rounds. That isolation is what makes `&mut KernelShard` safe to hand
+//! to a scoped thread.
+//!
+//! Label evaluation always runs here, on the shard owning the destination
+//! port, against the destination's own labels — Figure 4's semantics are
+//! per-delivery and see exactly the same state they saw in the monolithic
+//! engine, so sharding changes throughput, never policy.
+
+use std::sync::Arc;
+
+use asbestos_labels::{ops, Handle, Label};
+
+use crate::cycles::{Category, CostModel, CycleClock};
+use crate::delivery::{DeliveryCache, Mailboxes, DEFAULT_DELIVERY_CACHE_CAP};
+use crate::event_process::EventProcess;
+use crate::handle_table::{HandleTable, PortOwner};
+use crate::ids::{EpId, ExecCtx, ProcessId};
+use crate::kernel::{KmemReport, DEFAULT_QUEUE_LIMIT};
+use crate::memory::{FramePool, PAGE_SIZE};
+use crate::message::{Message, QueuedMessage, SendArgs};
+use crate::process::{Body, EpService, Process, Service};
+use crate::router::Router;
+use crate::stats::{DropReason, Stats};
+use crate::sys::Sys;
+use crate::value::Value;
+
+/// Default bound on queued messages per destination port. Like the
+/// shard-wide bound it defaults high enough never to fire; deployments
+/// lower it so one hot port cannot monopolize the whole queue budget
+/// (§8's resource-exhaustion caveat, applied per port).
+pub const DEFAULT_PORT_QUEUE_LIMIT: usize = DEFAULT_QUEUE_LIMIT;
+
+/// One shard of the kernel: a complete, isolated delivery engine.
+pub struct KernelShard {
+    /// This shard's number (the shard half of packed ids).
+    pub(crate) id: u16,
+    pub(crate) cost: CostModel,
+    pub(crate) clock: CycleClock,
+    pub(crate) handles: HandleTable,
+    pub(crate) processes: Vec<Process>,
+    pub(crate) eps: Vec<EventProcess>,
+    pub(crate) frames: FramePool,
+    pub(crate) mailboxes: Mailboxes,
+    /// Messages bound for other shards, in send order; the coordinator
+    /// drains this at every round barrier.
+    pub(crate) outbox: Vec<(u16, QueuedMessage)>,
+    pub(crate) queue_limit: usize,
+    pub(crate) port_queue_limit: usize,
+    pub(crate) delivery_cache: DeliveryCache,
+    pub(crate) stats: Stats,
+    pub(crate) last_ctx: Option<ExecCtx>,
+}
+
+impl KernelShard {
+    pub(crate) fn new(seed: u64, id: u16, num_shards: usize, cost: CostModel) -> KernelShard {
+        KernelShard {
+            id,
+            cost,
+            clock: CycleClock::new(),
+            handles: HandleTable::with_partition(seed, id as u64, num_shards as u64),
+            processes: Vec::new(),
+            eps: Vec::new(),
+            frames: FramePool::new(),
+            mailboxes: Mailboxes::default(),
+            outbox: Vec::new(),
+            queue_limit: DEFAULT_QUEUE_LIMIT,
+            port_queue_limit: DEFAULT_PORT_QUEUE_LIMIT,
+            delivery_cache: DeliveryCache::new(DEFAULT_DELIVERY_CACHE_CAP),
+            stats: Stats::default(),
+            last_ctx: None,
+        }
+    }
+
+    /// This shard's number.
+    pub fn shard_id(&self) -> usize {
+        self.id as usize
+    }
+
+    // ------------------------------------------------------------------
+    // Spawning and process lifecycle.
+    // ------------------------------------------------------------------
+
+    pub(crate) fn spawn_body(
+        &mut self,
+        router: &Router,
+        name: &str,
+        category: Category,
+        body: Body,
+        inherit_from: Option<ProcessId>,
+    ) -> ProcessId {
+        let mut proc = Process::new(name, category, body);
+        if let Some(parent) = inherit_from {
+            debug_assert_eq!(parent.shard(), self.id as usize, "fork is shard-local");
+            let p = &self.processes[parent.index()];
+            // Fork semantics: the child inherits the parent's labels (§5.3's
+            // "either by forking or using ... decontamination") and env.
+            proc.send_label = p.send_label.clone();
+            proc.recv_label = p.recv_label.clone();
+            proc.env = p.env.clone();
+        }
+        self.processes.push(proc);
+        let pid = ProcessId::new(self.id, self.processes.len() - 1);
+        // Run the start hook in the new process's (base) context.
+        let mut body = self.processes[pid.index()]
+            .body
+            .take()
+            .expect("freshly spawned process has a body");
+        {
+            let mut sys = Sys::new(self, router, ExecCtx { pid, ep: None }, false);
+            match &mut body {
+                Body::Plain(s) => s.on_start(&mut sys),
+                Body::Event(s) => s.on_base_start(&mut sys),
+            }
+        }
+        if self.processes[pid.index()].alive {
+            self.processes[pid.index()].body = Some(body);
+        }
+        pid
+    }
+
+    pub(crate) fn create_ep(&mut self, pid: ProcessId) -> EpId {
+        let p = &self.processes[pid.index()];
+        // `Arc` bumps: the EP shares the base's label storage until either
+        // side's labels change.
+        let ep = EventProcess::new(pid, Arc::clone(&p.send_label), Arc::clone(&p.recv_label));
+        self.eps.push(ep);
+        let eid = EpId::new(self.id, self.eps.len() - 1);
+        self.processes[pid.index()].eps.push(eid);
+        self.stats.eps_created += 1;
+        self.clock.charge(Category::KernelIpc, self.cost.ep_create);
+        eid
+    }
+
+    pub(crate) fn invoke(
+        &mut self,
+        router: &Router,
+        pid: ProcessId,
+        ep: Option<EpId>,
+        is_new_ep: bool,
+        msg: &Message,
+    ) {
+        let Some(mut body) = self.processes[pid.index()].body.take() else {
+            return;
+        };
+        {
+            let mut sys = Sys::new(self, router, ExecCtx { pid, ep }, is_new_ep);
+            match &mut body {
+                Body::Plain(s) => s.on_message(&mut sys, msg),
+                Body::Event(s) => s.on_event(&mut sys, msg),
+            }
+        }
+        if self.processes[pid.index()].alive {
+            self.processes[pid.index()].body = Some(body);
+        } else {
+            drop(body);
+            self.cleanup_process(router, pid);
+            return;
+        }
+        if let Some(eid) = ep {
+            if !self.eps[eid.index()].alive {
+                self.cleanup_ep(router, eid);
+            }
+        }
+    }
+
+    pub(crate) fn cleanup_ep(&mut self, router: &Router, eid: EpId) {
+        let pid = self.eps[eid.index()].process;
+        for frame in self.eps[eid.index()].delta.drain_all() {
+            self.frames.release(frame);
+        }
+        let ports: Vec<Handle> = std::mem::take(&mut self.eps[eid.index()].ports);
+        for port in ports {
+            self.handles.dissociate(port);
+            router.unregister_port(port);
+        }
+        self.eps[eid.index()].alive = false;
+        self.processes[pid.index()].eps.retain(|&e| e != eid);
+        self.stats.eps_exited += 1;
+    }
+
+    pub(crate) fn cleanup_process(&mut self, router: &Router, pid: ProcessId) {
+        let eps: Vec<EpId> = self.processes[pid.index()].eps.clone();
+        for eid in eps {
+            self.cleanup_ep(router, eid);
+        }
+        for port in self.handles.ports_owned_by(PortOwner::Process(pid)) {
+            self.handles.dissociate(port);
+            router.unregister_port(port);
+        }
+        let table = std::mem::take(&mut self.processes[pid.index()].page_table);
+        for (_, frame) in table.iter() {
+            self.frames.release(frame);
+        }
+        self.processes[pid.index()].alive = false;
+    }
+
+    // ------------------------------------------------------------------
+    // The send path. All queue policy lives here and in
+    // `enqueue_checked`, which the cross-shard routing path shares.
+    // ------------------------------------------------------------------
+
+    pub(crate) fn send_from(
+        &mut self,
+        router: &Router,
+        ctx: ExecCtx,
+        port: Handle,
+        body: Value,
+        args: &SendArgs,
+    ) -> Result<(), crate::error::SysError> {
+        let category = self.processes[ctx.pid.index()].category;
+        let ps: &Arc<Label> = match ctx.ep {
+            Some(eid) => &self.eps[eid.index()].send_label,
+            None => &self.processes[ctx.pid.index()].send_label,
+        };
+
+        // Charge send cost up front: base + payload + label argument
+        // processing. Privilege-failing sends still did this work in the
+        // simulated kernel, so they are charged too.
+        let label_work = (args.label_work() + ps.entry_count() + 1) as u64;
+        self.clock.charge(Category::KernelIpc, self.cost.send_base);
+        self.clock.charge(
+            Category::KernelIpc,
+            body.size_bytes() as u64 * self.cost.msg_byte + label_work * self.cost.label_entry,
+        );
+        let _ = category;
+
+        // Figure 4 requirement (2): D_S(h) < 3 ⇒ P_S(h) = ⋆.
+        if !ops::check_decont_send_privilege(&args.decont_send, ps) {
+            return Err(crate::error::SysError::PrivilegeViolation);
+        }
+        // Figure 4 requirement (3): D_R(h) > ⋆ ⇒ P_S(h) = ⋆.
+        if !ops::check_decont_recv_privilege(&args.decont_recv, ps) {
+            return Err(crate::error::SysError::PrivilegeViolation);
+        }
+
+        // E_S = P_S ⊔ C_S, snapshotted now; delivery checks happen when the
+        // receiver is scheduled (§4: delivery is decided at receive time).
+        // A no-op C_S — the common case — shares P_S by reference, which
+        // also keeps E_S's fingerprint stable across sends and is what
+        // makes the delivery cache hit for repeated traffic.
+        // (`is_all_star` implies uniform: entries at the default level are
+        // normalized away, so an all-star label has no explicit entries.)
+        let es = if args.contaminate.is_all_star() {
+            Arc::clone(ps)
+        } else {
+            Arc::new(ops::effective_send(ps, &args.contaminate))
+        };
+
+        let qm = QueuedMessage {
+            port,
+            body,
+            es,
+            ds: args.decont_send.clone(),
+            dr: args.decont_recv.clone(),
+            v: args.verify.clone(),
+            from: Some(ctx),
+        };
+
+        // Route: a port in this shard's vnode table is local (handles are
+        // globally unique, so presence here is authoritative); anything
+        // else asks the directory. Label evaluation always happens on the
+        // destination shard, when the message is popped.
+        let dest = if self.handles.get(port).is_some() {
+            self.id
+        } else {
+            router.shard_of(port)
+        };
+        if dest == self.id {
+            self.enqueue_checked(qm);
+        } else {
+            // Queue bounds are ultimately the destination shard's to
+            // enforce (the coordinator applies them when it drains the
+            // outbox), but the outbox itself honors this shard's bound so
+            // a handler looping on cross-shard sends cannot buffer
+            // unbounded memory within one round — the §8 backstop the
+            // monolithic engine's send-time check provided.
+            if self.outbox.len() >= self.queue_limit {
+                self.stats.record_drop(DropReason::QueueFull);
+                return Ok(());
+            }
+            self.outbox.push((dest, qm));
+        }
+        Ok(())
+    }
+
+    /// Applies the queue bounds and enqueues (or silently drops) one
+    /// message. Shared by the local send path and cross-shard routing, so
+    /// both enforce identical policy on the destination shard's state.
+    pub(crate) fn enqueue_checked(&mut self, qm: QueuedMessage) {
+        if self.mailboxes.len() >= self.queue_limit {
+            // Resource exhaustion drops are silent, like label drops (§4).
+            self.stats.record_drop(DropReason::QueueFull);
+            return;
+        }
+        if self.mailboxes.port_len(qm.port) >= self.port_queue_limit {
+            // Per-port backpressure: one hot port cannot starve the rest
+            // of the shard's mailboxes.
+            self.stats.record_drop(DropReason::PortQueueFull);
+            return;
+        }
+        self.stats.sent += 1;
+        self.mailboxes.push(qm);
+    }
+
+    // ------------------------------------------------------------------
+    // Accounting.
+    // ------------------------------------------------------------------
+
+    /// This shard's contribution to the Figure 6 memory measurement.
+    pub fn kmem_report(&self) -> KmemReport {
+        let process_bytes = self
+            .processes
+            .iter()
+            .filter(|p| p.alive)
+            .map(Process::kernel_bytes)
+            .sum();
+        let ep_bytes = self
+            .eps
+            .iter()
+            .filter(|e| e.alive)
+            .map(EventProcess::kernel_bytes)
+            .sum();
+        let handle_bytes = self.handles.kernel_bytes();
+        // Pending messages: mailboxes plus anything parked in the outbox
+        // awaiting the next route barrier (queue_len counts both too).
+        let queue_bytes = self
+            .mailboxes
+            .iter()
+            .chain(self.outbox.iter().map(|(_, qm)| qm))
+            .map(QueuedMessage::queue_bytes)
+            .sum();
+        let delivery_cache_bytes = self.delivery_cache.bytes();
+        let user_frame_bytes = self.frames.frames_in_use() * PAGE_SIZE;
+        KmemReport {
+            process_bytes,
+            ep_bytes,
+            handle_bytes,
+            queue_bytes,
+            delivery_cache_bytes,
+            user_frame_bytes,
+        }
+    }
+
+    /// This shard's statistics counters.
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// This shard's cycle clock.
+    pub fn clock(&self) -> &CycleClock {
+        &self.clock
+    }
+
+    /// Pending messages queued on this shard.
+    pub fn queue_len(&self) -> usize {
+        self.mailboxes.len()
+    }
+}
+
+/// `Box<dyn Service>` and `Box<dyn EpService>` must cross into shard
+/// threads; the supertrait bound (see [`Service`], [`EpService`]) is what
+/// makes a whole shard `Send`. This assertion pins that property at
+/// compile time.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    let _ = assert_send::<KernelShard>;
+    let _ = assert_send::<Box<dyn Service>>;
+    let _ = assert_send::<Box<dyn EpService>>;
+};

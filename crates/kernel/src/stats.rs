@@ -18,6 +18,9 @@ pub enum DropReason {
     /// The kernel message queue hit its configured limit (§8's resource
     /// exhaustion caveat made explicit).
     QueueFull,
+    /// The destination port's own mailbox hit the per-port bound: local
+    /// backpressure, so one hot port cannot starve every other mailbox.
+    PortQueueFull,
 }
 
 /// Counters describing kernel activity.
@@ -39,6 +42,9 @@ pub struct Stats {
     pub dropped_no_owner: u64,
     /// Drops: queue full.
     pub dropped_queue_full: u64,
+    /// Drops: the destination port's own mailbox was full (per-port
+    /// backpressure).
+    pub dropped_port_queue_full: u64,
     /// Event processes created.
     pub eps_created: u64,
     /// Event processes exited.
@@ -63,6 +69,7 @@ impl Stats {
             + self.dropped_no_port
             + self.dropped_no_owner
             + self.dropped_queue_full
+            + self.dropped_port_queue_full
     }
 
     /// Records a drop.
@@ -73,7 +80,28 @@ impl Stats {
             DropReason::NoSuchPort => self.dropped_no_port += 1,
             DropReason::NoOwner => self.dropped_no_owner += 1,
             DropReason::QueueFull => self.dropped_queue_full += 1,
+            DropReason::PortQueueFull => self.dropped_port_queue_full += 1,
         }
+    }
+
+    /// Adds another counter set into this one (shard merging).
+    pub(crate) fn absorb(&mut self, other: &Stats) {
+        self.sent += other.sent;
+        self.injected += other.injected;
+        self.delivered += other.delivered;
+        self.dropped_label_check += other.dropped_label_check;
+        self.dropped_port_decont += other.dropped_port_decont;
+        self.dropped_no_port += other.dropped_no_port;
+        self.dropped_no_owner += other.dropped_no_owner;
+        self.dropped_queue_full += other.dropped_queue_full;
+        self.dropped_port_queue_full += other.dropped_port_queue_full;
+        self.eps_created += other.eps_created;
+        self.eps_exited += other.eps_exited;
+        self.context_switches += other.context_switches;
+        self.ep_switches += other.ep_switches;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.cache_evictions += other.cache_evictions;
     }
 }
 

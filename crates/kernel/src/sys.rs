@@ -6,10 +6,11 @@ use crate::cycles::Category;
 use crate::error::{SysError, SysResult};
 use crate::handle_table::PortOwner;
 use crate::ids::{EpId, ExecCtx, ProcessId};
-use crate::kernel::Kernel;
 use crate::memory::{page_segments, PAGE_SIZE};
 use crate::message::SendArgs;
 use crate::process::{Body, EpService, Service};
+use crate::router::Router;
+use crate::shard::KernelShard;
 use crate::value::Value;
 
 /// The system-call interface for the currently executing context.
@@ -18,16 +19,29 @@ use crate::value::Value;
 /// the context is an event process, label operations, port creation, and
 /// memory writes resolve against the event process's private state (§6.1);
 /// otherwise they act on the (base) process.
+///
+/// Every operation resolves against the executing context's own shard —
+/// processes, event processes, ports, and frames are shard-local by
+/// construction — except sends to remote ports (which queue into the
+/// shard's outbox for the router) and the global environment (which lives
+/// behind the shared [`Router`]).
 pub struct Sys<'k> {
-    kernel: &'k mut Kernel,
+    shard: &'k mut KernelShard,
+    router: &'k Router,
     ctx: ExecCtx,
     is_new_ep: bool,
 }
 
 impl<'k> Sys<'k> {
-    pub(crate) fn new(kernel: &'k mut Kernel, ctx: ExecCtx, is_new_ep: bool) -> Sys<'k> {
+    pub(crate) fn new(
+        shard: &'k mut KernelShard,
+        router: &'k Router,
+        ctx: ExecCtx,
+        is_new_ep: bool,
+    ) -> Sys<'k> {
         Sys {
-            kernel,
+            shard,
+            router,
             ctx,
             is_new_ep,
         }
@@ -59,22 +73,19 @@ impl<'k> Sys<'k> {
 
     /// The process's debug name.
     pub fn name(&self) -> &str {
-        &self.kernel.processes[self.ctx.pid.index()].name
+        &self.shard.processes[self.ctx.pid.index()].name
     }
 
     /// Reads an environment entry: process-local first, then global (§4's
     /// bootstrap convention for discovering service port names).
     pub fn env(&self, key: &str) -> Option<Value> {
-        let p = &self.kernel.processes[self.ctx.pid.index()];
-        p.env
-            .get(key)
-            .or_else(|| self.kernel.global_env.get(key))
-            .cloned()
+        let p = &self.shard.processes[self.ctx.pid.index()];
+        p.env.get(key).cloned().or_else(|| self.router.env_get(key))
     }
 
     /// Sets a process-local environment entry (inherited by children).
     pub fn set_env(&mut self, key: &str, value: Value) {
-        self.kernel.processes[self.ctx.pid.index()]
+        self.shard.processes[self.ctx.pid.index()]
             .env
             .insert(key.to_string(), value);
     }
@@ -83,7 +94,7 @@ impl<'k> Sys<'k> {
     /// bootstraps through init-provided environments; the global namespace
     /// plays that role here.
     pub fn publish_env(&mut self, key: &str, value: Value) {
-        self.kernel.global_env.insert(key.to_string(), value);
+        self.router.env_set(key, value);
     }
 
     // ------------------------------------------------------------------
@@ -94,10 +105,10 @@ impl<'k> Sys<'k> {
     /// `⋆` for it (§5.3: "A process initially has privilege for every
     /// handle it creates").
     pub fn new_handle(&mut self) -> Handle {
-        let h = self.kernel.handles.new_handle();
-        self.kernel
+        let h = self.shard.handles.new_handle();
+        self.shard
             .clock
-            .charge(Category::KernelIpc, self.kernel.cost.new_handle);
+            .charge(Category::KernelIpc, self.shard.cost.new_handle);
         self.with_send_label(|l| l.set(h, Level::Star));
         h
     }
@@ -111,13 +122,14 @@ impl<'k> Sys<'k> {
             Some(eid) => PortOwner::Ep(eid),
             None => PortOwner::Process(self.ctx.pid),
         };
-        let p = self.kernel.handles.new_port(label, owner);
-        self.kernel
+        let p = self.shard.handles.new_port(label, owner);
+        self.router.register_port(p, self.shard.id);
+        self.shard
             .clock
-            .charge(Category::KernelIpc, self.kernel.cost.new_port);
+            .charge(Category::KernelIpc, self.shard.cost.new_port);
         self.with_send_label(|l| l.set(p, Level::Star));
         if let Some(eid) = self.ctx.ep {
-            self.kernel.eps[eid.index()].ports.push(p);
+            self.shard.eps[eid.index()].ports.push(p);
         }
         p
     }
@@ -126,7 +138,7 @@ impl<'k> Sys<'k> {
     /// `new_port`, this call "doesn't modify its input").
     pub fn set_port_label(&mut self, port: Handle, label: Label) -> SysResult<()> {
         self.require_port_owner(port)?;
-        self.kernel
+        self.shard
             .handles
             .port_mut(port)
             .expect("ownership verified above")
@@ -139,7 +151,7 @@ impl<'k> Sys<'k> {
     pub fn port_label(&self, port: Handle) -> SysResult<Label> {
         self.check_port_owner(port)?;
         Ok(self
-            .kernel
+            .shard
             .handles
             .port(port)
             .expect("ownership verified above")
@@ -151,9 +163,10 @@ impl<'k> Sys<'k> {
     /// messages sent to it are silently discarded.
     pub fn dissociate_port(&mut self, port: Handle) -> SysResult<()> {
         self.require_port_owner(port)?;
-        self.kernel.handles.dissociate(port);
+        self.shard.handles.dissociate(port);
+        self.router.unregister_port(port);
         if let Some(eid) = self.ctx.ep {
-            self.kernel.eps[eid.index()].ports.retain(|&p| p != port);
+            self.shard.eps[eid.index()].ports.retain(|&p| p != port);
         }
         Ok(())
     }
@@ -161,16 +174,16 @@ impl<'k> Sys<'k> {
     /// The caller's current send label `P_S`.
     pub fn send_label(&self) -> Label {
         match self.ctx.ep {
-            Some(eid) => (*self.kernel.eps[eid.index()].send_label).clone(),
-            None => (*self.kernel.processes[self.ctx.pid.index()].send_label).clone(),
+            Some(eid) => (*self.shard.eps[eid.index()].send_label).clone(),
+            None => (*self.shard.processes[self.ctx.pid.index()].send_label).clone(),
         }
     }
 
     /// The caller's current receive label `P_R`.
     pub fn recv_label(&self) -> Label {
         match self.ctx.ep {
-            Some(eid) => (*self.kernel.eps[eid.index()].recv_label).clone(),
-            None => (*self.kernel.processes[self.ctx.pid.index()].recv_label).clone(),
+            Some(eid) => (*self.shard.eps[eid.index()].recv_label).clone(),
+            None => (*self.shard.processes[self.ctx.pid.index()].recv_label).clone(),
         }
     }
 
@@ -230,7 +243,8 @@ impl<'k> Sys<'k> {
     /// own state (privilege requirements 2 and 3); everything else is
     /// silent by design.
     pub fn send_args(&mut self, port: Handle, body: Value, args: &SendArgs) -> SysResult<()> {
-        self.kernel.send_from(self.ctx, port, body, args)
+        self.shard
+            .send_from(self.router, self.ctx, port, body, args)
     }
 
     // ------------------------------------------------------------------
@@ -247,37 +261,37 @@ impl<'k> Sys<'k> {
             match self.ctx.ep {
                 None => {
                     let pid = self.ctx.pid;
-                    let frame = match self.kernel.processes[pid.index()].page_table.get(vpn) {
+                    let frame = match self.shard.processes[pid.index()].page_table.get(vpn) {
                         Some(f) => f,
                         None => {
-                            let f = self.kernel.frames.alloc_zeroed();
-                            self.kernel.processes[pid.index()].page_table.map(vpn, f);
+                            let f = self.shard.frames.alloc_zeroed();
+                            self.shard.processes[pid.index()].page_table.map(vpn, f);
                             f
                         }
                     };
-                    self.kernel.frames.write(frame, page_off, slice);
+                    self.shard.frames.write(frame, page_off, slice);
                 }
                 Some(eid) => {
-                    let frame = match self.kernel.eps[eid.index()].delta.get(vpn) {
+                    let frame = match self.shard.eps[eid.index()].delta.get(vpn) {
                         Some(f) => f,
                         None => {
                             // First write to this page: take a private copy
                             // of the base page (or a zero page).
-                            let base = self.kernel.processes[self.ctx.pid.index()]
+                            let base = self.shard.processes[self.ctx.pid.index()]
                                 .page_table
                                 .get(vpn);
                             let f = match base {
-                                Some(b) => self.kernel.frames.alloc_copy_of(b),
-                                None => self.kernel.frames.alloc_zeroed(),
+                                Some(b) => self.shard.frames.alloc_copy_of(b),
+                                None => self.shard.frames.alloc_zeroed(),
                             };
-                            self.kernel
+                            self.shard
                                 .clock
-                                .charge(Category::KernelIpc, self.kernel.cost.page_copy);
-                            self.kernel.eps[eid.index()].delta.map(vpn, f);
+                                .charge(Category::KernelIpc, self.shard.cost.page_copy);
+                            self.shard.eps[eid.index()].delta.map(vpn, f);
                             f
                         }
                     };
-                    self.kernel.frames.write(frame, page_off, slice);
+                    self.shard.frames.write(frame, page_off, slice);
                 }
             }
             offset += len;
@@ -296,14 +310,14 @@ impl<'k> Sys<'k> {
             let frame = self
                 .ctx
                 .ep
-                .and_then(|eid| self.kernel.eps[eid.index()].delta.get(vpn))
+                .and_then(|eid| self.shard.eps[eid.index()].delta.get(vpn))
                 .or_else(|| {
-                    self.kernel.processes[self.ctx.pid.index()]
+                    self.shard.processes[self.ctx.pid.index()]
                         .page_table
                         .get(vpn)
                 });
             if let Some(f) = frame {
-                self.kernel
+                self.shard
                     .frames
                     .read(f, page_off, &mut out[offset..offset + seg_len]);
             }
@@ -338,11 +352,11 @@ impl<'k> Sys<'k> {
             .checked_add(len as u64)
             .ok_or(SysError::InvalidArgument)?;
         let end_vpn = end.div_ceil(PAGE_SIZE as u64);
-        for frame in self.kernel.eps[eid.index()]
+        for frame in self.shard.eps[eid.index()]
             .delta
             .drain_range(start_vpn, end_vpn)
         {
-            self.kernel.frames.release(frame);
+            self.shard.frames.release(frame);
         }
         Ok(())
     }
@@ -354,7 +368,7 @@ impl<'k> Sys<'k> {
         let Some(eid) = self.ctx.ep else {
             return Err(SysError::NotEventProcess);
         };
-        self.kernel.eps[eid.index()].alive = false;
+        self.shard.eps[eid.index()].alive = false;
         Ok(())
     }
 
@@ -363,7 +377,7 @@ impl<'k> Sys<'k> {
     /// a cross-compartment channel).
     pub fn ep_private_pages(&self) -> usize {
         match self.ctx.ep {
-            Some(eid) => self.kernel.eps[eid.index()].delta.len(),
+            Some(eid) => self.shard.eps[eid.index()].delta.len(),
             None => 0,
         }
     }
@@ -385,9 +399,13 @@ impl<'k> Sys<'k> {
         if self.ctx.ep.is_some() {
             return Err(SysError::EventProcessForbidden);
         }
-        Ok(self
-            .kernel
-            .spawn_body(name, category, Body::Plain(service), Some(self.ctx.pid)))
+        Ok(self.shard.spawn_body(
+            self.router,
+            name,
+            category,
+            Body::Plain(service),
+            Some(self.ctx.pid),
+        ))
     }
 
     /// Spawns an event-process-mode child (§6).
@@ -400,23 +418,27 @@ impl<'k> Sys<'k> {
         if self.ctx.ep.is_some() {
             return Err(SysError::EventProcessForbidden);
         }
-        Ok(self
-            .kernel
-            .spawn_body(name, category, Body::Event(service), Some(self.ctx.pid)))
+        Ok(self.shard.spawn_body(
+            self.router,
+            name,
+            category,
+            Body::Event(service),
+            Some(self.ctx.pid),
+        ))
     }
 
     /// Terminates the whole process (the process-wide `exit` an event
     /// process may also call, §6.1). Effective when the handler returns.
     pub fn exit_process(&mut self) {
-        self.kernel.processes[self.ctx.pid.index()].alive = false;
+        self.shard.processes[self.ctx.pid.index()].alive = false;
     }
 
     /// Charges `cycles` of simulated user-space computation to the
     /// process's accounting category (how services model their own work for
     /// Figures 7–9).
     pub fn charge(&mut self, cycles: u64) {
-        let category = self.kernel.processes[self.ctx.pid.index()].category;
-        self.kernel.clock.charge(category, cycles);
+        let category = self.shard.processes[self.ctx.pid.index()].category;
+        self.shard.clock.charge(category, cycles);
     }
 
     // ------------------------------------------------------------------
@@ -428,10 +450,10 @@ impl<'k> Sys<'k> {
         // (with an event process, a queued message, or a cache entry).
         match self.ctx.ep {
             Some(eid) => f(std::sync::Arc::make_mut(
-                &mut self.kernel.eps[eid.index()].send_label,
+                &mut self.shard.eps[eid.index()].send_label,
             )),
             None => f(std::sync::Arc::make_mut(
-                &mut self.kernel.processes[self.ctx.pid.index()].send_label,
+                &mut self.shard.processes[self.ctx.pid.index()].send_label,
             )),
         }
     }
@@ -439,17 +461,17 @@ impl<'k> Sys<'k> {
     fn with_recv_label(&mut self, f: impl FnOnce(&mut Label)) {
         match self.ctx.ep {
             Some(eid) => f(std::sync::Arc::make_mut(
-                &mut self.kernel.eps[eid.index()].recv_label,
+                &mut self.shard.eps[eid.index()].recv_label,
             )),
             None => f(std::sync::Arc::make_mut(
-                &mut self.kernel.processes[self.ctx.pid.index()].recv_label,
+                &mut self.shard.processes[self.ctx.pid.index()].recv_label,
             )),
         }
     }
 
     fn check_port_owner(&self, port: Handle) -> SysResult<()> {
         let state = self
-            .kernel
+            .shard
             .handles
             .port(port)
             .ok_or(SysError::NotPortOwner)?;

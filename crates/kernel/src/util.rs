@@ -10,8 +10,8 @@
 //! state shared across users.
 
 use std::any::Any;
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::Arc;
+use std::sync::Mutex;
 
 use crate::message::Message;
 use crate::process::{EpService, Service};
@@ -26,8 +26,8 @@ struct FnService<S, F> {
 
 impl<S, F> Service for FnService<S, F>
 where
-    S: FnOnce(&mut Sys<'_>) + 'static,
-    F: FnMut(&mut Sys<'_>, &Message) + 'static,
+    S: FnOnce(&mut Sys<'_>) + Send + 'static,
+    F: FnMut(&mut Sys<'_>, &Message) + Send + 'static,
 {
     fn on_start(&mut self, sys: &mut Sys<'_>) {
         if let Some(start) = self.on_start.take() {
@@ -43,7 +43,7 @@ where
 /// Wraps a message handler closure as an ordinary [`Service`].
 pub fn service_fn<F>(on_message: F) -> Box<dyn Service>
 where
-    F: FnMut(&mut Sys<'_>, &Message) + 'static,
+    F: FnMut(&mut Sys<'_>, &Message) + Send + 'static,
 {
     Box::new(FnService {
         on_start: None::<fn(&mut Sys<'_>)>,
@@ -54,8 +54,8 @@ where
 /// Wraps start and message handler closures as an ordinary [`Service`].
 pub fn service_with_start<S, F>(on_start: S, on_message: F) -> Box<dyn Service>
 where
-    S: FnOnce(&mut Sys<'_>) + 'static,
-    F: FnMut(&mut Sys<'_>, &Message) + 'static,
+    S: FnOnce(&mut Sys<'_>) + Send + 'static,
+    F: FnMut(&mut Sys<'_>, &Message) + Send + 'static,
 {
     Box::new(FnService {
         on_start: Some(on_start),
@@ -70,8 +70,8 @@ struct FnEpService<B, F> {
 
 impl<B, F> EpService for FnEpService<B, F>
 where
-    B: FnOnce(&mut Sys<'_>) + 'static,
-    F: Fn(&mut Sys<'_>, &Message) + 'static,
+    B: FnOnce(&mut Sys<'_>) + Send + 'static,
+    F: Fn(&mut Sys<'_>, &Message) + Send + 'static,
 {
     fn on_base_start(&mut self, sys: &mut Sys<'_>) {
         if let Some(start) = self.on_base_start.take() {
@@ -88,8 +88,8 @@ where
 /// process; `on_event` runs per delivery inside an event process.
 pub fn ep_service_fn<B, F>(on_base_start: B, on_event: F) -> Box<dyn EpService>
 where
-    B: FnOnce(&mut Sys<'_>) + 'static,
-    F: Fn(&mut Sys<'_>, &Message) + 'static,
+    B: FnOnce(&mut Sys<'_>) + Send + 'static,
+    F: Fn(&mut Sys<'_>, &Message) + Send + 'static,
 {
     Box::new(FnEpService {
         on_base_start: Some(on_base_start),
@@ -118,13 +118,13 @@ pub struct Received {
 /// [`service_with_start`] directly.
 pub struct Recorder {
     env_key: String,
-    log: Rc<RefCell<Vec<Received>>>,
+    log: Arc<Mutex<Vec<Received>>>,
 }
 
 impl Recorder {
     /// Creates the recorder and a shared view of its log.
-    pub fn new(env_key: &str) -> (Recorder, Rc<RefCell<Vec<Received>>>) {
-        let log = Rc::new(RefCell::new(Vec::new()));
+    pub fn new(env_key: &str) -> (Recorder, Arc<Mutex<Vec<Received>>>) {
+        let log = Arc::new(Mutex::new(Vec::new()));
         (
             Recorder {
                 env_key: env_key.to_string(),
@@ -144,7 +144,7 @@ impl Service for Recorder {
     }
 
     fn on_message(&mut self, _sys: &mut Sys<'_>, msg: &Message) {
-        self.log.borrow_mut().push(Received {
+        self.log.lock().unwrap().push(Received {
             port: msg.port,
             body: msg.body.clone(),
             verify: msg.verify.clone(),
@@ -165,7 +165,7 @@ mod tests {
     #[test]
     fn service_fn_handles_messages() {
         let mut kernel = Kernel::new(1);
-        let count = Rc::new(RefCell::new(0));
+        let count = Arc::new(Mutex::new(0));
         let c2 = count.clone();
         let pid = kernel.spawn(
             "counter",
@@ -177,7 +177,7 @@ mod tests {
                     sys.publish_env("counter.port", Value::Handle(p));
                 },
                 move |_sys, _msg| {
-                    *c2.borrow_mut() += 1;
+                    *c2.lock().unwrap() += 1;
                 },
             ),
         );
@@ -189,7 +189,7 @@ mod tests {
         kernel.inject(port, Value::Unit);
         kernel.inject(port, Value::Unit);
         kernel.run();
-        assert_eq!(*count.borrow(), 2);
+        assert_eq!(*count.lock().unwrap(), 2);
         assert_eq!(kernel.process(pid).name, "counter");
     }
 
@@ -201,7 +201,7 @@ mod tests {
         let port = kernel.global_env("rec.port").unwrap().as_handle().unwrap();
         kernel.inject(port, Value::U64(41));
         kernel.run();
-        let entries = log.borrow();
+        let entries = log.lock().unwrap();
         assert_eq!(entries.len(), 1);
         assert_eq!(entries[0].body, Value::U64(41));
         assert_eq!(entries[0].port, port);

@@ -5,8 +5,8 @@
 //! These tests document attack constructions; the channels working as
 //! described is the expected (paper-faithful) behaviour.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::Arc;
+use std::sync::Mutex;
 
 use asbestos_kernel::util::{service_with_start, Recorder};
 use asbestos_kernel::{Category, Kernel, Label, Level, SendArgs, Value};
@@ -25,7 +25,7 @@ fn contamination_heartbeat_storage_channel() {
     let mut kernel = Kernel::new(81);
 
     // C: the untainted receiver, logging which relays still reach it.
-    let heard = Rc::new(RefCell::new(Vec::<String>::new()));
+    let heard = Arc::new(Mutex::new(Vec::<String>::new()));
     let h2 = heard.clone();
     kernel.spawn(
         "C",
@@ -37,7 +37,8 @@ fn contamination_heartbeat_storage_channel() {
                 sys.publish_env("c.port", Value::Handle(p));
             },
             move |_sys, msg| {
-                h2.borrow_mut()
+                h2.lock()
+                    .unwrap()
                     .push(msg.body.as_str().unwrap_or("?").into());
             },
         ),
@@ -101,9 +102,9 @@ fn contamination_heartbeat_storage_channel() {
     // Now C lowers its receive label for t and both B's heartbeat.
     // (Do the lowering through a driver message to C — processes may only
     // lower their own labels.)
-    let heard_clear = heard.borrow().len();
+    let heard_clear = heard.lock().unwrap().len();
     let _ = heard_clear;
-    heard.borrow_mut().clear();
+    heard.lock().unwrap().clear();
 
     // Drive: poke both relays; C must hear only B0.
     // First, C lowers its own receive label (free, voluntary restriction).
@@ -124,9 +125,9 @@ fn contamination_heartbeat_storage_channel() {
     kernel.run();
 
     // Without C's restriction, both heartbeats arrive (t 2 ≤ default 2):
-    assert!(heard.borrow().contains(&"B0".to_string()));
-    assert!(heard.borrow().contains(&"B1".to_string()));
-    heard.borrow_mut().clear();
+    assert!(heard.lock().unwrap().contains(&"B0".to_string()));
+    assert!(heard.lock().unwrap().contains(&"B1".to_string()));
+    heard.lock().unwrap().clear();
 
     // With the restriction, B1's heartbeat is dropped — the bit leaks.
     // Apply C's voluntary restriction out of band (equivalent to C calling
@@ -152,7 +153,7 @@ fn contamination_heartbeat_storage_channel() {
     kernel.run();
 
     // C decodes the bit: B0 present, B1 missing ⇒ bit = 1.
-    assert_eq!(*heard.borrow(), vec!["B0"]);
+    assert_eq!(*heard.lock().unwrap(), vec!["B0"]);
     assert!(kernel.stats().dropped_label_check >= 1);
 }
 
@@ -166,7 +167,7 @@ fn send_success_reveals_nothing() {
     kernel.spawn("receiver", Category::Other, Box::new(rec));
     let rport = kernel.global_env("r.port").unwrap().as_handle().unwrap();
 
-    let outcomes = Rc::new(RefCell::new(Vec::new()));
+    let outcomes = Arc::new(Mutex::new(Vec::new()));
     let o2 = outcomes.clone();
     kernel.spawn(
         "sender",
@@ -175,20 +176,25 @@ fn send_success_reveals_nothing() {
             move |sys| {
                 let t = sys.new_handle();
                 // Will be delivered:
-                o2.borrow_mut().push(sys.send(rport, Value::U64(1)));
+                o2.lock().unwrap().push(sys.send(rport, Value::U64(1)));
                 // Will be dropped (tainted beyond the receiver's label),
                 // but the syscall result is indistinguishable:
                 let args =
                     SendArgs::new().contaminate(Label::from_pairs(Level::Star, &[(t, Level::L3)]));
-                o2.borrow_mut()
+                o2.lock()
+                    .unwrap()
                     .push(sys.send_args(rport, Value::U64(2), &args));
             },
             |_, _| {},
         ),
     );
     kernel.run();
-    assert_eq!(*outcomes.borrow(), vec![Ok(()), Ok(())]);
-    assert_eq!(log.borrow().len(), 1, "only the untainted message landed");
+    assert_eq!(*outcomes.lock().unwrap(), vec![Ok(()), Ok(())]);
+    assert_eq!(
+        log.lock().unwrap().len(),
+        1,
+        "only the untainted message landed"
+    );
 }
 
 #[test]
@@ -198,7 +204,7 @@ fn handles_do_not_reveal_allocation_count() {
     // value to produce handles, the user-visible sequence of handles does
     // not convey exploitable information."
     let mut kernel = Kernel::new(83);
-    let observed = Rc::new(RefCell::new(Vec::<u64>::new()));
+    let observed = Arc::new(Mutex::new(Vec::<u64>::new()));
     let o2 = observed.clone();
     kernel.spawn(
         "prober",
@@ -206,14 +212,14 @@ fn handles_do_not_reveal_allocation_count() {
         service_with_start(
             move |sys| {
                 for _ in 0..64 {
-                    o2.borrow_mut().push(sys.new_handle().raw());
+                    o2.lock().unwrap().push(sys.new_handle().raw());
                 }
             },
             |_, _| {},
         ),
     );
     kernel.run();
-    let vals = observed.borrow();
+    let vals = observed.lock().unwrap();
     // Not sequential, not monotonic, spread over the 61-bit space.
     let monotonic_pairs = vals.windows(2).filter(|w| w[1] == w[0] + 1).count();
     assert_eq!(monotonic_pairs, 0, "handles look like a raw counter");
@@ -235,7 +241,7 @@ fn port_names_are_unpredictable() {
         .iter()
         .map(|&seed| {
             let mut kernel = Kernel::new(seed);
-            let observed = Rc::new(RefCell::new(Vec::<u64>::new()));
+            let observed = Arc::new(Mutex::new(Vec::<u64>::new()));
             let o2 = observed.clone();
             kernel.spawn(
                 "creator",
@@ -243,14 +249,14 @@ fn port_names_are_unpredictable() {
                 service_with_start(
                     move |sys| {
                         for _ in 0..8 {
-                            o2.borrow_mut().push(sys.new_port(Label::top()).raw());
+                            o2.lock().unwrap().push(sys.new_port(Label::top()).raw());
                         }
                     },
                     |_, _| {},
                 ),
             );
             kernel.run();
-            let v = observed.borrow().clone();
+            let v = observed.lock().unwrap().clone();
             v
         })
         .collect();

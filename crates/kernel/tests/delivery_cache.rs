@@ -12,8 +12,8 @@
 //! 3. The O(1) promise: a cache-hit delivery performs zero `Label::clone`
 //!    calls (measured by the labels crate's global clone counter).
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::Arc;
+use std::sync::Mutex;
 
 use asbestos_kernel::util::service_with_start;
 use asbestos_kernel::{Category, Kernel, Label, Level, SendArgs, Value};
@@ -121,7 +121,7 @@ fn run_plan(plan: &Plan, cache_capacity: usize) -> Observed {
     let mut kernel = Kernel::new(1234);
     kernel.set_delivery_cache_capacity(cache_capacity);
 
-    let received = Rc::new(RefCell::new(Vec::<Value>::new()));
+    let received = Arc::new(Mutex::new(Vec::<Value>::new()));
     let log = received.clone();
     let pr = plan.pr.clone();
     kernel.spawn(
@@ -134,7 +134,7 @@ fn run_plan(plan: &Plan, cache_capacity: usize) -> Observed {
                 sys.publish_env("recv.port", Value::Handle(port));
             },
             move |_sys, msg| {
-                log.borrow_mut().push(msg.body.clone());
+                log.lock().unwrap().push(msg.body.clone());
             },
         ),
     );
@@ -181,8 +181,8 @@ fn run_plan(plan: &Plan, cache_capacity: usize) -> Observed {
     kernel.inject(sender_port, Value::Unit);
     kernel.run();
 
-    let stats = *kernel.stats();
-    let received = received.borrow().clone();
+    let stats = kernel.stats();
+    let received = received.lock().unwrap().clone();
     let recv = kernel.process(recv_pid);
     let sender = kernel.process(sender_pid);
     Observed {
@@ -228,7 +228,7 @@ fn run_heartbeat(cache_capacity: usize, rounds: usize) -> (Vec<String>, u64) {
     let mut kernel = Kernel::new(81);
     kernel.set_delivery_cache_capacity(cache_capacity);
 
-    let heard = Rc::new(RefCell::new(Vec::<String>::new()));
+    let heard = Arc::new(Mutex::new(Vec::<String>::new()));
     let h2 = heard.clone();
     kernel.spawn(
         "C",
@@ -240,7 +240,8 @@ fn run_heartbeat(cache_capacity: usize, rounds: usize) -> (Vec<String>, u64) {
                 sys.publish_env("c.port", Value::Handle(p));
             },
             move |_sys, msg| {
-                h2.borrow_mut()
+                h2.lock()
+                    .unwrap()
                     .push(msg.body.as_str().unwrap_or("?").into());
             },
         ),
@@ -288,7 +289,7 @@ fn run_heartbeat(cache_capacity: usize, rounds: usize) -> (Vec<String>, u64) {
         kernel.inject(b1, Value::Unit);
         kernel.run();
     }
-    let heard = heard.borrow().clone();
+    let heard = heard.lock().unwrap().clone();
     (heard, kernel.stats().dropped_label_check)
 }
 
@@ -312,7 +313,7 @@ fn relabeling_invalidates_by_fingerprint() {
     // flow: the restricted Q_R has a different fingerprint, hence a
     // different key.
     let mut kernel = Kernel::new(7);
-    let heard = Rc::new(RefCell::new(0u32));
+    let heard = Arc::new(Mutex::new(0u32));
     let h2 = heard.clone();
     kernel.spawn(
         "C",
@@ -324,7 +325,7 @@ fn relabeling_invalidates_by_fingerprint() {
                 sys.publish_env("c.port", Value::Handle(p));
             },
             move |_sys, _msg| {
-                *h2.borrow_mut() += 1;
+                *h2.lock().unwrap() += 1;
             },
         ),
     );
@@ -357,7 +358,7 @@ fn relabeling_invalidates_by_fingerprint() {
     // Warm the cache: B's partially tainted beat reaches default C.
     kernel.inject(b_port, Value::Unit);
     kernel.run();
-    assert_eq!(*heard.borrow(), 1);
+    assert_eq!(*heard.lock().unwrap(), 1);
     assert!(kernel.stats().cache_misses > 0);
 
     // C restricts; the same send must now drop even though the cache holds
@@ -370,7 +371,11 @@ fn relabeling_invalidates_by_fingerprint() {
     let drops_before = kernel.stats().dropped_label_check;
     kernel.inject(b_port, Value::Unit);
     kernel.run();
-    assert_eq!(*heard.borrow(), 1, "restricted C must not hear the beat");
+    assert_eq!(
+        *heard.lock().unwrap(),
+        1,
+        "restricted C must not hear the beat"
+    );
     assert_eq!(kernel.stats().dropped_label_check, drops_before + 1);
 }
 

@@ -2,8 +2,8 @@
 //! base-port delivery, per-EP labels, copy-on-write memory isolation,
 //! `ep_clean`/`ep_exit`, and the paper's session-cache usage pattern.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::Arc;
+use std::sync::Mutex;
 
 use asbestos_kernel::util::{ep_service_fn, service_with_start, Recorder};
 use asbestos_kernel::{Category, EpId, Kernel, Label, Level, SendArgs, Value};
@@ -87,7 +87,7 @@ fn base_port_forks_a_fresh_ep_per_message() {
     assert_eq!(kernel.stats().eps_created, 3);
     assert_eq!(kernel.live_eps(worker).len(), 3);
     // Each EP saw count == 1: fresh private memory, not shared.
-    let log = log.borrow();
+    let log = log.lock().unwrap();
     assert_eq!(log.len(), 3);
     for entry in log.iter() {
         let items = entry.body.as_list().unwrap();
@@ -117,7 +117,7 @@ fn ep_port_resumes_the_same_ep() {
 
     kernel.inject(wport, Value::Unit);
     kernel.run();
-    let session_port = log.borrow()[0].body.as_list().unwrap()[0]
+    let session_port = log.lock().unwrap()[0].body.as_list().unwrap()[0]
         .as_handle()
         .unwrap();
 
@@ -128,7 +128,7 @@ fn ep_port_resumes_the_same_ep() {
     kernel.run();
 
     assert_eq!(kernel.stats().eps_created, 1, "no extra EPs forked");
-    let log = log.borrow();
+    let log = log.lock().unwrap();
     let counts: Vec<u64> = log
         .iter()
         .map(|e| e.body.as_list().unwrap()[1].as_u64().unwrap())
@@ -168,7 +168,7 @@ fn ep_memory_is_isolated_and_cow() {
     // Base process has only the shared page.
     assert_eq!(kernel.process(worker).page_table.len(), 1);
     // Counters were independent (both saw 1).
-    let log = log.borrow();
+    let log = log.lock().unwrap();
     assert_eq!(log[0].body.as_list().unwrap()[1].as_u64(), Some(1));
     assert_eq!(log[1].body.as_list().unwrap()[1].as_u64(), Some(1));
 }
@@ -265,7 +265,7 @@ fn ep_exit_frees_pages_and_ports() {
     // The EP's private page was released.
     assert_eq!(kernel.kmem_report().user_frame_bytes, frames_before);
     // Its session port is dead: messages to it are dropped.
-    let dead_port = log.borrow()[0].body.as_handle().unwrap();
+    let dead_port = log.lock().unwrap()[0].body.as_handle().unwrap();
     kernel.inject(dead_port, Value::Unit);
     kernel.run();
     assert_eq!(kernel.stats().dropped_no_port, 1);
@@ -407,7 +407,7 @@ fn tainted_ep_cannot_reach_other_users_session_port() {
         ),
     );
     kernel.run();
-    let log_snapshot: Vec<_> = log.borrow().iter().map(|e| e.body.clone()).collect();
+    let log_snapshot: Vec<_> = log.lock().unwrap().iter().map(|e| e.body.clone()).collect();
     assert_eq!(log_snapshot.len(), 2);
     let port_u = log_snapshot[0].as_handle().unwrap();
     let port_v = log_snapshot[1].as_handle().unwrap();
@@ -425,7 +425,7 @@ fn tainted_ep_cannot_reach_other_users_session_port() {
 #[test]
 fn ep_syscall_guards() {
     let mut kernel = Kernel::new(28);
-    let errors = Rc::new(RefCell::new(Vec::new()));
+    let errors = Arc::new(Mutex::new(Vec::new()));
     let e2 = errors.clone();
     kernel.spawn(
         "plain",
@@ -433,8 +433,8 @@ fn ep_syscall_guards() {
         service_with_start(
             move |sys| {
                 // ep_clean/ep_exit outside an event process must fail.
-                e2.borrow_mut().push(sys.ep_clean(0, 10).unwrap_err());
-                e2.borrow_mut().push(sys.ep_exit().unwrap_err());
+                e2.lock().unwrap().push(sys.ep_clean(0, 10).unwrap_err());
+                e2.lock().unwrap().push(sys.ep_exit().unwrap_err());
             },
             |_, _| {},
         ),
@@ -442,7 +442,7 @@ fn ep_syscall_guards() {
     kernel.run();
     use asbestos_kernel::SysError;
     assert_eq!(
-        *errors.borrow(),
+        *errors.lock().unwrap(),
         vec![SysError::NotEventProcess, SysError::NotEventProcess]
     );
 }

@@ -2,8 +2,8 @@
 //! paper's `send`/`new_port`/`set_port_label` specification, exercised
 //! through real processes on a running kernel.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::Arc;
+use std::sync::Mutex;
 
 use asbestos_kernel::util::{service_with_start, Recorder};
 use asbestos_kernel::{Category, Handle, Kernel, Label, Level, SendArgs, SysError, Value};
@@ -44,8 +44,8 @@ fn default_processes_can_communicate() {
         ),
     );
     kernel.run();
-    assert_eq!(log.borrow().len(), 1);
-    assert_eq!(log.borrow()[0].body.as_str(), Some("hello"));
+    assert_eq!(log.lock().unwrap().len(), 1);
+    assert_eq!(log.lock().unwrap()[0].body.as_str(), Some("hello"));
 }
 
 #[test]
@@ -53,7 +53,7 @@ fn fresh_ports_are_closed_until_granted() {
     // Figure 4: new_port sets p_R(p) ← 0 and P_S(p) ← ⋆; since every other
     // process has P_S(p) ≥ 1, nothing gets through until the creator acts.
     let mut kernel = Kernel::new(2);
-    let received = Rc::new(RefCell::new(0u32));
+    let received = Arc::new(Mutex::new(0u32));
     let r2 = received.clone();
     kernel.spawn(
         "owner",
@@ -63,7 +63,7 @@ fn fresh_ports_are_closed_until_granted() {
                 let p = sys.new_port(Label::top());
                 sys.publish_env("closed.port", Value::Handle(p));
             },
-            move |_, _| *r2.borrow_mut() += 1,
+            move |_, _| *r2.lock().unwrap() += 1,
         ),
     );
     let p = kernel
@@ -84,7 +84,7 @@ fn fresh_ports_are_closed_until_granted() {
         ),
     );
     kernel.run();
-    assert_eq!(*received.borrow(), 0);
+    assert_eq!(*received.lock().unwrap(), 0);
     assert_eq!(kernel.stats().dropped_label_check, 1);
     assert_eq!(kernel.stats().delivered, 0);
 }
@@ -94,7 +94,7 @@ fn capability_grant_and_redistribution() {
     // §5.5: the creator grants send rights with D_S = {p ⋆, 3}; the grantee
     // can redistribute the right further — exactly like a capability.
     let mut kernel = Kernel::new(3);
-    let received = Rc::new(RefCell::new(Vec::<String>::new()));
+    let received = Arc::new(Mutex::new(Vec::<String>::new()));
 
     // Owner: creates the protected port; counts what arrives.
     let r2 = received.clone();
@@ -121,7 +121,7 @@ fn capability_grant_and_redistribution() {
                     )
                     .unwrap();
                 }
-                _ => r2.borrow_mut().push(format!("{}", msg.body)),
+                _ => r2.lock().unwrap().push(format!("{}", msg.body)),
             },
         ),
     );
@@ -175,7 +175,10 @@ fn capability_grant_and_redistribution() {
     let owner_cmd = kernel.global_env("owner.cmd").unwrap().as_handle().unwrap();
     kernel.inject(owner_cmd, Value::Str("grant-to-alice".into()));
     kernel.run();
-    assert_eq!(*received.borrow(), vec!["\"from-alice\"", "\"from-bob\""]);
+    assert_eq!(
+        *received.lock().unwrap(),
+        vec!["\"from-alice\"", "\"from-bob\""]
+    );
     assert_eq!(kernel.stats().dropped_label_check, 0);
 }
 
@@ -188,7 +191,7 @@ fn granting_without_star_is_rejected_at_send() {
     kernel.spawn("receiver", Category::Other, Box::new(rec));
     let rport = kernel.global_env("r.port").unwrap().as_handle().unwrap();
 
-    let result = Rc::new(RefCell::new(None));
+    let result = Arc::new(Mutex::new(None));
     let r2 = result.clone();
     kernel.spawn(
         "forger",
@@ -201,13 +204,16 @@ fn granting_without_star_is_rejected_at_send() {
                     Value::Unit,
                     &SendArgs::new().grant(grant(someone_elses)),
                 );
-                *r2.borrow_mut() = Some(outcome);
+                *r2.lock().unwrap() = Some(outcome);
             },
             |_, _| {},
         ),
     );
     kernel.run();
-    assert_eq!(*result.borrow(), Some(Err(SysError::PrivilegeViolation)));
+    assert_eq!(
+        *result.lock().unwrap(),
+        Some(Err(SysError::PrivilegeViolation))
+    );
 }
 
 // ---------------------------------------------------------------------
@@ -219,7 +225,7 @@ fn contamination_propagates_and_blocks() {
     // A process that reads tainted data (via C_S) gets its send label
     // raised (Equation 4) and then cannot reach default receivers.
     let mut kernel = Kernel::new(5);
-    let leaked = Rc::new(RefCell::new(0u32));
+    let leaked = Arc::new(Mutex::new(0u32));
 
     // The would-be leak target: an ordinary open port.
     let l2 = leaked.clone();
@@ -232,7 +238,7 @@ fn contamination_propagates_and_blocks() {
                 sys.set_port_label(p, Label::top()).unwrap();
                 sys.publish_env("sink.port", Value::Handle(p));
             },
-            move |_, _| *l2.borrow_mut() += 1,
+            move |_, _| *l2.lock().unwrap() += 1,
         ),
     );
 
@@ -280,7 +286,7 @@ fn contamination_propagates_and_blocks() {
     // The secret reached the middleman but its forward was dropped: the
     // middleman's send label now carries uT 3 and the sink's receive label
     // does not accept it.
-    assert_eq!(*leaked.borrow(), 0);
+    assert_eq!(*leaked.lock().unwrap(), 0);
     assert_eq!(kernel.stats().dropped_label_check, 1);
 }
 
@@ -289,7 +295,7 @@ fn star_holders_resist_contamination() {
     // §5.3: if P_S(h) = ⋆, receiving h-tainted data leaves P_S(h) = ⋆ —
     // the declassifier pattern.
     let mut kernel = Kernel::new(6);
-    let forwarded = Rc::new(RefCell::new(0u32));
+    let forwarded = Arc::new(Mutex::new(0u32));
 
     let f2 = forwarded.clone();
     kernel.spawn(
@@ -301,7 +307,7 @@ fn star_holders_resist_contamination() {
                 sys.set_port_label(p, Label::top()).unwrap();
                 sys.publish_env("sink.port", Value::Handle(p));
             },
-            move |_, _| *f2.borrow_mut() += 1,
+            move |_, _| *f2.lock().unwrap() += 1,
         ),
     );
 
@@ -350,7 +356,7 @@ fn star_holders_resist_contamination() {
     );
 
     kernel.run();
-    assert_eq!(*forwarded.borrow(), 1, "declassified data must flow");
+    assert_eq!(*forwarded.lock().unwrap(), 1, "declassified data must flow");
 }
 
 #[test]
@@ -358,7 +364,7 @@ fn decontaminate_send_clears_taint() {
     // §5.3 decontamination: a ⋆-holder can lower another process's send
     // label with D_S, restoring its ability to talk to the system.
     let mut kernel = Kernel::new(7);
-    let reached = Rc::new(RefCell::new(0u32));
+    let reached = Arc::new(Mutex::new(0u32));
 
     let r2 = reached.clone();
     kernel.spawn(
@@ -370,7 +376,7 @@ fn decontaminate_send_clears_taint() {
                 sys.set_port_label(p, Label::top()).unwrap();
                 sys.publish_env("sink.port", Value::Handle(p));
             },
-            move |_, _| *r2.borrow_mut() += 1,
+            move |_, _| *r2.lock().unwrap() += 1,
         ),
     );
 
@@ -433,7 +439,7 @@ fn decontaminate_send_clears_taint() {
 
     kernel.run();
     assert_eq!(
-        *reached.borrow(),
+        *reached.lock().unwrap(),
         1,
         "only the post-decontamination send lands"
     );
@@ -446,7 +452,7 @@ fn delivery_checks_happen_at_receive_time() {
     // the instant that the receiving process tries to receive it, since in
     // the meantime the process's labels can change."
     let mut kernel = Kernel::new(8);
-    let got = Rc::new(RefCell::new(Vec::<String>::new()));
+    let got = Arc::new(Mutex::new(Vec::<String>::new()));
 
     let g2 = got.clone();
     kernel.spawn(
@@ -462,7 +468,8 @@ fn delivery_checks_happen_at_receive_time() {
                 sys.publish_env("recv.port", Value::Handle(p));
             },
             move |sys, msg| {
-                g2.borrow_mut()
+                g2.lock()
+                    .unwrap()
                     .push(msg.body.as_str().unwrap_or("?").to_string());
                 // After the first message, refuse all taint for t.
                 let t = sys.env("t").unwrap().as_handle().unwrap();
@@ -493,7 +500,7 @@ fn delivery_checks_happen_at_receive_time() {
     );
 
     kernel.run();
-    assert_eq!(*got.borrow(), vec!["first"]);
+    assert_eq!(*got.lock().unwrap(), vec!["first"]);
     assert_eq!(kernel.stats().dropped_label_check, 1);
 }
 
@@ -506,7 +513,7 @@ fn verification_label_proves_identity() {
     // The §5.4 file-server write check: accept a write only when the sender
     // proves it speaks for u by supplying V with V(uG) ≤ 0.
     let mut kernel = Kernel::new(9);
-    let accepted = Rc::new(RefCell::new(Vec::<String>::new()));
+    let accepted = Arc::new(Mutex::new(Vec::<String>::new()));
 
     // A process that will be granted the right to speak for u.
     kernel.spawn(
@@ -561,7 +568,8 @@ fn verification_label_proves_identity() {
                 let ug = sys.env("u.grant").unwrap().as_handle().unwrap();
                 // §5.4: check V(uG) ≤ 0 before accepting the write.
                 if msg.verify.get(ug) <= Level::L0 {
-                    a2.borrow_mut()
+                    a2.lock()
+                        .unwrap()
                         .push(msg.body.as_str().unwrap_or("?").to_string());
                 }
             },
@@ -592,7 +600,7 @@ fn verification_label_proves_identity() {
     );
 
     kernel.run();
-    assert_eq!(*accepted.borrow(), vec!["u-write"]);
+    assert_eq!(*accepted.lock().unwrap(), vec!["u-write"]);
     assert_eq!(kernel.stats().dropped_label_check, 1, "forged V must drop");
 }
 
@@ -625,7 +633,7 @@ fn verification_label_is_delivered_to_receiver() {
         .unwrap()
         .as_handle()
         .unwrap();
-    let entries = log.borrow();
+    let entries = log.lock().unwrap();
     assert_eq!(entries.len(), 1);
     assert_eq!(entries[0].verify.get(mine), Level::L0);
     assert_eq!(entries[0].verify.default_level(), Level::L3);
@@ -696,7 +704,7 @@ fn port_label_blocks_taint_the_process_would_accept() {
     // The mail-reader pattern: the process receive label accepts taint, but
     // a specific port's label refuses it — kernel-side message filtering.
     let mut kernel = Kernel::new(12);
-    let got = Rc::new(RefCell::new(Vec::<String>::new()));
+    let got = Arc::new(Mutex::new(Vec::<String>::new()));
 
     let g2 = got.clone();
     kernel.spawn(
@@ -719,7 +727,7 @@ fn port_label_blocks_taint_the_process_would_accept() {
                 sys.publish_env("open.port", Value::Handle(open));
             },
             move |_sys, msg| {
-                g2.borrow_mut().push(format!("{}", msg.body));
+                g2.lock().unwrap().push(format!("{}", msg.body));
             },
         ),
     );
@@ -750,7 +758,7 @@ fn port_label_blocks_taint_the_process_would_accept() {
         ),
     );
     kernel.run();
-    assert_eq!(*got.borrow(), vec!["\"to-open\""]);
+    assert_eq!(*got.lock().unwrap(), vec!["\"to-open\""]);
     assert_eq!(kernel.stats().dropped_label_check, 1);
 }
 
@@ -759,7 +767,7 @@ fn port_label_bounds_decontamination() {
     // Figure 4 requirement (4): D_R ⊑ p_R — a port with a low label cannot
     // be used to force taint acceptance onto its owner.
     let mut kernel = Kernel::new(13);
-    let got = Rc::new(RefCell::new(0u32));
+    let got = Arc::new(Mutex::new(0u32));
 
     let g2 = got.clone();
     kernel.spawn(
@@ -775,7 +783,7 @@ fn port_label_bounds_decontamination() {
                 sys.set_port_label(p, label).unwrap();
                 sys.publish_env("srv.port", Value::Handle(p));
             },
-            move |_, _| *g2.borrow_mut() += 1,
+            move |_, _| *g2.lock().unwrap() += 1,
         ),
     );
     let t = kernel.global_env("t").unwrap().as_handle().unwrap();
@@ -806,7 +814,7 @@ fn port_label_bounds_decontamination() {
         ),
     );
     kernel.run();
-    assert_eq!(*got.borrow(), 1);
+    assert_eq!(*got.lock().unwrap(), 1);
 
     // Now a ⋆-holder for t itself tries to force t-taint through the port:
     // D_R = {t 3} but p_R(t) = 2, so requirement (4) fails and the message
@@ -846,26 +854,26 @@ fn set_port_label_requires_receive_rights() {
     kernel.spawn("receiver", Category::Other, Box::new(rec));
     let rport = kernel.global_env("r.port").unwrap().as_handle().unwrap();
 
-    let outcome = Rc::new(RefCell::new(None));
+    let outcome = Arc::new(Mutex::new(None));
     let o2 = outcome.clone();
     kernel.spawn(
         "meddler",
         Category::Other,
         service_with_start(
             move |sys| {
-                *o2.borrow_mut() = Some(sys.set_port_label(rport, Label::top()));
+                *o2.lock().unwrap() = Some(sys.set_port_label(rport, Label::top()));
             },
             |_, _| {},
         ),
     );
     kernel.run();
-    assert_eq!(*outcome.borrow(), Some(Err(SysError::NotPortOwner)));
+    assert_eq!(*outcome.lock().unwrap(), Some(Err(SysError::NotPortOwner)));
 }
 
 #[test]
 fn dissociated_port_drops_messages() {
     let mut kernel = Kernel::new(15);
-    let got = Rc::new(RefCell::new(0u32));
+    let got = Arc::new(Mutex::new(0u32));
     let g2 = got.clone();
     kernel.spawn(
         "server",
@@ -877,7 +885,7 @@ fn dissociated_port_drops_messages() {
                 sys.publish_env("p", Value::Handle(p));
             },
             move |sys, msg| {
-                *g2.borrow_mut() += 1;
+                *g2.lock().unwrap() += 1;
                 if msg.body.as_str() == Some("shut-down") {
                     let p = sys.env("p").unwrap().as_handle().unwrap();
                     sys.dissociate_port(p).unwrap();
@@ -889,7 +897,7 @@ fn dissociated_port_drops_messages() {
     kernel.inject(p, Value::Str("shut-down".into()));
     kernel.inject(p, Value::Str("after".into()));
     kernel.run();
-    assert_eq!(*got.borrow(), 1);
+    assert_eq!(*got.lock().unwrap(), 1);
     assert_eq!(
         kernel.stats().dropped_no_port + kernel.stats().dropped_no_owner,
         1
@@ -994,6 +1002,6 @@ fn queue_limit_drops_silently() {
         ),
     );
     kernel.run();
-    assert_eq!(log.borrow().len(), 2);
+    assert_eq!(log.lock().unwrap().len(), 2);
     assert_eq!(kernel.stats().dropped_queue_full, 3);
 }

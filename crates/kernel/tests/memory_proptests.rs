@@ -5,9 +5,9 @@
 //! system under test is the real COW machinery (base page table, EP delta,
 //! frame pool) driven through the syscall surface.
 
-use std::cell::RefCell;
 use std::collections::BTreeMap;
-use std::rc::Rc;
+use std::sync::Arc;
+use std::sync::Mutex;
 
 use asbestos_kernel::util::ep_service_fn;
 use asbestos_kernel::{Category, Kernel, Label, Value};
@@ -96,9 +96,9 @@ fn run_case(base_writes: Vec<(u64, Vec<u8>)>, ops: Vec<MemOp>) {
     let mut kernel = Kernel::new(7);
     let mut oracle = Oracle::default();
 
-    let ops_cell: Rc<RefCell<Vec<MemOp>>> = Rc::new(RefCell::new(ops));
-    let failures: Rc<RefCell<Vec<String>>> = Rc::new(RefCell::new(Vec::new()));
-    let pages: Rc<RefCell<usize>> = Rc::new(RefCell::new(0));
+    let ops_cell: Arc<Mutex<Vec<MemOp>>> = Arc::new(Mutex::new(ops));
+    let failures: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
+    let pages: Arc<Mutex<usize>> = Arc::new(Mutex::new(0));
 
     // Base memory setup mirrors into the oracle's base map.
     let base_for_service = base_writes.clone();
@@ -125,7 +125,7 @@ fn run_case(base_writes: Vec<(u64, Vec<u8>)>, ops: Vec<MemOp>) {
             },
             move |sys, _msg| {
                 let mut oracle_ep = OracleEp::default();
-                for op in ops2.borrow().iter() {
+                for op in ops2.lock().unwrap().iter() {
                     match op {
                         MemOp::Write { addr, data } => {
                             sys.mem_write(*addr, data).unwrap();
@@ -141,9 +141,9 @@ fn run_case(base_writes: Vec<(u64, Vec<u8>)>, ops: Vec<MemOp>) {
                         }
                     }
                 }
-                *pages2.borrow_mut() = sys.ep_private_pages();
+                *pages2.lock().unwrap() = sys.ep_private_pages();
                 // Stash the observations for the test body to check.
-                fail2.borrow_mut().push(serde_free_encode(&oracle_ep));
+                fail2.lock().unwrap().push(serde_free_encode(&oracle_ep));
             },
         ),
     );
@@ -153,10 +153,10 @@ fn run_case(base_writes: Vec<(u64, Vec<u8>)>, ops: Vec<MemOp>) {
     kernel.run();
 
     // Replay against the oracle in the same order, checking reads.
-    let encoded = failures.borrow().first().cloned().expect("EP ran");
+    let encoded = failures.lock().unwrap().first().cloned().expect("EP ran");
     let observed = serde_free_decode(&encoded);
     let mut idx = 0;
-    for op in ops_cell.borrow().iter() {
+    for op in ops_cell.lock().unwrap().iter() {
         match op {
             MemOp::Write { addr, data } => oracle.write(*addr, data),
             MemOp::Read { addr, len } => {
@@ -170,7 +170,7 @@ fn run_case(base_writes: Vec<(u64, Vec<u8>)>, ops: Vec<MemOp>) {
         }
     }
     assert_eq!(
-        *pages.borrow(),
+        *pages.lock().unwrap(),
         oracle.private_pages(),
         "private page count"
     );

@@ -2,8 +2,8 @@
 //! boundaries, and environment semantics not covered by the scenario
 //! suites.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::Arc;
+use std::sync::Mutex;
 
 use asbestos_kernel::util::{ep_service_fn, service_with_start};
 use asbestos_kernel::{Category, Handle, Kernel, Label, Level, SysError, Value};
@@ -12,10 +12,11 @@ use asbestos_kernel::{Category, Handle, Kernel, Label, Level, SysError, Value};
 fn probe(
     seed: u64,
     body: impl FnOnce(&mut asbestos_kernel::Sys<'_>) -> Vec<(&'static str, Result<(), SysError>)>
+        + Send
         + 'static,
 ) -> Vec<(&'static str, Result<(), SysError>)> {
     let mut kernel = Kernel::new(seed);
-    let results = Rc::new(RefCell::new(Vec::new()));
+    let results = Arc::new(Mutex::new(Vec::new()));
     let r2 = results.clone();
     let mut body = Some(body);
     kernel.spawn(
@@ -24,15 +25,16 @@ fn probe(
         service_with_start(
             move |sys| {
                 let body = body.take().expect("start runs once");
-                *r2.borrow_mut() = body(sys);
+                *r2.lock().unwrap() = body(sys);
             },
             |_, _| {},
         ),
     );
     kernel.run();
-    Rc::try_unwrap(results)
+    Arc::try_unwrap(results)
         .expect("kernel dropped")
         .into_inner()
+        .unwrap()
 }
 
 #[test]
@@ -76,7 +78,7 @@ fn port_operations_require_ownership() {
         ),
     );
     // ...the second may not touch it.
-    let errs = Rc::new(RefCell::new(Vec::new()));
+    let errs = Arc::new(Mutex::new(Vec::new()));
     let e2 = errs.clone();
     kernel.spawn(
         "stranger",
@@ -84,20 +86,21 @@ fn port_operations_require_ownership() {
         service_with_start(
             move |sys| {
                 let p = sys.env("p").unwrap().as_handle().unwrap();
-                e2.borrow_mut().push(sys.port_label(p).err());
-                e2.borrow_mut()
+                e2.lock().unwrap().push(sys.port_label(p).err());
+                e2.lock()
+                    .unwrap()
                     .push(sys.set_port_label(p, Label::top()).err());
-                e2.borrow_mut().push(sys.dissociate_port(p).err());
+                e2.lock().unwrap().push(sys.dissociate_port(p).err());
                 // Nonexistent handles are equally opaque.
                 let ghost = Handle::from_raw(0x1234);
-                e2.borrow_mut().push(sys.port_label(ghost).err());
+                e2.lock().unwrap().push(sys.port_label(ghost).err());
             },
             |_, _| {},
         ),
     );
     kernel.run();
     assert_eq!(
-        *errs.borrow(),
+        *errs.lock().unwrap(),
         vec![
             Some(SysError::NotPortOwner),
             Some(SysError::NotPortOwner),
@@ -134,7 +137,7 @@ fn memory_argument_validation() {
 #[test]
 fn spawning_inside_event_processes_is_forbidden() {
     let mut kernel = Kernel::new(404);
-    let seen = Rc::new(RefCell::new(None));
+    let seen = Arc::new(Mutex::new(None));
     let s2 = seen.clone();
     kernel.spawn_ep_service(
         "w",
@@ -153,38 +156,38 @@ fn spawning_inside_event_processes_is_forbidden() {
                         asbestos_kernel::util::service_fn(|_, _| {}),
                     )
                     .err();
-                *s2.borrow_mut() = err;
+                *s2.lock().unwrap() = err;
             },
         ),
     );
     let port = kernel.global_env("w.port").unwrap().as_handle().unwrap();
     kernel.inject(port, Value::Unit);
     kernel.run();
-    assert_eq!(*seen.borrow(), Some(SysError::EventProcessForbidden));
+    assert_eq!(*seen.lock().unwrap(), Some(SysError::EventProcessForbidden));
 }
 
 #[test]
 fn env_lookup_prefers_process_over_global() {
     let mut kernel = Kernel::new(405);
     kernel.set_global_env("key", Value::Str("global".into()));
-    let seen = Rc::new(RefCell::new(Vec::new()));
+    let seen = Arc::new(Mutex::new(Vec::new()));
     let s2 = seen.clone();
     kernel.spawn(
         "p",
         Category::Other,
         service_with_start(
             move |sys| {
-                s2.borrow_mut().push(sys.env("key"));
+                s2.lock().unwrap().push(sys.env("key"));
                 sys.set_env("key", Value::Str("local".into()));
-                s2.borrow_mut().push(sys.env("key"));
-                s2.borrow_mut().push(sys.env("missing"));
+                s2.lock().unwrap().push(sys.env("key"));
+                s2.lock().unwrap().push(sys.env("missing"));
             },
             |_, _| {},
         ),
     );
     kernel.run();
     assert_eq!(
-        *seen.borrow(),
+        *seen.lock().unwrap(),
         vec![
             Some(Value::Str("global".into())),
             Some(Value::Str("local".into())),

@@ -146,14 +146,35 @@ impl std::fmt::Debug for HandleCipher {
 pub struct HandleAllocator {
     cipher: HandleCipher,
     counter: u64,
+    stride: u64,
+    allocated: u64,
 }
 
 impl HandleAllocator {
     /// Creates an allocator whose cipher is keyed from `seed`.
     pub fn new(seed: u64) -> HandleAllocator {
+        HandleAllocator::with_partition(seed, 0, 1)
+    }
+
+    /// Creates an allocator owning one lane of a partitioned counter
+    /// space: it draws counters `1 + lane, 1 + lane + lanes, …`.
+    ///
+    /// Kernel shards each hold one lane of a `lanes`-way partition keyed
+    /// from the same seed, so every shard generates handles from the same
+    /// cipher (one system-wide namespace, per §5.1) while the underlying
+    /// counters — and therefore the handle values — never collide. With
+    /// `lane = 0, lanes = 1` this is exactly [`HandleAllocator::new`].
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `lane < lanes`.
+    pub fn with_partition(seed: u64, lane: u64, lanes: u64) -> HandleAllocator {
+        assert!(lane < lanes, "allocator lane out of range");
         HandleAllocator {
             cipher: HandleCipher::new(seed),
-            counter: 1,
+            counter: 1 + lane,
+            stride: lanes,
+            allocated: 0,
         }
     }
 
@@ -167,17 +188,18 @@ impl HandleAllocator {
     pub fn alloc(&mut self) -> Handle {
         assert!(self.counter < HANDLE_SPACE, "61-bit handle space exhausted");
         let value = self.cipher.encrypt(self.counter);
-        self.counter += 1;
+        self.counter += self.stride;
+        self.allocated += 1;
         Handle::new(value).expect("cycle-walked output stays in the 61-bit domain")
     }
 
-    /// The number of handles allocated so far.
+    /// The number of handles allocated so far (by this lane).
     ///
     /// This is god-mode observability for tests and accounting; it is never
     /// exposed through the syscall surface (it would be the §8 storage
     /// channel the cipher exists to close).
     pub fn allocated(&self) -> u64 {
-        self.counter - 1
+        self.allocated
     }
 }
 
@@ -185,6 +207,27 @@ impl HandleAllocator {
 mod tests {
     use super::*;
     use std::collections::HashSet;
+
+    #[test]
+    fn partitioned_lanes_never_collide_and_lane0_matches_new() {
+        // Lane 0 of a 1-way partition IS the classic allocator.
+        let mut classic = HandleAllocator::new(9);
+        let mut lane0of1 = HandleAllocator::with_partition(9, 0, 1);
+        for _ in 0..32 {
+            assert_eq!(classic.alloc(), lane0of1.alloc());
+        }
+        // Four lanes from one seed: all handles distinct.
+        let mut lanes: Vec<HandleAllocator> = (0..4)
+            .map(|lane| HandleAllocator::with_partition(9, lane, 4))
+            .collect();
+        let mut seen = HashSet::new();
+        for lane in &mut lanes {
+            for _ in 0..64 {
+                assert!(seen.insert(lane.alloc()), "lanes minted a duplicate");
+            }
+            assert_eq!(lane.allocated(), 64);
+        }
+    }
 
     #[test]
     fn encrypt_decrypt_roundtrip() {

@@ -5,8 +5,8 @@
 //! events into netd, and collects responses and latency samples. The driver
 //! is outside the label system — it is the network, not a process.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::Arc;
+use std::sync::Mutex;
 
 use asbestos_kernel::{Handle, Kernel, CYCLES_PER_SEC};
 
@@ -42,7 +42,7 @@ impl ClientRequest {
 
 /// Drives HTTP requests through the simulated network.
 pub struct ClientDriver {
-    net: Rc<RefCell<SimNet>>,
+    net: Arc<Mutex<SimNet>>,
     device_port: Handle,
     requests: Vec<ClientRequest>,
 }
@@ -60,14 +60,18 @@ impl ClientDriver {
     /// Opens a connection carrying `request_bytes` to `tcp_port` and tells
     /// netd about it. Returns an index into [`ClientDriver::requests`].
     pub fn open(&mut self, kernel: &mut Kernel, tcp_port: u16, request_bytes: &[u8]) -> usize {
-        let conn = self.net.borrow_mut().client_open(tcp_port, request_bytes);
+        let conn = self
+            .net
+            .lock()
+            .unwrap()
+            .client_open(tcp_port, request_bytes);
         kernel.inject(
             self.device_port,
             NetMsg::DevNewConn { conn, tcp_port }.to_value(),
         );
         self.requests.push(ClientRequest {
             conn,
-            started_at: kernel.now(),
+            started_at: kernel.elapsed_cycles(),
             finished_at: None,
             response: Vec::new(),
         });
@@ -86,7 +90,7 @@ impl ClientDriver {
     /// close-delimited framing, which is what OKWS and the baselines use).
     /// Completed connections are reaped from the substrate.
     pub fn poll(&mut self, kernel: &Kernel) {
-        let mut net = self.net.borrow_mut();
+        let mut net = self.net.lock().unwrap();
         for req in &mut self.requests {
             if req.finished_at.is_some() {
                 continue;
@@ -94,7 +98,7 @@ impl ClientDriver {
             let bytes = net.client_take_response(req.conn);
             req.response.extend_from_slice(&bytes);
             if !net.is_open(req.conn) && !req.response.is_empty() {
-                req.finished_at = Some(kernel.now());
+                req.finished_at = Some(kernel.elapsed_cycles());
                 net.reap(req.conn);
             }
         }

@@ -6,9 +6,9 @@
 //! operations on that connection will be contaminated with the taint handle
 //! at level 3."
 
-use std::cell::RefCell;
 use std::collections::BTreeMap;
-use std::rc::Rc;
+use std::sync::Arc;
+use std::sync::Mutex;
 
 use asbestos_kernel::{
     Category, Handle, Kernel, Label, Level, Message, ProcessId, SendArgs, Service, Sys, Value,
@@ -44,7 +44,7 @@ struct ConnState {
 
 /// The netd service.
 pub struct Netd {
-    net: Rc<RefCell<SimNet>>,
+    net: Arc<Mutex<SimNet>>,
     /// Connection port `uC` → connection state.
     conns: BTreeMap<Handle, ConnState>,
     /// TCP port → notify port of the registered listener.
@@ -55,7 +55,7 @@ pub struct Netd {
 
 impl Netd {
     /// Creates the service over a shared substrate.
-    pub fn new(net: Rc<RefCell<SimNet>>) -> Netd {
+    pub fn new(net: Arc<Mutex<SimNet>>) -> Netd {
         Netd {
             net,
             conns: BTreeMap::new(),
@@ -71,7 +71,7 @@ impl Netd {
         };
         let Some(&notify) = self.listeners.get(&tcp_port) else {
             // No listener: refuse the connection.
-            self.net.borrow_mut().close(conn);
+            self.net.lock().unwrap().close(conn);
             return;
         };
         // §7.2 step 1: allocate uC with port label {uC 0, 2} — the kernel's
@@ -119,10 +119,11 @@ impl Netd {
                 }
                 let limit = usize::try_from(max).unwrap_or(usize::MAX);
                 let bytes = if peek {
-                    self.net.borrow().server_peek(conn, limit)
+                    self.net.lock().unwrap().server_peek(conn, limit)
                 } else {
                     self.net
-                        .borrow_mut()
+                        .lock()
+                        .unwrap()
                         .server_read(conn, limit)
                         .to_vec()
                         .into()
@@ -136,7 +137,7 @@ impl Netd {
             }
             NetMsg::Write { bytes } => {
                 sys.charge(NETD_EVENT_CYCLES + bytes.len() as u64 * NETD_BYTE_CYCLES);
-                self.net.borrow_mut().server_write(conn, &bytes);
+                self.net.lock().unwrap().server_write(conn, &bytes);
             }
             NetMsg::AddTaint { taint } => {
                 sys.charge(NETD_EVENT_CYCLES);
@@ -156,7 +157,7 @@ impl Netd {
             }
             NetMsg::Select { reply } => {
                 sys.charge(NETD_EVENT_CYCLES);
-                let available = self.net.borrow().server_pending(conn) as u64;
+                let available = self.net.lock().unwrap().server_pending(conn) as u64;
                 let _ = sys.send_args(
                     reply,
                     NetMsg::SelectR { available }.to_value(),
@@ -168,7 +169,7 @@ impl Netd {
                 // Mark closed; buffered response bytes stay readable by the
                 // client side (FIN after flush). The driver reaps the
                 // substrate record once it has drained the response.
-                self.net.borrow_mut().close(conn);
+                self.net.lock().unwrap().close(conn);
                 let state = self.conns.remove(&uc);
                 let _ = sys.dissociate_port(uc);
                 // Release this connection's capabilities (§9.3): uC itself
@@ -231,20 +232,20 @@ pub struct NetdHandle {
     /// The device port (external injections).
     pub device_port: Handle,
     /// The shared TCP substrate.
-    pub net: Rc<RefCell<SimNet>>,
+    pub net: Arc<Mutex<SimNet>>,
 }
 
 /// Spawns netd into a kernel and returns its handle.
 pub fn spawn_netd(kernel: &mut Kernel) -> NetdHandle {
-    let net = Rc::new(RefCell::new(SimNet::new()));
+    let net = Arc::new(Mutex::new(SimNet::new()));
     let pid = kernel.spawn("netd", Category::Network, Box::new(Netd::new(net.clone())));
     let control_port = kernel
         .global_env(NETD_CONTROL_ENV)
-        .and_then(Value::as_handle)
+        .and_then(|v| v.as_handle())
         .expect("netd publishes its control port on start");
     let device_port = kernel
         .global_env(NETD_DEVICE_ENV)
-        .and_then(Value::as_handle)
+        .and_then(|v| v.as_handle())
         .expect("netd publishes its device port on start");
     NetdHandle {
         pid,

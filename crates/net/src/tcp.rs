@@ -28,7 +28,7 @@ pub struct SimConn {
 
 /// The shared network state: connections plus per-side buffers.
 ///
-/// Lives in an `Rc<RefCell<…>>` shared between the netd service (inside the
+/// Lives in an `Arc<Mutex<…>>` shared between the netd service (inside the
 /// kernel) and the external [`crate::driver::ClientDriver`].
 #[derive(Debug, Default)]
 pub struct SimNet {

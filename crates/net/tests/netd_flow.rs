@@ -1,8 +1,8 @@
 //! End-to-end netd tests: connection lifecycle, taint application, and the
 //! port-label enforcement that §7.2 builds OKWS's isolation from.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::Arc;
+use std::sync::Mutex;
 
 use asbestos_kernel::util::service_with_start;
 use asbestos_kernel::{Category, Handle, Kernel, Label, Level, SendArgs, Value};
@@ -24,7 +24,7 @@ fn connection_notify_read_write_roundtrip() {
 
     // An echo listener: on NewConn, READ the request; on ReadR, WRITE it
     // back uppercased and close.
-    let conn_port = Rc::new(RefCell::new(None::<Handle>));
+    let conn_port = Arc::new(Mutex::new(None::<Handle>));
     let cp = conn_port.clone();
     kernel.spawn(
         "echo-listener",
@@ -49,7 +49,7 @@ fn connection_notify_read_write_roundtrip() {
             },
             move |sys, msg| match NetMsg::from_value(&msg.body) {
                 Some(NetMsg::NewConn { port }) => {
-                    *cp.borrow_mut() = Some(port);
+                    *cp.lock().unwrap() = Some(port);
                     let reply = sys.env("reply").unwrap().as_handle().unwrap();
                     // Grant netd ⋆ for the reply port alongside the READ.
                     sys.send_args(
@@ -65,7 +65,7 @@ fn connection_notify_read_write_roundtrip() {
                     .unwrap();
                 }
                 Some(NetMsg::ReadR { bytes }) => {
-                    let port = cp.borrow().expect("ReadR follows NewConn");
+                    let port = cp.lock().unwrap().expect("ReadR follows NewConn");
                     let upper: Vec<u8> = bytes.to_ascii_uppercase();
                     sys.send(port, NetMsg::Write { bytes: upper }.to_value())
                         .unwrap();
@@ -95,7 +95,7 @@ fn unlistened_port_refuses_connections() {
     kernel.run();
     driver.poll(&kernel);
     assert_eq!(driver.completed(), 0);
-    assert!(!netd.net.borrow().is_open(driver.request(0).conn));
+    assert!(!netd.net.lock().unwrap().is_open(driver.request(0).conn));
 }
 
 #[test]
@@ -108,7 +108,7 @@ fn tainted_replies_contaminate_and_port_label_opens_for_owner() {
     let netd = spawn_netd(&mut kernel);
     let mut driver = ClientDriver::new(&netd);
 
-    let state: Rc<RefCell<Option<(Handle, Handle)>>> = Rc::new(RefCell::new(None));
+    let state: Arc<Mutex<Option<(Handle, Handle)>>> = Arc::new(Mutex::new(None));
 
     // The trusted front end (ok-demux stand-in): owns uT, tells netd to
     // taint the connection, then hands uC to the worker with uT
@@ -135,7 +135,7 @@ fn tainted_replies_contaminate_and_port_label_opens_for_owner() {
             move |sys, msg| {
                 if let Some(NetMsg::NewConn { port: uc }) = NetMsg::from_value(&msg.body) {
                     let ut = sys.new_handle();
-                    *st.borrow_mut() = Some((uc, ut));
+                    *st.lock().unwrap() = Some((uc, ut));
                     // Step 5: grant netd uT ⋆ and register the taint.
                     sys.send_args(
                         uc,
@@ -241,7 +241,7 @@ fn tainted_replies_contaminate_and_port_label_opens_for_owner() {
 
     // And netd is still untainted for uT (it holds ⋆): its send label shows
     // uT at ⋆, so future users are unaffected.
-    let (_uc, ut) = state.borrow().unwrap();
+    let (_uc, ut) = state.lock().unwrap().unwrap();
     let netd_proc = kernel.process(netd.pid);
     assert_eq!(netd_proc.send_label.get(ut), Level::Star);
 }
@@ -254,7 +254,7 @@ fn tainted_read_contaminates_reader() {
     let netd = spawn_netd(&mut kernel);
     let mut driver = ClientDriver::new(&netd);
 
-    let reader_label = Rc::new(RefCell::new(None::<Level>));
+    let reader_label = Arc::new(Mutex::new(None::<Level>));
     let rl = reader_label.clone();
     let reader = kernel.spawn(
         "reader",
@@ -307,7 +307,7 @@ fn tainted_read_contaminates_reader() {
                 }
                 Some(NetMsg::ReadR { .. }) => {
                     let ut = sys.env("ut").unwrap().as_handle().unwrap();
-                    *rl.borrow_mut() = Some(sys.send_label().get(ut));
+                    *rl.lock().unwrap() = Some(sys.send_label().get(ut));
                 }
                 _ => {}
             },
@@ -318,7 +318,7 @@ fn tainted_read_contaminates_reader() {
     kernel.run();
 
     assert_eq!(
-        *reader_label.borrow(),
+        *reader_label.lock().unwrap(),
         Some(Level::L3),
         "reader got tainted"
     );

@@ -294,7 +294,7 @@ pub fn spawn_cache(kernel: &mut Kernel) -> CacheHandle {
     let pid = kernel.spawn("ok-cache", Category::Okws, Box::new(OkCache::new()));
     let port = kernel
         .global_env(CACHE_PORT_ENV)
-        .and_then(Value::as_handle)
+        .and_then(|v| v.as_handle())
         .expect("cache publishes its worker port");
     CacheHandle { pid, port }
 }

@@ -389,7 +389,7 @@ pub fn spawn_idd(kernel: &mut Kernel) -> IddHandle {
     let pid = kernel.spawn("idd", Category::Okdb, Box::new(Idd::new()));
     let port = kernel
         .global_env(IDD_PORT_ENV)
-        .and_then(Value::as_handle)
+        .and_then(|v| v.as_handle())
         .expect("idd publishes its login port");
     IddHandle { pid, port }
 }

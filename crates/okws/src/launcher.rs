@@ -20,11 +20,11 @@ use crate::worker::{worker_port_env, Worker};
 /// How a service's worker process is built.
 enum WorkerKind {
     /// The standard worker machinery around a [`WorkerLogic`].
-    Logic(Box<dyn FnMut() -> Box<dyn WorkerLogic>>),
+    Logic(Box<dyn FnMut() -> Box<dyn WorkerLogic> + Send>),
     /// A custom event-process service (tests use this to model workers
     /// whose *code* is compromised, §7.8). Must handle
     /// [`OkwsMsg::Activate`] itself.
-    Raw(Box<dyn FnMut() -> Box<dyn asbestos_kernel::EpService>>),
+    Raw(Box<dyn FnMut() -> Box<dyn asbestos_kernel::EpService> + Send>),
 }
 
 /// One service to launch.
@@ -41,7 +41,10 @@ pub struct ServiceSpec {
 
 impl ServiceSpec {
     /// A service built by `factory`.
-    pub fn new(name: &str, factory: impl FnMut() -> Box<dyn WorkerLogic> + 'static) -> ServiceSpec {
+    pub fn new(
+        name: &str,
+        factory: impl FnMut() -> Box<dyn WorkerLogic> + Send + 'static,
+    ) -> ServiceSpec {
         ServiceSpec {
             name: name.to_string(),
             declassifier: false,
@@ -53,7 +56,7 @@ impl ServiceSpec {
     /// A service backed by a custom event-process implementation.
     pub fn raw(
         name: &str,
-        factory: impl FnMut() -> Box<dyn asbestos_kernel::EpService> + 'static,
+        factory: impl FnMut() -> Box<dyn asbestos_kernel::EpService> + Send + 'static,
     ) -> ServiceSpec {
         ServiceSpec {
             name: name.to_string(),
@@ -88,6 +91,12 @@ pub struct OkwsConfig {
     pub users: Vec<(String, String)>,
     /// Whether to deploy the shared, user-isolated cache (§2).
     pub with_cache: bool,
+    /// Kernel shards to run the deployment on. `1` (the default) is the
+    /// paper-faithful single-engine configuration; higher counts spread
+    /// netd, the launcher, and the OKWS process suite round-robin across
+    /// parallel delivery engines, with the router carrying the
+    /// netd ↔ demux ↔ worker traffic between shards.
+    pub shards: usize,
 }
 
 impl OkwsConfig {
@@ -99,7 +108,14 @@ impl OkwsConfig {
             worker_tables: Vec::new(),
             users: Vec::new(),
             with_cache: false,
+            shards: 1,
         }
+    }
+
+    /// Sets the kernel shard count this deployment targets.
+    pub fn sharded(mut self, shards: usize) -> OkwsConfig {
+        self.shards = shards;
+        self
     }
 }
 
@@ -252,5 +268,5 @@ impl Service for Launcher {
 pub fn demux_verify_handle(kernel: &asbestos_kernel::Kernel) -> Option<Handle> {
     kernel
         .global_env(IDD_DEMUX_VERIFY_ENV)
-        .and_then(Value::as_handle)
+        .and_then(|v| v.as_handle())
 }

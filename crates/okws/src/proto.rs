@@ -197,8 +197,8 @@ impl OkwsMsg {
             "login-r" => Some(OkwsMsg::LoginR {
                 ok: items.get(1)?.as_bool()?,
                 user: items.get(2)?.as_str()?.to_string(),
-                taint: items.get(3).and_then(Value::as_handle),
-                grant: items.get(4).and_then(Value::as_handle),
+                taint: items.get(3).and_then(|v| v.as_handle()),
+                grant: items.get(4).and_then(|v| v.as_handle()),
             }),
             "add-user" => Some(OkwsMsg::AddUser {
                 user: items.get(1)?.as_str()?.to_string(),

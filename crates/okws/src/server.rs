@@ -18,6 +18,10 @@ pub struct Okws {
 impl Okws {
     /// Spawns netd and the full OKWS process suite, then runs the kernel
     /// until startup settles (registration, table creation, accounts).
+    ///
+    /// The kernel's shard count is whatever the caller built it with;
+    /// [`Okws::deploy`] constructs the kernel from the config's own
+    /// `shards` field.
     pub fn start(kernel: &mut Kernel, config: OkwsConfig) -> Okws {
         let tcp_port = config.tcp_port;
         let netd = spawn_netd(kernel);
@@ -28,6 +32,15 @@ impl Okws {
             tcp_port,
             launcher,
         }
+    }
+
+    /// Builds a kernel with the shard count the config asks for
+    /// (`OkwsConfig::shards`) and deploys OKWS on it — the one-call
+    /// launcher/worker wiring for sharded deployments.
+    pub fn deploy(seed: u64, config: OkwsConfig) -> (Kernel, Okws) {
+        let mut kernel = Kernel::new_sharded(seed, config.shards);
+        let okws = Okws::start(&mut kernel, config);
+        (kernel, okws)
     }
 }
 

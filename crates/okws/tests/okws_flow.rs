@@ -2,8 +2,8 @@
 //! (§7.3), user isolation under worker compromise (§7.8), and decentralized
 //! declassification (§7.6).
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::Arc;
+use std::sync::Mutex;
 
 use asbestos_kernel::util::service_with_start;
 use asbestos_kernel::{Category, Kernel, Label, Level, Value};
@@ -327,7 +327,7 @@ fn raw_compromise_cannot_reach_external_sink() {
     let mut kernel = Kernel::new(206);
 
     // The external collaborator: an ordinary untainted process.
-    let received = Rc::new(RefCell::new(0u32));
+    let received = Arc::new(Mutex::new(0u32));
     let r2 = received.clone();
     kernel.spawn(
         "evil-sink",
@@ -338,7 +338,7 @@ fn raw_compromise_cannot_reach_external_sink() {
                 sys.set_port_label(p, Label::top()).unwrap();
                 sys.publish_env("evil.sink", Value::Handle(p));
             },
-            move |_, _| *r2.borrow_mut() += 1,
+            move |_, _| *r2.lock().unwrap() += 1,
         ),
     );
 
@@ -358,7 +358,7 @@ fn raw_compromise_cannot_reach_external_sink() {
     assert_eq!(body, b"served");
     // The exfiltration send happened — and was dropped by the kernel.
     assert_eq!(
-        *received.borrow(),
+        *received.lock().unwrap(),
         0,
         "sink must never hear from tainted workers"
     );

@@ -5,16 +5,22 @@
 //! service, and a declassifier for publishing profiles — then walks through
 //! logins, session caching, a cross-user read attempt, and declassification.
 //!
-//! Run with: `cargo run --release --example okws_demo`
+//! Run with: `cargo run --release --example okws_demo [shards]`
+//!
+//! The optional `shards` argument (default 2) spreads the deployment
+//! over that many parallel kernel shards; `1` reproduces the paper's
+//! single-engine kernel exactly.
 
-use asbestos::kernel::Kernel;
 use asbestos::okws::logic::{EchoStore, Profile};
 use asbestos::okws::{Okws, OkwsClient, OkwsConfig, ServiceSpec};
 
 fn main() {
-    let mut kernel = Kernel::new(7);
+    let shards: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(2);
 
-    let mut config = OkwsConfig::new(80);
+    let mut config = OkwsConfig::new(80).sharded(shards);
     config
         .services
         .push(ServiceSpec::new("store", || Box::new(EchoStore::new())));
@@ -28,9 +34,12 @@ fn main() {
     config.users.push(("alice".into(), "wonderland".into()));
     config.users.push(("bob".into(), "builder".into()));
 
-    let okws = Okws::start(&mut kernel, config);
+    let (mut kernel, okws) = Okws::deploy(7, config);
     let mut client = OkwsClient::new(&okws);
-    println!("OKWS up: netd, ok-demux, idd, ok-dbproxy, 3 workers\n");
+    println!(
+        "OKWS up on {} kernel shard(s): netd, ok-demux, idd, ok-dbproxy, 3 workers\n",
+        kernel.num_shards()
+    );
 
     // --- Session state, cached in an event process (§7.3) -------------
     let (_, body) = client
@@ -148,6 +157,17 @@ fn main() {
         kernel.delivery_cache_len(),
         kernel.kmem_report().delivery_cache_bytes
     );
+    let per_shard: Vec<String> = (0..kernel.num_shards())
+        .map(|i| {
+            let shard = kernel.shard(i);
+            format!(
+                "shard {i}: {} delivered, {} Kcycles",
+                shard.stats().delivered,
+                shard.clock().now() / 1000
+            )
+        })
+        .collect();
+    println!("  {}", per_shard.join("; "));
     assert!(
         kernel.stats().cache_hits > 0,
         "repeated OKWS traffic must hit the delivery cache"

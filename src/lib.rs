@@ -29,7 +29,7 @@
 //! let port = kernel.global_env("inbox.port").unwrap().as_handle().unwrap();
 //! kernel.inject(port, Value::Str("hello".into()));
 //! kernel.run();
-//! assert_eq!(log.borrow().len(), 1);
+//! assert_eq!(log.lock().unwrap().len(), 1);
 //! ```
 
 pub use asbestos_baseline as baseline;

@@ -180,7 +180,7 @@ fn simulation_is_deterministic() {
         }
         (
             kernel.now(),
-            *kernel.stats(),
+            kernel.stats(),
             kernel.kmem_report().total_bytes(),
         )
     };

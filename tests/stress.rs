@@ -12,9 +12,17 @@ use asbestos::okws::{Okws, OkwsClient, OkwsConfig, ServiceSpec};
 
 const USERS: usize = 12;
 
-fn deploy(seed: u64) -> (Kernel, Okws, OkwsClient) {
-    let mut kernel = Kernel::new(seed);
-    let mut config = OkwsConfig::new(80);
+/// Shard count under test: the CI matrix sets `ASBESTOS_TEST_SHARDS`
+/// (1 and 4); locally this defaults to the single-shard configuration.
+fn test_shards() -> usize {
+    std::env::var("ASBESTOS_TEST_SHARDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+}
+
+fn deploy_sharded(seed: u64, shards: usize) -> (Kernel, Okws, OkwsClient) {
+    let mut config = OkwsConfig::new(80).sharded(shards);
     config
         .services
         .push(ServiceSpec::new("store", || Box::new(EchoStore::new())));
@@ -25,9 +33,13 @@ fn deploy(seed: u64) -> (Kernel, Okws, OkwsClient) {
     for i in 0..USERS {
         config.users.push((format!("u{i}"), format!("p{i}")));
     }
-    let okws = Okws::start(&mut kernel, config);
+    let (kernel, okws) = Okws::deploy(seed, config);
     let client = OkwsClient::new(&okws);
     (kernel, okws, client)
+}
+
+fn deploy(seed: u64) -> (Kernel, Okws, OkwsClient) {
+    deploy_sharded(seed, test_shards())
 }
 
 #[test]
@@ -182,4 +194,55 @@ impl FrameProbe for Kernel {
     fn kernel_user_frames(&self) -> usize {
         self.kmem_report().user_frame_bytes
     }
+}
+
+/// The full OKWS stack — netd, demux, idd, dbproxy, workers — spread
+/// over four parallel kernel shards must enforce exactly the same §2
+/// isolation the single-shard deployment does: the router carries every
+/// netd ↔ demux ↔ worker ↔ db hop between shards, and label evaluation
+/// still happens on each destination's own shard.
+#[test]
+fn sharded_okws_preserves_isolation() {
+    let (mut kernel, _okws, mut client) = deploy_sharded(602, 4);
+    assert_eq!(kernel.num_shards(), 4);
+
+    // Alice and Bob store private data; each sees only their own.
+    let (status, _) = client
+        .request_sync(
+            &mut kernel,
+            "store",
+            "u0",
+            "p0",
+            &[("data", "alice-secret")],
+        )
+        .expect("store responds");
+    assert_eq!(status, 200);
+    client
+        .request_sync(&mut kernel, "profile", "u0", "p0", &[("set", "alice-bio")])
+        .expect("profile responds");
+
+    // Bob reads his own profile listing: alice's row must be invisible.
+    let (_, body) = client
+        .request_sync(&mut kernel, "profile", "u1", "p1", &[("get", "u0")])
+        .expect("profile responds");
+    assert!(
+        !String::from_utf8_lossy(&body).contains("alice-bio"),
+        "cross-user DB row leaked through the sharded kernel"
+    );
+
+    // Alice still sees her session and row.
+    let (_, body) = client
+        .request_sync(&mut kernel, "store", "u0", "p0", &[])
+        .expect("store responds");
+    assert!(body.starts_with(b"alice-secret"));
+    let (_, body) = client
+        .request_sync(&mut kernel, "profile", "u0", "p0", &[("get", "u0")])
+        .expect("profile responds");
+    assert!(String::from_utf8_lossy(&body).contains("alice-bio"));
+
+    assert_eq!(kernel.queue_len(), 0);
+    assert!(
+        kernel.stats().dropped_label_check > 0,
+        "the cross-user read must have been stopped by a label drop"
+    );
 }
