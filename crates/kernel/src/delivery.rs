@@ -19,8 +19,10 @@
 //! Since the kernel was sharded, the engine below runs *per shard*: each
 //! [`KernelShard`] drains its own mailboxes against its own processes,
 //! ports, cache, and clock, so N shards run N of these loops on parallel
-//! threads without sharing a byte of mutable state. Cross-shard sends
-//! are routed between rounds by the coordinator (see `kernel.rs`).
+//! pool workers without sharing mutable delivery state. Cross-shard
+//! sends are pushed straight into the destination shard's inbound
+//! channel and pulled at deterministic points of its drain loop —
+//! sub-round routing (see `router.rs` and `kernel.rs`).
 //!
 //! The cache is semantically invisible: fingerprints identify label
 //! *contents*, so label mutation anywhere simply produces different keys —
@@ -37,7 +39,7 @@ use crate::cycles::Category;
 use crate::handle_table::PortOwner;
 use crate::ids::ExecCtx;
 use crate::message::{Message, QueuedMessage};
-use crate::router::Router;
+use crate::router::{PullPoint, Router};
 use crate::shard::KernelShard;
 use crate::stats::DropReason;
 
@@ -271,21 +273,48 @@ impl KernelShard {
         outcome
     }
 
-    /// Drains this shard's mailboxes until idle or until `budget` steps
-    /// have run; returns `(steps, hit_budget)`. One drain is one shard's
-    /// half of a barrier round: local sends issued by handlers keep the
-    /// drain going (exactly the monolithic engine's behavior), while
-    /// cross-shard sends accumulate in the outbox for the coordinator.
-    pub(crate) fn drain(&mut self, router: &Router, budget: u64) -> (u64, bool) {
+    /// Drains this shard until locally quiescent or until `budget` steps
+    /// have run; returns `(steps, hit_budget)`. Local sends issued by
+    /// handlers keep the drain going (exactly the monolithic engine's
+    /// behavior); cross-shard sends are pushed straight into their
+    /// destination's inbound channel, and whenever this shard's own
+    /// mailboxes empty it pulls *its* inbound channel and keeps going —
+    /// sub-round routing, which spares a cross-shard chain one full round
+    /// of latency per hop. `entry_pull` classifies messages found on the
+    /// first pull (they waited out a barrier when the pooled scheduler
+    /// calls this; see [`crate::router::PullPoint`]).
+    ///
+    /// The time the loop runs is accumulated into `busy_nanos`: shards
+    /// model parallel cores, and the busiest shard's real busy time is
+    /// the wall-clock bound an adequately-cored host would observe.
+    pub(crate) fn drain_round(
+        &mut self,
+        router: &Router,
+        budget: u64,
+        entry_pull: PullPoint,
+    ) -> (u64, bool) {
+        let start = std::time::Instant::now();
         let mut steps = 0;
-        while self.mailboxes.len() > 0 {
-            if steps >= budget {
-                return (steps, true);
+        let mut pull = entry_pull;
+        let hit_budget = loop {
+            self.pull_inbound(pull);
+            pull = PullPoint::Subround;
+            if self.mailboxes.len() == 0 {
+                break false;
             }
-            self.step_outcome(router);
-            steps += 1;
-        }
-        (steps, false)
+            while self.mailboxes.len() > 0 {
+                if steps >= budget {
+                    break;
+                }
+                self.step_outcome(router);
+                steps += 1;
+            }
+            if steps >= budget && self.mailboxes.len() > 0 {
+                break true;
+            }
+        };
+        self.busy_nanos += start.elapsed().as_nanos() as u64;
+        (steps, hit_budget)
     }
 
     /// Evaluates Figure 4 for one popped message and, if it passes,

@@ -1,5 +1,5 @@
 //! The kernel coordinator: shard construction, placement, god-mode
-//! surface, and the barrier-synchronized round scheduler.
+//! surface, and the pooled round scheduler.
 //!
 //! Since PR 2 the kernel is a set of [`KernelShard`]s — each a complete,
 //! isolated delivery engine (see [`crate::shard`]) — plus the shared
@@ -8,28 +8,43 @@
 //! and merges per-shard statistics, clocks, and memory reports into the
 //! whole-kernel views the paper figures read.
 //!
-//! **Round schedule.** `run()` repeats two phases until quiescence:
+//! **Round schedule.** Since PR 3 cross-shard messages travel through
+//! per-shard inbound channels (see [`crate::router::InboxSet`]): a
+//! cross-shard send is pushed into the destination's channel the moment
+//! it resolves, mid-drain, and every shard pulls its own channel whenever
+//! its mailboxes empty — *sub-round routing*, which spares cross-shard
+//! chains one full round of latency per hop. `run()` repeats one phase
+//! until quiescence: every shard with pending messages drains to local
+//! idle ([`KernelShard::drain_round`]), re-pulling its inbound channel as
+//! it goes. How the drains execute depends on the worker budget
+//! ([`Kernel::set_worker_threads`]; default: the host's available
+//! parallelism, capped at the shard count):
 //!
-//! 1. *Drain* — every shard with pending messages drains its mailboxes to
-//!    idle, exactly like the monolithic engine did, running handlers and
-//!    processing their same-shard sends in the same pass. With more than
-//!    one active shard the drains run on parallel `std::thread::scope`
-//!    threads. Shards share no *delivery* state, so per-shard traces are
-//!    independent of thread scheduling and runs are reproducible — with
-//!    one carve-out: handlers that read a shared [`Router`] map (the
-//!    global environment, via `Sys::env` fallthrough) mid-round race
-//!    against same-round writes from other shards. Workloads that follow
-//!    the §4 bootstrap convention (publish during spawn, read later)
-//!    never hit this; see `router.rs` for the full contract.
-//! 2. *Route* — the coordinator moves every outbox message into its
-//!    destination shard's mailboxes, in shard order and send order, then
-//!    starts the next round. Queue bounds are applied here, against the
-//!    destination shard, by the same code the local send path uses.
+//! * **Parallel** (workers > 1): drains run on a persistent pool of
+//!   parked worker threads ([`crate::pool::ShardPool`]), created lazily
+//!   on the first round with two or more busy shards and reused across
+//!   rounds *and* across `run()` calls — no thread churn, one condvar
+//!   handshake per round. Single-busy-shard rounds drain inline on the
+//!   coordinator without waking the pool. Messages forwarded to a shard
+//!   that already finished its round wait for the next round barrier.
+//! * **Sequential** (workers = 1, e.g. a single-core host): the
+//!   coordinator sweeps the shards in shard order, each draining to
+//!   local idle, until the whole kernel is quiescent — no barriers at
+//!   all, and the schedule is fully deterministic.
 //!
-//! A kernel built with `shards = 1` never routes, never spawns a thread,
-//! and executes the identical code path the pre-sharding engine did —
-//! `tests/shard_determinism.rs` pins that configuration bit-for-bit, so
-//! all paper figures (fig6–fig9) are unaffected by sharding.
+//! **Determinism contract.** A kernel with `shards = 1` never routes,
+//! never spawns a thread, and executes the identical code path the
+//! pre-sharding engine did — `tests/shard_determinism.rs` pins that
+//! configuration bit-for-bit, so all paper figures (fig6–fig9) are
+//! unaffected. Multi-shard runs guarantee, at any worker count:
+//! per-sender-per-port FIFO delivery, Figure 4 evaluation on the
+//! destination shard against destination state, and
+//! scheduling-independent delivery/drop multisets for independent
+//! traffic chains (`kernel/tests/sharding.rs` pins this as a property).
+//! The *interleaving* across unrelated senders is deterministic when
+//! workers = 1; with parallel workers it depends on thread timing, as it
+//! would on real parallel hardware. The shared global environment keeps
+//! the same carve-out as before; see `router.rs`.
 
 use std::sync::Arc;
 
@@ -42,8 +57,9 @@ use crate::handle_table::HandleTable;
 use crate::ids::{EpId, ProcessId, MAX_SHARDS};
 use crate::memory::PAGE_SIZE;
 use crate::message::QueuedMessage;
+use crate::pool::ShardPool;
 use crate::process::{Body, EpService, Process, Service};
-use crate::router::Router;
+use crate::router::{InboxSet, PullPoint, Router};
 use crate::shard::KernelShard;
 use crate::stats::Stats;
 use crate::value::Value;
@@ -52,6 +68,18 @@ use crate::value::Value;
 /// backstop §8 mentions; drops past this limit are silent, like label
 /// drops).
 pub const DEFAULT_QUEUE_LIMIT: usize = 1 << 20;
+
+/// Default worker budget: `ASBESTOS_WORKERS` when set, else the host's
+/// available parallelism. A single-core host (or `ASBESTOS_WORKERS` of
+/// 0 or 1 — both mean "no worker threads") gets the sequential sweep
+/// scheduler, which is also the fully deterministic configuration.
+fn default_worker_target() -> usize {
+    std::env::var("ASBESTOS_WORKERS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .map(|n| n.max(1))
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, usize::from))
+}
 
 /// A point-in-time memory accounting report (the Figure 6 measurement).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -68,6 +96,10 @@ pub struct KmemReport {
     pub delivery_cache_bytes: usize,
     /// User memory: allocated 4 KiB frames (base tables and EP deltas).
     pub user_frame_bytes: usize,
+    /// Scheduler bookkeeping: the worker pool's handles and shared state
+    /// plus the cross-shard inbound channels' headers and spare capacity.
+    /// Always zero on a single-shard kernel.
+    pub pool_bytes: usize,
 }
 
 impl KmemReport {
@@ -79,6 +111,7 @@ impl KmemReport {
             + self.queue_bytes
             + self.delivery_cache_bytes
             + self.user_frame_bytes
+            + self.pool_bytes
     }
 
     /// Total memory in 4 KiB pages, rounded up (Figure 6's unit).
@@ -94,6 +127,7 @@ impl KmemReport {
         self.queue_bytes += other.queue_bytes;
         self.delivery_cache_bytes += other.delivery_cache_bytes;
         self.user_frame_bytes += other.user_frame_bytes;
+        self.pool_bytes += other.pool_bytes;
     }
 }
 
@@ -110,6 +144,20 @@ impl KmemReport {
 pub struct Kernel {
     shards: Vec<KernelShard>,
     router: Router,
+    /// The cross-shard inbound channels (shared with every shard).
+    xshard: Arc<InboxSet>,
+    /// The persistent worker pool; `None` until the first round that
+    /// wants parallel workers, then reused until the kernel drops.
+    pool: Option<ShardPool>,
+    /// Worker-thread budget for multi-shard rounds (capped at the shard
+    /// count when a round is scheduled).
+    worker_target: usize,
+    /// Scheduler rounds executed (merged into [`Stats::rounds`]).
+    rounds: u64,
+    /// Wakeups accumulated by pools retired via
+    /// [`Kernel::set_worker_threads`], keeping the merged counter
+    /// monotone across pool rebuilds.
+    retired_wakeups: u64,
     /// Round-robin cursor for default spawn placement.
     next_spawn_shard: usize,
     /// Round-robin cursor for the sequential `step()` debug scheduler.
@@ -143,11 +191,19 @@ impl Kernel {
             (1..=MAX_SHARDS).contains(&shards),
             "shard count must be in 1..={MAX_SHARDS}"
         );
+        let xshard = Arc::new(InboxSet::new(shards));
         Kernel {
             shards: (0..shards)
-                .map(|i| KernelShard::new(seed, i as u16, shards, cost.clone()))
+                .map(|i| {
+                    KernelShard::new(seed, i as u16, shards, cost.clone(), Arc::clone(&xshard))
+                })
                 .collect(),
             router: Router::new(shards),
+            xshard,
+            pool: None,
+            worker_target: default_worker_target(),
+            rounds: 0,
+            retired_wakeups: 0,
             next_spawn_shard: 0,
             step_cursor: 0,
         }
@@ -156,6 +212,46 @@ impl Kernel {
     /// Number of kernel shards.
     pub fn num_shards(&self) -> usize {
         self.shards.len()
+    }
+
+    /// Sets the worker-thread budget for multi-shard rounds (capped at
+    /// the shard count when a round runs). `1` forces the sequential
+    /// sweep scheduler — fully deterministic interleaving, no threads.
+    /// The default is the host's available parallelism, overridable with
+    /// the `ASBESTOS_WORKERS` environment variable. Changing the budget
+    /// retires an existing pool (joining its workers); the next parallel
+    /// round builds a fresh one.
+    pub fn set_worker_threads(&mut self, workers: usize) {
+        assert!(workers >= 1, "worker budget must be at least 1");
+        self.worker_target = workers;
+        if self
+            .pool
+            .as_ref()
+            .is_some_and(|pool| pool.workers() != self.effective_workers())
+        {
+            if let Some(pool) = self.pool.take() {
+                self.retired_wakeups += pool.wakeups();
+            }
+        }
+    }
+
+    /// The worker-thread budget currently in effect.
+    pub fn worker_threads(&self) -> usize {
+        self.worker_target
+    }
+
+    /// Times a parked pool worker has woken for a round (0 until a
+    /// parallel round has run). Back-to-back `run()` calls keep growing
+    /// this without spawning a thread — the pool-reuse observable, also
+    /// merged into [`Stats::worker_wakeups`]. Monotone even across a
+    /// [`Kernel::set_worker_threads`] pool rebuild.
+    pub fn pool_wakeups(&self) -> u64 {
+        self.retired_wakeups + self.pool.as_ref().map_or(0, ShardPool::wakeups)
+    }
+
+    /// Worker count a parallel round would use right now.
+    fn effective_workers(&self) -> usize {
+        self.worker_target.min(self.shards.len())
     }
 
     /// Read-only access to one shard (god-mode observability).
@@ -330,22 +426,30 @@ impl Kernel {
 
     /// Attempts one message delivery and reports what happened.
     pub fn step_outcome(&mut self) -> DeliveryOutcome {
+        let n = self.shards.len();
+        if n == 1 {
+            // The monolithic engine's step, with no routing checks at
+            // all: a single-shard kernel never touches the channels.
+            return self.shards[0].step_outcome(&self.router);
+        }
         loop {
-            let n = self.shards.len();
+            // Route first: cross-shard sends (including coordinator-phase
+            // ones, e.g. from a handler inside `spawn`'s on_start) sit in
+            // the destination's inbound channel until it drains them.
+            self.route_parked(PullPoint::Barrier);
             for i in 0..n {
                 let idx = (self.step_cursor + i) % n;
                 if self.shards[idx].mailboxes.len() > 0 {
                     let outcome = self.shards[idx].step_outcome(&self.router);
                     self.step_cursor = (idx + 1) % n;
-                    self.flush_outboxes();
                     return outcome;
                 }
             }
-            // Every mailbox is empty, but coordinator-phase sends (a
-            // handler running inside `spawn`'s on_start, say) may have
-            // parked messages in an outbox. Route them and look again;
-            // only a fruitless flush means the kernel is truly idle.
-            if self.flush_outboxes() == 0 {
+            // Every mailbox is empty; only an empty in-flight set too
+            // means the kernel is truly idle. (A pull above can come up
+            // empty of *deliverable* messages when queue bounds drop the
+            // whole batch, so re-check rather than assume.)
+            if self.xshard.pending() == 0 {
                 return DeliveryOutcome::Idle;
             }
         }
@@ -363,7 +467,9 @@ impl Kernel {
     /// a single runaway shard trips it.)
     pub fn run_limited(&mut self, limit: u64) -> u64 {
         if self.shards.len() == 1 {
-            // The monolithic engine's loop, bit for bit.
+            // The monolithic engine's loop, bit for bit (the host-time
+            // accumulation is invisible to the simulation).
+            let start = std::time::Instant::now();
             let mut steps = 0;
             while self.shards[0].step_outcome(&self.router) != DeliveryOutcome::Idle {
                 steps += 1;
@@ -372,46 +478,63 @@ impl Kernel {
                     "kernel did not go idle after {limit} deliveries: livelock in simulated services?"
                 );
             }
+            self.shards[0].busy_nanos += start.elapsed().as_nanos() as u64;
             return steps;
         }
+        let workers = self.effective_workers();
+        // Route anything parked across the `run()` boundary
+        // (coordinator-phase sends, e.g. from a handler inside `spawn`'s
+        // on_start): those messages genuinely waited out a barrier.
+        self.route_parked(PullPoint::Barrier);
         let mut steps = 0u64;
         loop {
             let budget = limit.saturating_sub(steps);
-            let router = &self.router;
-            let active: Vec<&mut KernelShard> = self
-                .shards
-                .iter_mut()
-                .filter(|s| s.mailboxes.len() > 0)
-                .collect();
-            let results: Vec<(u64, bool)> = if active.len() <= 1 {
-                // One busy shard: drain inline, no thread overhead.
-                active
-                    .into_iter()
-                    .map(|shard| shard.drain(router, budget))
-                    .collect()
+            let (round_steps, hit_budget) = if workers <= 1 {
+                // Sequential sweep: shards drain to local idle in shard
+                // order, pulling their inbound channels as they go; a
+                // sweep is one "round". No barriers, no threads, fully
+                // deterministic. (Messages a shard forwards *backwards*
+                // in sweep order are picked up on the next sweep.)
+                let mut round_steps = 0;
+                let mut hit = false;
+                for shard in &mut self.shards {
+                    if shard.mailboxes.len() > 0 || self.xshard.len(shard.shard_id()) > 0 {
+                        let (n, h) = shard.drain_round(&self.router, budget, PullPoint::Subround);
+                        round_steps += n;
+                        hit |= h;
+                    }
+                }
+                (round_steps, hit)
             } else {
-                std::thread::scope(|scope| {
-                    let handles: Vec<_> = active
-                        .into_iter()
-                        .map(|shard| scope.spawn(move || shard.drain(router, budget)))
-                        .collect();
-                    handles
-                        .into_iter()
-                        .map(|h| match h.join() {
-                            Ok(result) => result,
-                            Err(panic) => std::panic::resume_unwind(panic),
-                        })
-                        .collect()
-                })
+                // Parallel round on the persistent pool: route what's
+                // parked, then hand every busy shard to a worker.
+                self.route_parked(PullPoint::Barrier);
+                let active: Vec<usize> = (0..self.shards.len())
+                    .filter(|&i| self.shards[i].mailboxes.len() > 0)
+                    .collect();
+                if active.is_empty() {
+                    (0, false)
+                } else if active.len() == 1 {
+                    // One busy shard: drain inline rather than waking the
+                    // whole pool for it (a pure cross-shard chain never
+                    // even builds the pool this way).
+                    self.shards[active[0]].drain_round(&self.router, budget, PullPoint::Subround)
+                } else {
+                    let pool = self.pool.get_or_insert_with(|| ShardPool::new(workers));
+                    pool.run_round(&mut self.shards, &self.router, &active, budget)
+                }
             };
-            for (n, hit_budget) in results {
-                steps += n;
-                assert!(
-                    !hit_budget,
-                    "kernel did not go idle after {limit} deliveries: livelock in simulated services?"
-                );
+            steps += round_steps;
+            assert!(
+                !hit_budget,
+                "kernel did not go idle after {limit} deliveries: livelock in simulated services?"
+            );
+            if round_steps > 0 {
+                self.rounds += 1;
             }
-            if self.flush_outboxes() == 0 {
+            let quiescent =
+                self.xshard.pending() == 0 && self.shards.iter().all(|s| s.mailboxes.len() == 0);
+            if quiescent {
                 return steps;
             }
         }
@@ -422,35 +545,31 @@ impl Kernel {
         self.run_limited(100_000_000)
     }
 
-    /// Routes every outbox message into its destination shard's mailboxes
-    /// (the barrier half of a round). Deterministic: source shards are
-    /// drained in shard order, each in send order, and the destination
-    /// shard applies its queue bounds exactly as it would to a local send.
-    fn flush_outboxes(&mut self) -> u64 {
-        let mut moved = 0;
-        for src in 0..self.shards.len() {
-            if self.shards[src].outbox.is_empty() {
-                continue;
-            }
-            let outbox = std::mem::take(&mut self.shards[src].outbox);
-            for (dest, qm) in outbox {
-                moved += 1;
-                self.shards[dest as usize].enqueue_checked(qm);
+    /// Pulls every shard's inbound channel into its mailboxes (with
+    /// destination-side queue bounds). The pending count makes the
+    /// nothing-in-flight case — every step of a cross-shard-free
+    /// workload — one atomic load instead of an O(shards) scan.
+    fn route_parked(&mut self, point: PullPoint) {
+        if self.xshard.pending() > 0 {
+            for shard in &mut self.shards {
+                shard.pull_inbound(point);
             }
         }
-        moved
     }
 
     // ------------------------------------------------------------------
     // God-mode observability (whole-kernel views over the shards).
     // ------------------------------------------------------------------
 
-    /// Kernel statistics, merged across shards.
+    /// Kernel statistics, merged across shards, plus the coordinator's
+    /// own counters (rounds executed, pool worker wakeups).
     pub fn stats(&self) -> Stats {
         let mut total = Stats::default();
         for shard in &self.shards {
             total.absorb(&shard.stats);
         }
+        total.rounds += self.rounds;
+        total.worker_wakeups += self.pool_wakeups();
         total
     }
 
@@ -538,22 +657,29 @@ impl Kernel {
         self.shards.iter().map(|s| s.handles.allocated()).sum()
     }
 
-    /// Pending (sent but undelivered) messages across all shards.
+    /// Pending (sent but undelivered) messages across all shards:
+    /// mailboxes plus the in-flight cross-shard channels.
     pub fn queue_len(&self) -> usize {
-        self.shards
-            .iter()
-            .map(|s| s.mailboxes.len() + s.outbox.len())
-            .sum()
+        self.shards.iter().map(|s| s.mailboxes.len()).sum::<usize>() + self.xshard.pending()
     }
 
     /// Pending messages sent by a given process (god-mode; used by tests to
     /// verify that compromised services actually attempted exfiltration).
     pub fn queued_from(&self, pid: ProcessId) -> usize {
-        self.shards
+        let mut count = self
+            .shards
             .iter()
-            .flat_map(|s| s.mailboxes.iter().chain(s.outbox.iter().map(|(_, qm)| qm)))
+            .flat_map(|s| s.mailboxes.iter())
             .filter(|m| m.from.is_some_and(|c| c.pid == pid))
-            .count()
+            .count();
+        for shard in 0..self.shards.len() {
+            self.xshard.for_each_queued(shard, |qm| {
+                if qm.from.is_some_and(|c| c.pid == pid) {
+                    count += 1;
+                }
+            });
+        }
+        count
     }
 
     /// Downcasts a process's service body for test inspection.
@@ -568,11 +694,17 @@ impl Kernel {
     }
 
     /// Memory accounting across all kernel structures and user frames
-    /// (Figure 6's measurement), merged across shards.
+    /// (Figure 6's measurement), merged across shards, plus scheduler
+    /// bookkeeping (the worker pool and the cross-shard channels — zero
+    /// on a single-shard kernel, which allocates neither).
     pub fn kmem_report(&self) -> KmemReport {
         let mut total = KmemReport::default();
         for shard in &self.shards {
             total.absorb(&shard.kmem_report());
+        }
+        if self.shards.len() > 1 {
+            total.pool_bytes = self.xshard.bookkeeping_bytes()
+                + self.pool.as_ref().map_or(0, ShardPool::bookkeeping_bytes);
         }
         total
     }

@@ -95,6 +95,7 @@ pub mod ids;
 pub mod kernel;
 pub mod memory;
 pub mod message;
+mod pool;
 pub mod process;
 mod router;
 pub mod shard;

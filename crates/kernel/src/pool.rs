@@ -1,0 +1,267 @@
+//! The persistent shard worker pool.
+//!
+//! Before this module existed, every barrier round of a multi-shard
+//! `run()` spawned and joined fresh `std::thread::scope` threads — on a
+//! cross-shard chain that pays thread churn per hop, and the
+//! `wall_msgs_per_sec` column of `BENCH_shards.json` showed it: wall
+//! throughput *degraded* as shards were added. A [`ShardPool`] amortizes
+//! that cost to zero: workers are created once (lazily, on the first
+//! multi-shard round that wants parallelism), park on a condvar between
+//! rounds, and are reused across rounds and across successive `run()`
+//! calls until the kernel drops.
+//!
+//! **Handshake.** One round is one `run_round` call: the coordinator
+//! publishes a job (raw pointers to the shard slice and router, plus a
+//! per-worker assignment of disjoint shard indices), bumps the epoch, and
+//! wakes every worker. Each worker drains its assigned shards
+//! ([`KernelShard::drain_round`]), then decrements the remaining-count;
+//! the last one signals the coordinator, which sleeps on the done condvar
+//! — a barrier built from the two condvars, with the `Mutex<State>` as
+//! the rendezvous. Workers that finish early go straight back to parking:
+//! they never spin.
+//!
+//! **Safety.** The job's raw pointers are only dereferenced between the
+//! epoch bump and the worker's own remaining-decrement, and the
+//! coordinator blocks until `remaining == 0` before returning — so the
+//! `&mut [KernelShard]` and `&Router` borrows it was given strictly
+//! outlive every worker access. Assignments partition the active shard
+//! set, so no two workers alias a shard.
+//!
+//! **Panics.** A panicking service handler must behave exactly as it did
+//! under `std::thread::scope`: the panic propagates out of `run()` via
+//! `resume_unwind`. Workers run each drain under `catch_unwind`, park the
+//! payload in the shared state, and *still* decrement the
+//! remaining-count, so the round completes, no sibling worker deadlocks,
+//! and the pool stays usable for the next `run()`. The coordinator
+//! re-raises the first payload after the barrier.
+
+use std::any::Any;
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use crate::router::{PullPoint, Router};
+use crate::shard::KernelShard;
+
+/// Raw pointers crossing into worker threads. Safety rests on the round
+/// protocol above, not on the types: the wrapper exists only to satisfy
+/// `Send` for the `State` the mutex guards.
+struct JobPtrs {
+    shards: *mut KernelShard,
+    router: *const Router,
+}
+unsafe impl Send for JobPtrs {}
+
+/// One round's work order.
+struct Job {
+    ptrs: JobPtrs,
+    /// Disjoint shard indices per worker (index = worker id). Workers
+    /// with an empty assignment wake, record nothing, and re-park.
+    assignments: Vec<Vec<usize>>,
+    /// Per-shard step budget for livelock detection.
+    budget: u64,
+}
+
+/// Coordinator/worker rendezvous state.
+#[derive(Default)]
+struct State {
+    /// Round generation; a worker runs one job per epoch it observes.
+    epoch: u64,
+    shutdown: bool,
+    job: Option<Job>,
+    /// Workers that have not finished the current round.
+    remaining: usize,
+    /// Accumulated step count across workers for the current round.
+    steps: u64,
+    /// Any worker exhausted its per-shard budget this round.
+    hit_budget: bool,
+    /// First panic payload caught this round, re-raised by the
+    /// coordinator after the barrier.
+    panic: Option<Box<dyn Any + Send>>,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    /// Wakes workers (new epoch or shutdown).
+    work: Condvar,
+    /// Wakes the coordinator (round complete).
+    done: Condvar,
+    /// Total worker wakeups, ever — the pool-reuse observable.
+    wakeups: AtomicU64,
+}
+
+/// A persistent pool of parked per-shard worker threads.
+pub(crate) struct ShardPool {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl ShardPool {
+    /// Spawns `workers` parked worker threads.
+    pub fn new(workers: usize) -> ShardPool {
+        assert!(workers >= 1, "a pool needs at least one worker");
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State::default()),
+            work: Condvar::new(),
+            done: Condvar::new(),
+            wakeups: AtomicU64::new(0),
+        });
+        let handles = (0..workers)
+            .map(|id| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("asbestos-shard-worker-{id}"))
+                    .spawn(move || worker_loop(&shared, id))
+                    .expect("spawn shard worker")
+            })
+            .collect();
+        ShardPool { shared, handles }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Total worker wakeups since the pool was created.
+    pub fn wakeups(&self) -> u64 {
+        self.shared.wakeups.load(Ordering::Relaxed)
+    }
+
+    /// Runs one barrier round: the shards named by `active` are drained
+    /// in parallel, distributed round-robin over the workers. Blocks
+    /// until every worker is done; returns `(steps, hit_budget)`.
+    /// Re-raises the first worker panic, after the round completes.
+    pub fn run_round(
+        &self,
+        shards: &mut [KernelShard],
+        router: &Router,
+        active: &[usize],
+        budget: u64,
+    ) -> (u64, bool) {
+        let workers = self.handles.len();
+        let mut assignments = vec![Vec::new(); workers];
+        for (i, &shard) in active.iter().enumerate() {
+            assignments[i % workers].push(shard);
+        }
+        let mut state = self.shared.state.lock().expect("pool state lock");
+        state.job = Some(Job {
+            ptrs: JobPtrs {
+                shards: shards.as_mut_ptr(),
+                router: router as *const Router,
+            },
+            assignments,
+            budget,
+        });
+        state.epoch += 1;
+        state.remaining = workers;
+        state.steps = 0;
+        state.hit_budget = false;
+        self.shared.work.notify_all();
+        while state.remaining > 0 {
+            state = self.shared.done.wait(state).expect("pool done wait");
+        }
+        state.job = None;
+        let result = (state.steps, state.hit_budget);
+        if let Some(payload) = state.panic.take() {
+            drop(state);
+            std::panic::resume_unwind(payload);
+        }
+        result
+    }
+
+    /// Structural bookkeeping bytes (thread handles and shared state),
+    /// for `KmemReport` accounting.
+    pub fn bookkeeping_bytes(&self) -> usize {
+        std::mem::size_of::<ShardPool>()
+            + std::mem::size_of::<Shared>()
+            + self.handles.len()
+                * (std::mem::size_of::<JoinHandle<()>>() + std::mem::size_of::<Vec<usize>>())
+    }
+}
+
+impl Drop for ShardPool {
+    /// Wakes and joins every worker. Dropping a kernel mid-workload
+    /// (messages still queued) takes this path: workers are parked
+    /// between rounds, so they observe `shutdown` immediately.
+    fn drop(&mut self) {
+        {
+            let mut state = self.shared.state.lock().expect("pool state lock");
+            state.shutdown = true;
+            self.shared.work.notify_all();
+        }
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared, id: usize) {
+    let mut seen_epoch = 0u64;
+    loop {
+        // Park until a new round (or shutdown).
+        let (ptrs, my_shards, budget) = {
+            let mut state = shared.state.lock().expect("pool state lock");
+            loop {
+                if state.shutdown {
+                    return;
+                }
+                if state.epoch != seen_epoch {
+                    let epoch = state.epoch;
+                    if let Some(job) = &mut state.job {
+                        seen_epoch = epoch;
+                        // Take (don't clone) the assignment: it is this
+                        // worker's alone, and the coordinator rebuilds
+                        // the vector next round anyway.
+                        break (
+                            JobPtrs {
+                                shards: job.ptrs.shards,
+                                router: job.ptrs.router,
+                            },
+                            std::mem::take(&mut job.assignments[id]),
+                            job.budget,
+                        );
+                    }
+                }
+                state = shared.work.wait(state).expect("pool work wait");
+            }
+        };
+        shared.wakeups.fetch_add(1, Ordering::Relaxed);
+
+        let mut steps = 0u64;
+        let mut hit_budget = false;
+        let mut panic_payload: Option<Box<dyn Any + Send>> = None;
+        for &idx in &my_shards {
+            // SAFETY: the coordinator keeps the shard slice and router
+            // borrows alive until the round's remaining-count hits zero,
+            // and assignments are disjoint, so this is the only live
+            // reference to shard `idx`.
+            let result = std::panic::catch_unwind(AssertUnwindSafe(|| unsafe {
+                let shard = &mut *ptrs.shards.add(idx);
+                shard.drain_round(&*ptrs.router, budget, PullPoint::Barrier)
+            }));
+            match result {
+                Ok((n, hit)) => {
+                    steps += n;
+                    hit_budget |= hit;
+                }
+                Err(payload) => {
+                    panic_payload = Some(payload);
+                    break;
+                }
+            }
+        }
+
+        let mut state = shared.state.lock().expect("pool state lock");
+        state.steps += steps;
+        state.hit_budget |= hit_budget;
+        if state.panic.is_none() {
+            state.panic = panic_payload;
+        }
+        state.remaining -= 1;
+        if state.remaining == 0 {
+            shared.done.notify_one();
+        }
+    }
+}

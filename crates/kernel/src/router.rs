@@ -14,26 +14,31 @@
 //! decision cache) is shard-private, which is what lets shards run their
 //! delivery loops on parallel threads without taking a single lock on the
 //! hot path: a shard only consults the directory for ports it does not
-//! own, and messages crossing shards travel through per-shard outboxes
-//! that the coordinator drains between barrier-synchronized rounds.
+//! own, and messages crossing shards travel through the per-shard inbound
+//! channels of the [`InboxSet`] below — pushed by the *sending* shard the
+//! moment the send resolves, drained by the *receiving* shard at
+//! deterministic points in its own schedule (sub-round routing; see
+//! `kernel.rs` for the round structure).
 //!
 //! Determinism: directory entries are created before any other shard can
 //! learn the handle (handle values propagate through messages and the
-//! environment, both of which synchronize at round barriers), so lookup
-//! races cannot occur in workloads that follow the §4 bootstrap
-//! convention. The *environment* is the one shared-state carve-out:
-//! when two shards touch one key in the same round — a write racing a
-//! write, or a write racing a `Sys::env` read — the winner is decided by
-//! lock order, i.e. by thread scheduling, and such workloads are not
-//! reproducible. Publish during spawn (the coordinator phase) and read
-//! later, as §4's bootstrap does, and every run is deterministic;
+//! environment, both of which synchronize at the receiving shard's drain
+//! points), so lookup races cannot occur in workloads that follow the §4
+//! bootstrap convention. The *environment* is the one shared-state
+//! carve-out: when two shards touch one key in the same round — a write
+//! racing a write, or a write racing a `Sys::env` read — the winner is
+//! decided by lock order, i.e. by thread scheduling, and such workloads
+//! are not reproducible. Publish during spawn (the coordinator phase) and
+//! read later, as §4's bootstrap does, and every run is deterministic;
 //! single-shard kernels take none of these paths.
 
 use std::collections::{BTreeMap, HashMap};
-use std::sync::RwLock;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, RwLock};
 
 use asbestos_labels::Handle;
 
+use crate::message::QueuedMessage;
 use crate::value::Value;
 
 /// Shared cross-shard state: the port directory and the global
@@ -110,6 +115,128 @@ impl Router {
     }
 }
 
+// ---------------------------------------------------------------------
+// Sub-round cross-shard channels.
+// ---------------------------------------------------------------------
+
+/// Where a shard stood in its schedule when it pulled inbound messages —
+/// only the observability counters care (see [`crate::Stats`]).
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub(crate) enum PullPoint {
+    /// Pulled at a round boundary: the messages waited out a barrier.
+    Barrier,
+    /// Pulled mid-round, without any barrier in between (the sub-round
+    /// routing fast path).
+    Subround,
+}
+
+/// One shard's inbound cross-shard channel.
+struct Inbox {
+    /// Mirror of `queue.len()`, readable without the lock: the empty
+    /// check on a receiving shard's hot path must cost one atomic load.
+    len: AtomicUsize,
+    queue: Mutex<Vec<QueuedMessage>>,
+}
+
+/// The coordinator-free cross-shard channels: one inbound queue per
+/// shard, shared by every shard (and the coordinator) through one `Arc`.
+///
+/// A sending shard pushes a cross-shard message here the moment its send
+/// resolves — mid-drain, without waiting for a barrier — and the
+/// receiving shard drains its own queue at deterministic points of its
+/// delivery loop. Per-sender-per-port FIFO survives: one sender's pushes
+/// into one queue happen in send order (a `Mutex<Vec>` is
+/// order-preserving), and the receiving shard enqueues a drained batch in
+/// arrival order into its per-port FIFO mailboxes.
+///
+/// `pending` counts messages pushed but not yet taken across *all*
+/// shards. It is the "outboxes dirty" signal: an idle kernel (and every
+/// single-shard kernel, which never routes) sees zero and pays one atomic
+/// load instead of an O(shards) scan.
+pub(crate) struct InboxSet {
+    inboxes: Box<[Inbox]>,
+    pending: AtomicUsize,
+}
+
+impl InboxSet {
+    pub fn new(num_shards: usize) -> InboxSet {
+        InboxSet {
+            inboxes: (0..num_shards)
+                .map(|_| Inbox {
+                    len: AtomicUsize::new(0),
+                    queue: Mutex::new(Vec::new()),
+                })
+                .collect(),
+            pending: AtomicUsize::new(0),
+        }
+    }
+
+    /// Cross-shard messages pushed but not yet pulled, kernel-wide.
+    pub fn pending(&self) -> usize {
+        self.pending.load(Ordering::Acquire)
+    }
+
+    /// Pending inbound messages for one shard.
+    pub fn len(&self, shard: usize) -> usize {
+        self.inboxes[shard].len.load(Ordering::Acquire)
+    }
+
+    /// Pushes one message onto `dest`'s inbound queue. Returns `false`
+    /// (and enqueues nothing) when the queue already holds `limit`
+    /// messages — the §8 backstop bounding in-flight cross-shard memory,
+    /// the role the per-round outbox bound used to play. The check is
+    /// advisory under concurrent senders (a racing push may overshoot by
+    /// a few messages); the destination's own queue bounds are enforced
+    /// exactly, by [`crate::shard::KernelShard::enqueue_checked`], when
+    /// the batch is drained.
+    pub fn push(&self, dest: usize, qm: QueuedMessage, limit: usize) -> bool {
+        let inbox = &self.inboxes[dest];
+        if inbox.len.load(Ordering::Acquire) >= limit {
+            return false;
+        }
+        let mut queue = inbox.queue.lock().expect("inbox lock");
+        queue.push(qm);
+        inbox.len.store(queue.len(), Ordering::Release);
+        self.pending.fetch_add(1, Ordering::AcqRel);
+        true
+    }
+
+    /// Takes every message currently queued for `shard`, in arrival
+    /// order. The no-mail fast path is one atomic load, no lock.
+    pub fn take(&self, shard: usize) -> Vec<QueuedMessage> {
+        let inbox = &self.inboxes[shard];
+        if inbox.len.load(Ordering::Acquire) == 0 {
+            return Vec::new();
+        }
+        let mut queue = inbox.queue.lock().expect("inbox lock");
+        let batch = std::mem::take(&mut *queue);
+        inbox.len.store(0, Ordering::Release);
+        self.pending.fetch_sub(batch.len(), Ordering::AcqRel);
+        batch
+    }
+
+    /// Visits every queued message without draining (god-mode accounting:
+    /// `queue_len`, `queued_from`, `KmemReport`).
+    pub fn for_each_queued<F: FnMut(&QueuedMessage)>(&self, shard: usize, mut f: F) {
+        for qm in self.inboxes[shard].queue.lock().expect("inbox lock").iter() {
+            f(qm);
+        }
+    }
+
+    /// Structural bookkeeping bytes (queue headers and spare capacity;
+    /// the queued messages themselves are billed as queue bytes).
+    pub fn bookkeeping_bytes(&self) -> usize {
+        self.inboxes
+            .iter()
+            .map(|inbox| {
+                std::mem::size_of::<Inbox>()
+                    + inbox.queue.lock().expect("inbox lock").capacity()
+                        * std::mem::size_of::<QueuedMessage>()
+            })
+            .sum()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -143,6 +270,34 @@ mod tests {
         // Back to the hash fallback, and the map holds nothing.
         assert_eq!(r.shard_of(p), 0);
         assert!(r.ports.read().unwrap().is_empty());
+    }
+
+    #[test]
+    fn inbox_push_take_pending_and_limit() {
+        use crate::value::Value;
+        use asbestos_labels::Label;
+        use std::sync::Arc;
+        let qm = |tag: u64| QueuedMessage {
+            port: Handle::from_raw(9),
+            body: Value::U64(tag),
+            es: Arc::new(Label::bottom()),
+            ds: Label::top(),
+            dr: Label::bottom(),
+            v: Label::top(),
+            from: None,
+        };
+        let set = InboxSet::new(2);
+        assert_eq!(set.pending(), 0);
+        assert!(set.push(1, qm(1), 8));
+        assert!(set.push(1, qm(2), 8));
+        assert_eq!((set.pending(), set.len(1), set.len(0)), (2, 2, 0));
+        assert!(!set.push(1, qm(3), 2), "inbox at its limit rejects");
+        let batch = set.take(1);
+        let tags: Vec<u64> = batch.iter().map(|m| m.body.as_u64().unwrap()).collect();
+        assert_eq!(tags, vec![1, 2], "arrival order preserved");
+        assert_eq!(set.pending(), 0);
+        assert!(set.take(1).is_empty(), "fast path on empty inbox");
+        assert!(set.bookkeeping_bytes() > 0);
     }
 
     #[test]

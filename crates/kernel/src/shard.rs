@@ -6,10 +6,13 @@
 //! mailboxes feeding its delivery loop, the delivery-decision cache, the
 //! cycle clock, and the statistics counters. Shards share no mutable
 //! state: the only cross-shard structures are the read-mostly
-//! [`Router`](crate::router::Router) maps, and messages between shards
-//! travel through each shard's outbox, drained by the coordinator between
-//! rounds. That isolation is what makes `&mut KernelShard` safe to hand
-//! to a scoped thread.
+//! [`Router`](crate::router::Router) maps and the per-shard inbound
+//! channels of the shared [`InboxSet`]. A cross-shard send pushes into
+//! the *destination's* inbound channel the moment it resolves —
+//! mid-drain, no barrier — and each shard drains its own channel at
+//! deterministic points of its delivery loop (sub-round routing). That
+//! isolation is what makes `&mut KernelShard` safe to hand to a pool
+//! worker thread.
 //!
 //! Label evaluation always runs here, on the shard owning the destination
 //! port, against the destination's own labels — Figure 4's semantics are
@@ -29,7 +32,7 @@ use crate::kernel::{KmemReport, DEFAULT_QUEUE_LIMIT};
 use crate::memory::{FramePool, PAGE_SIZE};
 use crate::message::{Message, QueuedMessage, SendArgs};
 use crate::process::{Body, EpService, Process, Service};
-use crate::router::Router;
+use crate::router::{InboxSet, PullPoint, Router};
 use crate::stats::{DropReason, Stats};
 use crate::sys::Sys;
 use crate::value::Value;
@@ -51,18 +54,33 @@ pub struct KernelShard {
     pub(crate) eps: Vec<EventProcess>,
     pub(crate) frames: FramePool,
     pub(crate) mailboxes: Mailboxes,
-    /// Messages bound for other shards, in send order; the coordinator
-    /// drains this at every round barrier.
-    pub(crate) outbox: Vec<(u16, QueuedMessage)>,
+    /// Every shard's inbound cross-shard channel, shared kernel-wide.
+    /// Sends to other shards push into `xshard[dest]`; this shard's own
+    /// pending inbound messages live in `xshard[self.id]` until
+    /// [`KernelShard::pull_inbound`] drains them.
+    pub(crate) xshard: Arc<InboxSet>,
     pub(crate) queue_limit: usize,
     pub(crate) port_queue_limit: usize,
     pub(crate) delivery_cache: DeliveryCache,
     pub(crate) stats: Stats,
     pub(crate) last_ctx: Option<ExecCtx>,
+    /// Real (host) nanoseconds this shard's delivery loop has run, over
+    /// all `run()` calls. Shards model parallel cores, so the busiest
+    /// shard's busy time is what an adequately-cored host's wall clock
+    /// would measure for the whole run — the `scale_shards` bench reads
+    /// this. Deliberately *not* part of [`Stats`]: host timing is
+    /// nondeterministic, and `Stats` is pinned by the golden-trace test.
+    pub(crate) busy_nanos: u64,
 }
 
 impl KernelShard {
-    pub(crate) fn new(seed: u64, id: u16, num_shards: usize, cost: CostModel) -> KernelShard {
+    pub(crate) fn new(
+        seed: u64,
+        id: u16,
+        num_shards: usize,
+        cost: CostModel,
+        xshard: Arc<InboxSet>,
+    ) -> KernelShard {
         KernelShard {
             id,
             cost,
@@ -72,12 +90,13 @@ impl KernelShard {
             eps: Vec::new(),
             frames: FramePool::new(),
             mailboxes: Mailboxes::default(),
-            outbox: Vec::new(),
+            xshard,
             queue_limit: DEFAULT_QUEUE_LIMIT,
             port_queue_limit: DEFAULT_PORT_QUEUE_LIMIT,
             delivery_cache: DeliveryCache::new(DEFAULT_DELIVERY_CACHE_CAP),
             stats: Stats::default(),
             last_ctx: None,
+            busy_nanos: 0,
         }
     }
 
@@ -278,19 +297,39 @@ impl KernelShard {
         if dest == self.id {
             self.enqueue_checked(qm);
         } else {
-            // Queue bounds are ultimately the destination shard's to
-            // enforce (the coordinator applies them when it drains the
-            // outbox), but the outbox itself honors this shard's bound so
-            // a handler looping on cross-shard sends cannot buffer
-            // unbounded memory within one round — the §8 backstop the
-            // monolithic engine's send-time check provided.
-            if self.outbox.len() >= self.queue_limit {
+            // Sub-round routing: push straight into the destination's
+            // inbound channel — no outbox, no barrier wait. Queue bounds
+            // are ultimately the destination shard's to enforce (it runs
+            // `enqueue_checked` when it pulls the batch), but the channel
+            // honors this shard's bound so a handler looping on
+            // cross-shard sends cannot buffer unbounded memory — the §8
+            // backstop the monolithic engine's send-time check provided.
+            // (Bounds are kernel-uniform: see `Kernel::set_queue_limit`.)
+            if !self.xshard.push(dest as usize, qm, self.queue_limit) {
                 self.stats.record_drop(DropReason::QueueFull);
-                return Ok(());
             }
-            self.outbox.push((dest, qm));
         }
         Ok(())
+    }
+
+    /// Drains this shard's inbound cross-shard channel into its per-port
+    /// mailboxes, applying the destination-side queue bounds exactly as a
+    /// local send would. Returns the number of messages pulled; `point`
+    /// picks which observability counter they land in.
+    pub(crate) fn pull_inbound(&mut self, point: PullPoint) -> usize {
+        let batch = self.xshard.take(self.id as usize);
+        let n = batch.len();
+        if n == 0 {
+            return 0;
+        }
+        match point {
+            PullPoint::Barrier => self.stats.xshard_barrier += n as u64,
+            PullPoint::Subround => self.stats.xshard_subround += n as u64,
+        }
+        for qm in batch {
+            self.enqueue_checked(qm);
+        }
+        n
     }
 
     /// Applies the queue bounds and enqueues (or silently drops) one
@@ -331,14 +370,11 @@ impl KernelShard {
             .map(EventProcess::kernel_bytes)
             .sum();
         let handle_bytes = self.handles.kernel_bytes();
-        // Pending messages: mailboxes plus anything parked in the outbox
-        // awaiting the next route barrier (queue_len counts both too).
-        let queue_bytes = self
-            .mailboxes
-            .iter()
-            .chain(self.outbox.iter().map(|(_, qm)| qm))
-            .map(QueuedMessage::queue_bytes)
-            .sum();
+        // Pending messages: mailboxes plus anything parked in this
+        // shard's inbound cross-shard channel (queue_len counts both).
+        let mut queue_bytes: usize = self.mailboxes.iter().map(QueuedMessage::queue_bytes).sum();
+        self.xshard
+            .for_each_queued(self.id as usize, |qm| queue_bytes += qm.queue_bytes());
         let delivery_cache_bytes = self.delivery_cache.bytes();
         let user_frame_bytes = self.frames.frames_in_use() * PAGE_SIZE;
         KmemReport {
@@ -348,6 +384,9 @@ impl KernelShard {
             queue_bytes,
             delivery_cache_bytes,
             user_frame_bytes,
+            // Scheduler bookkeeping is kernel-level, not per-shard; the
+            // coordinator fills it in (`Kernel::kmem_report`).
+            pool_bytes: 0,
         }
     }
 
@@ -361,9 +400,17 @@ impl KernelShard {
         &self.clock
     }
 
-    /// Pending messages queued on this shard.
+    /// Pending messages queued on this shard (mailboxes plus its inbound
+    /// cross-shard channel).
     pub fn queue_len(&self) -> usize {
-        self.mailboxes.len()
+        self.mailboxes.len() + self.xshard.len(self.id as usize)
+    }
+
+    /// Real nanoseconds this shard's delivery loop has run (see the field
+    /// docs; the busiest shard bounds the wall clock of an
+    /// adequately-cored host).
+    pub fn busy_nanos(&self) -> u64 {
+        self.busy_nanos
     }
 }
 

@@ -59,6 +59,21 @@ pub struct Stats {
     pub cache_misses: u64,
     /// Delivery-decision cache evictions (capacity pressure).
     pub cache_evictions: u64,
+    /// Scheduler rounds executed by the multi-shard run loop (a
+    /// single-shard kernel runs the monolithic loop and counts none).
+    pub rounds: u64,
+    /// Times a parked pool worker woke for a round. Back-to-back `run()`
+    /// calls on one kernel keep growing this counter without creating a
+    /// thread — that is the pool reuse this field exists to observe.
+    pub worker_wakeups: u64,
+    /// Cross-shard messages the destination shard picked up mid-round,
+    /// without waiting for a barrier (sub-round routing). With parallel
+    /// pool workers the subround/barrier split depends on thread timing;
+    /// the *sum* of the two is scheduling-invariant.
+    pub xshard_subround: u64,
+    /// Cross-shard messages that waited out a round barrier before the
+    /// destination shard picked them up.
+    pub xshard_barrier: u64,
 }
 
 impl Stats {
@@ -102,6 +117,10 @@ impl Stats {
         self.cache_hits += other.cache_hits;
         self.cache_misses += other.cache_misses;
         self.cache_evictions += other.cache_evictions;
+        self.rounds += other.rounds;
+        self.worker_wakeups += other.worker_wakeups;
+        self.xshard_subround += other.xshard_subround;
+        self.xshard_barrier += other.xshard_barrier;
     }
 }
 

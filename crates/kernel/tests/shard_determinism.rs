@@ -183,6 +183,9 @@ fn single_shard_matches_pre_refactor_engine() {
         queue_bytes: 0,
         delivery_cache_bytes: 3768,
         user_frame_bytes: 77824,
+        // A single-shard kernel allocates no pool and no cross-shard
+        // channel storage worth billing.
+        pool_bytes: 0,
     };
     assert_eq!(kernel.kmem_report(), expected_kmem);
 

@@ -322,6 +322,83 @@ fn sharded_delivery_matches_single_shard() {
 }
 
 // ---------------------------------------------------------------------
+// Sub-round routing: cross-shard hops no longer cost a round each.
+// ---------------------------------------------------------------------
+
+/// A 4-hop relay across shards 0→1→2→3. The pre-pool engine paid one
+/// barrier round per hop; with sub-round routing the sweep scheduler
+/// completes the whole chain in a single round, every hop picked up
+/// mid-round through the inbound channels.
+#[test]
+fn forward_relay_completes_in_one_round() {
+    let mut kernel = Kernel::new_sharded(21, 4);
+    kernel.set_worker_threads(1); // deterministic sweep scheduler
+    let log: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+
+    // Stage i forwards to stage i+1; the last stage logs. Spawn in
+    // reverse so each stage can resolve its successor's port at start.
+    let l2 = log.clone();
+    kernel.spawn_on(
+        3,
+        "stage3",
+        Category::Other,
+        service_with_start(
+            |sys| {
+                let p = sys.new_port(Label::top());
+                sys.set_port_label(p, Label::top()).unwrap();
+                sys.publish_env("stage3.port", Value::Handle(p));
+            },
+            move |_sys, msg| l2.lock().unwrap().push(msg.body.as_u64().unwrap()),
+        ),
+    );
+    for stage in (0..3).rev() {
+        let next = kernel
+            .global_env(&format!("stage{}.port", stage + 1))
+            .unwrap()
+            .as_handle()
+            .unwrap();
+        let key = format!("stage{stage}.port");
+        let publish_key = key.clone();
+        kernel.spawn_on(
+            stage,
+            &format!("stage{stage}"),
+            Category::Other,
+            service_with_start(
+                move |sys| {
+                    let p = sys.new_port(Label::top());
+                    sys.set_port_label(p, Label::top()).unwrap();
+                    sys.publish_env(&publish_key, Value::Handle(p));
+                },
+                move |sys, msg| {
+                    sys.send(next, Value::U64(msg.body.as_u64().unwrap() + 1))
+                        .unwrap();
+                },
+            ),
+        );
+    }
+    let head = kernel
+        .global_env("stage0.port")
+        .unwrap()
+        .as_handle()
+        .unwrap();
+
+    kernel.inject(head, Value::U64(0));
+    kernel.run();
+
+    assert_eq!(*log.lock().unwrap(), vec![3], "relay value walked 3 hops");
+    let stats = kernel.stats();
+    assert_eq!(
+        stats.rounds, 1,
+        "sub-round routing resolves a forward chain in one sweep"
+    );
+    assert_eq!(
+        stats.xshard_subround, 3,
+        "every hop was picked up mid-round"
+    );
+    assert_eq!(stats.xshard_barrier, 0, "no hop waited out a barrier");
+}
+
+// ---------------------------------------------------------------------
 // Parallel rounds are deterministic: same workload, same trace.
 // ---------------------------------------------------------------------
 
