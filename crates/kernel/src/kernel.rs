@@ -351,6 +351,12 @@ impl Kernel {
         self.router.env_get(key)
     }
 
+    /// Reads a global environment entry that names a port or handle —
+    /// the common shape for service discovery (netd lanes, OKWS ports).
+    pub fn global_env_handle(&self, key: &str) -> Option<Handle> {
+        self.router.env_get(key).and_then(|v| v.as_handle())
+    }
+
     /// Sets the per-shard message-queue bound. Sends past the bound drop
     /// silently, the same way label failures do (§4, §8). On a
     /// single-shard kernel this is the whole-kernel bound it always was.

@@ -12,7 +12,7 @@ use asbestos_kernel::{Handle, Kernel, CYCLES_PER_SEC};
 
 use crate::netd::NetdHandle;
 use crate::proto::NetMsg;
-use crate::tcp::{ConnId, SimNet};
+use crate::tcp::{ConnId, MultiQueue, SimNet};
 
 /// An in-flight or completed client request.
 #[derive(Clone, Debug)]
@@ -41,32 +41,43 @@ impl ClientRequest {
 }
 
 /// Drives HTTP requests through the simulated network.
+///
+/// With a multi-lane netd front end the driver plays the multi-queue NIC:
+/// each new connection is hashed by the RSS demultiplexer to one lane's
+/// device port, and every later event for that connection stays on that
+/// lane.
 pub struct ClientDriver {
     net: Arc<Mutex<SimNet>>,
-    device_port: Handle,
+    device_ports: Vec<Handle>,
+    demux: MultiQueue,
     requests: Vec<ClientRequest>,
 }
 
 impl ClientDriver {
-    /// Creates a driver bound to a spawned netd.
+    /// Creates a driver bound to a spawned netd front end.
     pub fn new(netd: &NetdHandle) -> ClientDriver {
+        let device_ports: Vec<Handle> = netd.lanes.iter().map(|l| l.device_port).collect();
+        let demux = MultiQueue::new(device_ports.len());
         ClientDriver {
             net: netd.net.clone(),
-            device_port: netd.device_port,
+            device_ports,
+            demux,
             requests: Vec::new(),
         }
     }
 
     /// Opens a connection carrying `request_bytes` to `tcp_port` and tells
-    /// netd about it. Returns an index into [`ClientDriver::requests`].
+    /// its lane's netd about it. Returns an index into
+    /// [`ClientDriver::requests`].
     pub fn open(&mut self, kernel: &mut Kernel, tcp_port: u16, request_bytes: &[u8]) -> usize {
         let conn = self
             .net
             .lock()
             .unwrap()
             .client_open(tcp_port, request_bytes);
+        let lane = self.demux.accept(conn, tcp_port);
         kernel.inject(
-            self.device_port,
+            self.device_ports[lane],
             NetMsg::DevNewConn { conn, tcp_port }.to_value(),
         );
         self.requests.push(ClientRequest {
@@ -76,6 +87,11 @@ impl ClientDriver {
             response: Vec::new(),
         });
         self.requests.len() - 1
+    }
+
+    /// Connections accepted per lane so far (the RSS spread observable).
+    pub fn lane_accepts(&self) -> &[u64] {
+        self.demux.accepts()
     }
 
     /// Convenience: issues a GET for `path` (HTTP/1.0, benchmark headers).

@@ -1,10 +1,23 @@
-//! The netd process: the single, privileged interface to the network (§7.7).
+//! The netd process: the privileged interface to the network (§7.7).
 //!
 //! netd owns the TCP substrate, wraps each connection in an Asbestos port
 //! `uC`, and applies per-connection taint: "When a process tells netd to add
 //! a taint handle to a connection, later messages sent in response to
 //! operations on that connection will be contaminated with the taint handle
 //! at level 3."
+//!
+//! ## Multi-queue lanes
+//!
+//! The paper runs netd as one process; this reproduction can run it as a
+//! **multi-queue front end**: `lanes` full netd instances, lane `i` pinned
+//! to kernel shard `i mod shards`, each owning the slice of the TCP
+//! substrate whose connections the RSS demultiplexer
+//! ([`crate::tcp::rss_lane`]) hashes to it. A connection's entire event
+//! history — accept, taint application, reads, writes, close — is handled
+//! by exactly one lane and therefore lives on exactly one shard; lanes
+//! share nothing but the (mutex-guarded) byte substrate and the global
+//! environment. `lanes = 1` is the paper-faithful configuration and runs
+//! the identical code path the single-netd build did.
 
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -25,11 +38,64 @@ pub const NETD_EVENT_CYCLES: u64 = 78_000;
 pub const NETD_BYTE_CYCLES: u64 = 40;
 
 /// Environment key where netd publishes its control (listen) port.
+///
+/// On a multi-lane front end this names lane 0's control port (the lanes
+/// also publish lane-qualified keys, [`netd_control_env`]); single-lane
+/// deployments publish only this key, exactly as before.
 pub const NETD_CONTROL_ENV: &str = "netd.control";
 
 /// Environment key where netd's device port is published (used by the
 /// external driver to inject connection events; not a process-facing port).
 pub const NETD_DEVICE_ENV: &str = "netd.device";
+
+/// Environment key for the lane count of a multi-queue netd front end.
+/// Published (as a `Value::U64`) only when `lanes > 1`; absence means the
+/// single-netd configuration.
+pub const NETD_LANES_ENV: &str = "netd.lanes";
+
+/// Environment key for lane `lane`'s control (listen) port.
+pub fn netd_control_env(lane: usize) -> String {
+    format!("netd.control.{lane}")
+}
+
+/// Environment key for lane `lane`'s device port.
+pub fn netd_device_env(lane: usize) -> String {
+    format!("netd.device.{lane}")
+}
+
+/// Reads the lane count a running deployment published (1 when absent —
+/// the single-netd configuration publishes no lane count).
+pub fn netd_lanes(kernel: &Kernel) -> usize {
+    kernel
+        .global_env(NETD_LANES_ENV)
+        .and_then(|v| v.as_u64())
+        .map_or(1, |n| n as usize)
+}
+
+/// Registers `notify` for `tcp_port` with **every** netd lane, from
+/// inside a running service: discovers the lane count from the
+/// environment (absent ⇒ the single-netd configuration, which published
+/// only the legacy [`NETD_CONTROL_ENV`] key) and sends one LISTEN per
+/// lane. This is the one place that owns the legacy-vs-lane-qualified
+/// key special case; ok-demux and the lane tests all go through it.
+pub fn listen_all_lanes(sys: &mut Sys<'_>, tcp_port: u16, notify: Handle) {
+    let lanes = sys
+        .env(NETD_LANES_ENV)
+        .and_then(|v| v.as_u64())
+        .map_or(1, |n| n as usize);
+    for lane in 0..lanes {
+        let key = if lanes == 1 {
+            NETD_CONTROL_ENV.to_string()
+        } else {
+            netd_control_env(lane)
+        };
+        let control = sys
+            .env(&key)
+            .and_then(|v| v.as_handle())
+            .expect("every netd lane publishes its control port");
+        let _ = sys.send(control, NetMsg::Listen { tcp_port, notify }.to_value());
+    }
+}
 
 /// State netd keeps per live connection.
 struct ConnState {
@@ -42,9 +108,13 @@ struct ConnState {
     reply_caps: Vec<Handle>,
 }
 
-/// The netd service.
+/// The netd service: one network lane (the whole network when `lanes = 1`).
 pub struct Netd {
     net: Arc<Mutex<SimNet>>,
+    /// This instance's lane index.
+    lane: usize,
+    /// Total lanes in the front end (1 = the paper's single netd).
+    lanes: usize,
     /// Connection port `uC` → connection state.
     conns: BTreeMap<Handle, ConnState>,
     /// TCP port → notify port of the registered listener.
@@ -54,10 +124,18 @@ pub struct Netd {
 }
 
 impl Netd {
-    /// Creates the service over a shared substrate.
+    /// Creates the single-netd service over a shared substrate.
     pub fn new(net: Arc<Mutex<SimNet>>) -> Netd {
+        Netd::lane(net, 0, 1)
+    }
+
+    /// Creates lane `lane` of a `lanes`-wide front end.
+    pub fn lane(net: Arc<Mutex<SimNet>>, lane: usize, lanes: usize) -> Netd {
+        assert!(lanes >= 1 && lane < lanes, "lane {lane} of {lanes} lanes");
         Netd {
             net,
+            lane,
+            lanes,
             conns: BTreeMap::new(),
             listeners: BTreeMap::new(),
             control_port: None,
@@ -193,14 +271,32 @@ impl Service for Netd {
         let control = sys.new_port(Label::top());
         sys.set_port_label(control, Label::top())
             .expect("creator owns the control port");
-        sys.publish_env(NETD_CONTROL_ENV, Value::Handle(control));
+        if self.lanes == 1 {
+            // Single-netd configuration: exactly the pre-lane publication
+            // sequence (pinned bit-for-bit by netd_determinism.rs).
+            sys.publish_env(NETD_CONTROL_ENV, Value::Handle(control));
+        } else {
+            sys.publish_env(&netd_control_env(self.lane), Value::Handle(control));
+        }
         self.control_port = Some(control);
 
         // Device port: where the external world injects connection events.
         // Its label stays fresh-closed — injected messages bypass labels
         // (they are hardware), and no simulated process can forge one.
         let device = sys.new_port(Label::default_recv());
-        sys.publish_env(NETD_DEVICE_ENV, Value::Handle(device));
+        if self.lanes == 1 {
+            sys.publish_env(NETD_DEVICE_ENV, Value::Handle(device));
+        } else {
+            sys.publish_env(&netd_device_env(self.lane), Value::Handle(device));
+            if self.lane == 0 {
+                // Lane 0 doubles as the legacy single-netd namespace so
+                // lane-unaware code still finds *a* netd, and announces
+                // the front end's width for lane-aware clients.
+                sys.publish_env(NETD_CONTROL_ENV, Value::Handle(control));
+                sys.publish_env(NETD_DEVICE_ENV, Value::Handle(device));
+                sys.publish_env(NETD_LANES_ENV, Value::U64(self.lanes as u64));
+            }
+        }
         self.device_port = Some(device);
     }
 
@@ -223,34 +319,88 @@ impl Service for Netd {
     }
 }
 
-/// Spawn info for a running netd.
-pub struct NetdHandle {
-    /// netd's process id.
+/// One spawned lane of the front end.
+#[derive(Clone, Copy, Debug)]
+pub struct NetdLane {
+    /// The lane's process id (its shard is `pid.shard()`).
     pub pid: ProcessId,
-    /// The control port (LISTEN requests).
+    /// The lane's control port (LISTEN requests).
     pub control_port: Handle,
-    /// The device port (external injections).
+    /// The lane's device port (external injections).
     pub device_port: Handle,
+}
+
+/// Spawn info for a running netd front end.
+pub struct NetdHandle {
+    /// Lane 0's process id.
+    pub pid: ProcessId,
+    /// Lane 0's control port (LISTEN requests).
+    pub control_port: Handle,
+    /// Lane 0's device port (external injections).
+    pub device_port: Handle,
+    /// Every lane, in lane order (length 1 for the single-netd build).
+    pub lanes: Vec<NetdLane>,
     /// The shared TCP substrate.
     pub net: Arc<Mutex<SimNet>>,
 }
 
-/// Spawns netd into a kernel and returns its handle.
+/// Spawns the single-process netd into a kernel (the paper-faithful
+/// configuration; identical to `spawn_netd_lanes(kernel, 1)`).
 pub fn spawn_netd(kernel: &mut Kernel) -> NetdHandle {
+    spawn_netd_lanes(kernel, 1)
+}
+
+/// Spawns a `lanes`-wide multi-queue netd front end.
+///
+/// Lane 0 is placed by the kernel's ordinary round-robin spawn (so a
+/// single-lane front end is placed exactly where the old single netd
+/// was); lane `i` is pinned to shard `(shard_of(lane 0) + i) mod shards`,
+/// one lane per shard until lanes wrap. Each lane publishes its
+/// lane-qualified control/device ports in the global environment; lane 0
+/// additionally publishes the legacy unqualified keys and
+/// [`NETD_LANES_ENV`].
+pub fn spawn_netd_lanes(kernel: &mut Kernel, lanes: usize) -> NetdHandle {
+    assert!(lanes >= 1, "a netd front end needs at least one lane");
     let net = Arc::new(Mutex::new(SimNet::new()));
-    let pid = kernel.spawn("netd", Category::Network, Box::new(Netd::new(net.clone())));
-    let control_port = kernel
-        .global_env(NETD_CONTROL_ENV)
-        .and_then(|v| v.as_handle())
-        .expect("netd publishes its control port on start");
-    let device_port = kernel
-        .global_env(NETD_DEVICE_ENV)
-        .and_then(|v| v.as_handle())
-        .expect("netd publishes its device port on start");
+    let mut lane_handles = Vec::with_capacity(lanes);
+    let mut first_shard = 0;
+    for lane in 0..lanes {
+        let name = if lane == 0 {
+            "netd".to_string()
+        } else {
+            format!("netd.{lane}")
+        };
+        let service = Box::new(Netd::lane(net.clone(), lane, lanes));
+        let pid = if lane == 0 {
+            let pid = kernel.spawn(&name, Category::Network, service);
+            first_shard = pid.shard();
+            pid
+        } else {
+            let shard = (first_shard + lane) % kernel.num_shards();
+            kernel.spawn_on(shard, &name, Category::Network, service)
+        };
+        let (control_key, device_key) = if lanes == 1 {
+            (NETD_CONTROL_ENV.to_string(), NETD_DEVICE_ENV.to_string())
+        } else {
+            (netd_control_env(lane), netd_device_env(lane))
+        };
+        let control_port = kernel
+            .global_env_handle(&control_key)
+            .expect("every netd lane publishes its control port on start");
+        let device_port = kernel
+            .global_env_handle(&device_key)
+            .expect("every netd lane publishes its device port on start");
+        lane_handles.push(NetdLane {
+            pid,
+            control_port,
+            device_port,
+        });
+    }
     NetdHandle {
-        pid,
-        control_port,
-        device_port,
+        pid: lane_handles[0].pid,
+        control_port: lane_handles[0].control_port,
+        device_port: lane_handles[0].device_port,
+        lanes: lane_handles,
         net,
     }
 }

@@ -10,7 +10,7 @@
 use std::collections::BTreeMap;
 
 use asbestos_kernel::{Handle, Label, Level, Message, SendArgs, Service, Sys, Value};
-use asbestos_net::{parse_request, HttpRequest, NetMsg, NETD_CONTROL_ENV};
+use asbestos_net::{listen_all_lanes, parse_request, HttpRequest, NetMsg};
 
 use crate::idd::IDD_PORT_ENV;
 use crate::proto::OkwsMsg;
@@ -335,18 +335,12 @@ impl Service for OkDemux {
         sys.set_port_label(notify, Label::top())
             .expect("creator owns the port");
         self.notify_port = Some(notify);
-        let netd = sys
-            .env(NETD_CONTROL_ENV)
-            .and_then(|v| v.as_handle())
-            .expect("netd publishes its control port");
-        let _ = sys.send(
-            netd,
-            NetMsg::Listen {
-                tcp_port: self.tcp_port,
-                notify,
-            }
-            .to_value(),
-        );
+        // Register the listener with every netd lane: each lane owns the
+        // connections the RSS demux hashes to it, and all of them announce
+        // new connections on the same notify port. A single-lane front end
+        // publishes no lane count and takes the one-LISTEN path the
+        // single-netd build always took.
+        listen_all_lanes(sys, self.tcp_port, notify);
     }
 
     fn on_message(&mut self, sys: &mut Sys<'_>, msg: &Message) {

@@ -25,6 +25,11 @@ enum WorkerKind {
     /// whose *code* is compromised, §7.8). Must handle
     /// [`OkwsMsg::Activate`] itself.
     Raw(Box<dyn FnMut() -> Box<dyn asbestos_kernel::EpService> + Send>),
+    /// The worker base process was already placed on its shard by the
+    /// deployment assembler ([`crate::Okws::start`] on a multi-shard
+    /// kernel); the launcher only provisions its verification handle and
+    /// activates it.
+    Placed,
 }
 
 /// One service to launch.
@@ -77,6 +82,25 @@ impl ServiceSpec {
         self.tidy = false;
         self
     }
+
+    /// Builds this service's worker body and marks the spec as placed —
+    /// the deployment assembler calls this when it spawns worker base
+    /// processes onto their shards itself, so the launcher knows to
+    /// activate rather than spawn.
+    pub(crate) fn take_body(&mut self) -> Box<dyn asbestos_kernel::EpService> {
+        let kind = std::mem::replace(&mut self.kind, WorkerKind::Placed);
+        match kind {
+            WorkerKind::Logic(mut factory) => {
+                let mut worker = Worker::new(&self.name, factory());
+                if !self.tidy {
+                    worker = worker.untidy();
+                }
+                Box::new(worker)
+            }
+            WorkerKind::Raw(mut factory) => factory(),
+            WorkerKind::Placed => unreachable!("take_body called twice for {}", self.name),
+        }
+    }
 }
 
 /// OKWS deployment configuration.
@@ -97,6 +121,12 @@ pub struct OkwsConfig {
     /// parallel delivery engines, with the router carrying the
     /// netd ↔ demux ↔ worker traffic between shards.
     pub shards: usize,
+    /// netd lanes in the multi-queue front end. `1` (the default) is the
+    /// paper's single netd process; higher counts spawn one full netd
+    /// instance per lane, pinned one lane per shard, with the RSS
+    /// demultiplexer hashing each accepted connection to a lane so its
+    /// whole event stream stays on one shard.
+    pub netd_lanes: usize,
 }
 
 impl OkwsConfig {
@@ -109,12 +139,19 @@ impl OkwsConfig {
             users: Vec::new(),
             with_cache: false,
             shards: 1,
+            netd_lanes: 1,
         }
     }
 
     /// Sets the kernel shard count this deployment targets.
     pub fn sharded(mut self, shards: usize) -> OkwsConfig {
         self.shards = shards;
+        self
+    }
+
+    /// Sets the netd lane count of the multi-queue front end.
+    pub fn lanes(mut self, lanes: usize) -> OkwsConfig {
+        self.netd_lanes = lanes;
         self
     }
 }
@@ -196,21 +233,16 @@ impl Service for Launcher {
             &SendArgs::new().grant(Label::from_pairs(Level::L3, &[(demux_verify, Level::Star)])),
         );
 
-        // Workers: spawn, then activate (the activation event process
-        // registers the worker with ok-demux using its verification handle).
+        // Workers: spawn (unless the deployment assembler already placed
+        // the base process on its shard), then activate — the activation
+        // event process registers the worker with ok-demux using its
+        // verification handle.
         for (spec, wv) in config.services.iter_mut().zip(&worker_verifies) {
-            let body: Box<dyn asbestos_kernel::EpService> = match &mut spec.kind {
-                WorkerKind::Logic(factory) => {
-                    let mut worker = Worker::new(&spec.name, factory());
-                    if !spec.tidy {
-                        worker = worker.untidy();
-                    }
-                    Box::new(worker)
-                }
-                WorkerKind::Raw(factory) => factory(),
-            };
-            sys.spawn_ep_service(&format!("worker-{}", spec.name), Category::Okws, body)
-                .expect("launcher runs outside event processes");
+            if !matches!(spec.kind, WorkerKind::Placed) {
+                let body = spec.take_body();
+                sys.spawn_ep_service(&format!("worker-{}", spec.name), Category::Okws, body)
+                    .expect("launcher runs outside event processes");
+            }
             let port = sys
                 .env(&worker_port_env(&spec.name))
                 .and_then(|v| v.as_handle())

@@ -1,7 +1,7 @@
 //! OKWS assembly and a test/bench client.
 
 use asbestos_kernel::{Category, Kernel, ProcessId};
-use asbestos_net::{spawn_netd, ClientDriver, NetdHandle};
+use asbestos_net::{spawn_netd_lanes, ClientDriver, NetdHandle};
 
 use crate::launcher::{Launcher, OkwsConfig};
 
@@ -22,10 +22,41 @@ impl Okws {
     /// The kernel's shard count is whatever the caller built it with;
     /// [`Okws::deploy`] constructs the kernel from the config's own
     /// `shards` field.
-    pub fn start(kernel: &mut Kernel, config: OkwsConfig) -> Okws {
+    ///
+    /// On a multi-shard kernel the assembler also does the placement the
+    /// launcher cannot (`Sys::spawn` is shard-local): netd lanes go one
+    /// per shard, worker base processes spread round-robin across the
+    /// shards after the launcher's, and the launcher — with ok-demux,
+    /// idd, and ok-dbproxy, which it spawns locally — sits next to
+    /// lane 0. The launcher still provisions every verification handle
+    /// and activates the placed workers, so the §7.1 trust chain is
+    /// unchanged. A single-shard kernel takes the launcher-spawns-
+    /// everything path of the paper, bit for bit.
+    pub fn start(kernel: &mut Kernel, mut config: OkwsConfig) -> Okws {
         let tcp_port = config.tcp_port;
-        let netd = spawn_netd(kernel);
-        let launcher = kernel.spawn("launcher", Category::Okws, Box::new(Launcher::new(config)));
+        let netd = spawn_netd_lanes(kernel, config.netd_lanes);
+        let shards = kernel.num_shards();
+        let launcher = if shards > 1 {
+            let launcher_shard = 1 % shards;
+            for (i, spec) in config.services.iter_mut().enumerate() {
+                let body = spec.take_body();
+                let shard = (launcher_shard + 1 + i) % shards;
+                kernel.spawn_ep_service_on(
+                    shard,
+                    &format!("worker-{}", spec.name),
+                    Category::Okws,
+                    body,
+                );
+            }
+            kernel.spawn_on(
+                launcher_shard,
+                "launcher",
+                Category::Okws,
+                Box::new(Launcher::new(config)),
+            )
+        } else {
+            kernel.spawn("launcher", Category::Okws, Box::new(Launcher::new(config)))
+        };
         kernel.run();
         Okws {
             netd,

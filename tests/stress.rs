@@ -21,8 +21,17 @@ fn test_shards() -> usize {
         .unwrap_or(1)
 }
 
-fn deploy_sharded(seed: u64, shards: usize) -> (Kernel, Okws, OkwsClient) {
-    let mut config = OkwsConfig::new(80).sharded(shards);
+/// netd lane count under test: the CI matrix sets `ASBESTOS_NETD_LANES`
+/// (1 and 4); locally this defaults to the paper's single netd.
+fn test_lanes() -> usize {
+    std::env::var("ASBESTOS_NETD_LANES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+}
+
+fn deploy_laned(seed: u64, shards: usize, lanes: usize) -> (Kernel, Okws, OkwsClient) {
+    let mut config = OkwsConfig::new(80).sharded(shards).lanes(lanes);
     config
         .services
         .push(ServiceSpec::new("store", || Box::new(EchoStore::new())));
@@ -38,8 +47,12 @@ fn deploy_sharded(seed: u64, shards: usize) -> (Kernel, Okws, OkwsClient) {
     (kernel, okws, client)
 }
 
+fn deploy_sharded(seed: u64, shards: usize) -> (Kernel, Okws, OkwsClient) {
+    deploy_laned(seed, shards, test_lanes())
+}
+
 fn deploy(seed: u64) -> (Kernel, Okws, OkwsClient) {
-    deploy_sharded(seed, test_shards())
+    deploy_laned(seed, test_shards(), test_lanes())
 }
 
 #[test]
@@ -245,4 +258,104 @@ fn sharded_okws_preserves_isolation() {
         kernel.stats().dropped_label_check > 0,
         "the cross-user read must have been stopped by a label drop"
     );
+}
+
+/// 4 shards × 4 netd lanes under hostile conditions: a burst of
+/// connections with a tiny per-port queue bound (so lane → demux
+/// notifications overflow and take the `PortQueueFull` drop path) and
+/// mid-stream client closes (so workers write into dead connections).
+/// The deployment must never deadlock the worker pool, must account the
+/// overflow drops, and must serve ordinary traffic again once the bound
+/// is lifted.
+#[test]
+fn lane_queue_overflow_and_midstream_closes_do_not_wedge() {
+    let (mut kernel, okws, mut client) = deploy_laned(603, 4, 4);
+    assert_eq!(kernel.num_shards(), 4);
+
+    // Phase 1: a clean burst proves the 4×4 deployment serves traffic and
+    // the RSS demux actually spreads it.
+    for i in 0..USERS {
+        let (status, _) = client
+            .request_sync(
+                &mut kernel,
+                "store",
+                &format!("u{i}"),
+                &format!("p{i}"),
+                &[("data", "warm")],
+            )
+            .expect("warm request responds");
+        assert_eq!(status, 200);
+    }
+    let spread = client.driver.lane_accepts().to_vec();
+    assert_eq!(spread.len(), 4);
+    assert!(
+        spread.iter().filter(|&&n| n > 0).count() >= 2,
+        "RSS demux used one lane for every connection: {spread:?}"
+    );
+
+    // Phase 2: mid-stream closes. Issue requests but kill the client side
+    // of half of them before running the kernel: the demux and workers
+    // process connections whose substrate is already dead, and their
+    // writes are discarded by the closed connection, not wedged.
+    let mut doomed = Vec::new();
+    for i in 0..USERS {
+        let idx = client.request(
+            &mut kernel,
+            "store",
+            &format!("u{i}"),
+            &format!("p{i}"),
+            &[("data", "doomed")],
+        );
+        if i % 2 == 0 {
+            let conn = client.driver.request(idx).conn;
+            okws.netd.net.lock().unwrap().close(conn);
+            doomed.push(conn);
+        }
+    }
+    kernel.run();
+    client.driver.poll(&kernel);
+    for conn in doomed {
+        okws.netd.net.lock().unwrap().reap(conn);
+    }
+    assert_eq!(kernel.queue_len(), 0, "mid-stream closes left work queued");
+
+    // Phase 3: clamp the per-port bound so the connection burst overflows
+    // the demux's notify port (every lane funnels NewConn announcements
+    // into one port). The overflow must drop, not deadlock.
+    let drops_before = kernel.stats().dropped_port_queue_full;
+    kernel.set_port_queue_limit(2);
+    for i in 0..USERS {
+        client.request(
+            &mut kernel,
+            "store",
+            &format!("u{i}"),
+            &format!("p{i}"),
+            &[("data", "burst")],
+        );
+    }
+    kernel.run();
+    client.driver.poll(&kernel);
+    let drops = kernel.stats().dropped_port_queue_full - drops_before;
+    assert!(
+        drops > 0,
+        "a {USERS}-connection burst against a 2-deep port bound must overflow"
+    );
+    assert_eq!(kernel.queue_len(), 0, "overflow left the kernel wedged");
+
+    // Phase 4: lift the bound; the deployment serves again on every lane.
+    kernel.set_port_queue_limit(asbestos::kernel::DEFAULT_PORT_QUEUE_LIMIT);
+    for i in 0..USERS {
+        let (status, body) = client
+            .request_sync(
+                &mut kernel,
+                "store",
+                &format!("u{i}"),
+                &format!("p{i}"),
+                &[("data", "recovered")],
+            )
+            .expect("post-overflow request responds");
+        assert_eq!(status, 200, "user {i} did not recover after the overflow");
+        let _ = body;
+    }
+    assert_eq!(kernel.queue_len(), 0);
 }
