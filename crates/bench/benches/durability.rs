@@ -1,0 +1,161 @@
+//! Durability: commit throughput vs group-commit batch size, and
+//! recovery time vs WAL length.
+//!
+//! Two series, both through the real `DurableDb` statement path (parse,
+//! policy rewrite, engine execute, WAL append):
+//!
+//! * **Commit throughput.** Statements per second at group-commit batch
+//!   sizes 1→256, on the in-memory failpoint device (sync is a memcpy
+//!   bookkeeping op — isolates the WAL framing cost) and on the real
+//!   tempfile device (sync is `fsync` — shows what batching actually
+//!   buys on hardware).
+//! * **Recovery.** Time for `DurableDb::open` — scan, CRC-check, and
+//!   replay the committed prefix — as the WAL grows.
+//!
+//! Real runs write `BENCH_durability.json` at the repo root. `--test`
+//! mode (CI) runs a tiny sweep, writes nothing, and always enforces the
+//! correctness gate: the recovered database must be byte-identical to
+//! the live one that wrote the log.
+
+use asbestos_bench::report::{bench_test_mode, BenchReport};
+use asbestos_db::{DurableDb, SqlValue};
+use asbestos_store::{BlockDev, FileDev, MemDev};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Instant;
+
+/// Group-commit batch sizes swept.
+const BATCHES: [usize; 5] = [1, 4, 16, 64, 256];
+
+/// Statements per configuration (real runs).
+const COMMIT_STMTS: usize = 20_000;
+const COMMIT_STMTS_FILE: usize = 2_000;
+
+/// WAL lengths for the recovery series (committed statements).
+const RECOVERY_LENS: [usize; 3] = [1_000, 5_000, 20_000];
+
+fn fresh_db(dev: Box<dyn BlockDev>) -> DurableDb {
+    let mut db = DurableDb::open(dev);
+    // Large compaction bound: these series measure the WAL itself.
+    db.set_compact_threshold(usize::MAX);
+    assert!(db.apply_ddl("CREATE TABLE events (seq, payload)"));
+    db.flush();
+    db
+}
+
+fn insert(db: &mut DurableDb, i: usize) {
+    db.worker_exec(
+        "INSERT INTO events VALUES (?, ?)",
+        &[
+            SqlValue::Int(i as i64),
+            SqlValue::Text(format!("payload-{i}")),
+        ],
+        (i % 7) as i64 + 1,
+    )
+    .expect("bench write accepted");
+}
+
+/// Statements/second with the given batch size on `dev`.
+fn commit_throughput(dev: Box<dyn BlockDev>, batch: usize, stmts: usize) -> f64 {
+    let mut db = fresh_db(dev);
+    db.set_group_commit(batch);
+    let start = Instant::now();
+    for i in 0..stmts {
+        insert(&mut db, i);
+    }
+    db.flush();
+    stmts as f64 / start.elapsed().as_secs_f64()
+}
+
+/// `(open_ms, stmts/sec)` recovering a WAL of `stmts` committed records,
+/// plus the correctness gate against the live state.
+fn recovery_time(stmts: usize) -> (f64, f64) {
+    let dev = MemDev::new();
+    let mut db = fresh_db(Box::new(dev.clone()));
+    db.set_group_commit(64);
+    for i in 0..stmts {
+        insert(&mut db, i);
+    }
+    db.flush();
+    let live = db.snapshot_bytes();
+    drop(db);
+    let start = Instant::now();
+    let recovered = DurableDb::open(Box::new(dev));
+    let elapsed = start.elapsed();
+    // The always-on correctness gate: recovery must reproduce the live
+    // state exactly (replayed the whole committed prefix, nothing else).
+    assert_eq!(
+        recovered.snapshot_bytes(),
+        live,
+        "recovered state diverged from the live database"
+    );
+    assert_eq!(recovered.recovery().skipped, 0);
+    (
+        elapsed.as_secs_f64() * 1e3,
+        stmts as f64 / elapsed.as_secs_f64(),
+    )
+}
+
+fn bench_durability(c: &mut Criterion) {
+    let test_mode = bench_test_mode();
+    let (mem_stmts, file_stmts) = if test_mode {
+        (256, 64)
+    } else {
+        (COMMIT_STMTS, COMMIT_STMTS_FILE)
+    };
+
+    let mut report = BenchReport::new("durability");
+    let mut batch1_mem = 0.0;
+    let mut batch_max_mem = 0.0;
+    for &batch in &BATCHES {
+        let mem = commit_throughput(Box::new(MemDev::new()), batch, mem_stmts);
+        let filedev = FileDev::temp();
+        let file = commit_throughput(filedev.clone_dev(), batch, file_stmts);
+        filedev.destroy();
+        println!(
+            "durability/commit/batch={batch}: {mem:.0} stmts/s (memdev), {file:.0} stmts/s (filedev+fsync)"
+        );
+        report.push_row(
+            format!("commit/batch={batch}"),
+            &[
+                ("batch", batch as f64),
+                ("memdev_stmts_per_sec", mem),
+                ("filedev_stmts_per_sec", file),
+            ],
+        );
+        if batch == 1 {
+            batch1_mem = mem;
+        }
+        batch_max_mem = mem.max(batch_max_mem);
+    }
+    if batch1_mem > 0.0 {
+        report.push_summary("group_commit_speedup_memdev", batch_max_mem / batch1_mem);
+    }
+
+    let recovery_lens: Vec<usize> = if test_mode {
+        vec![256]
+    } else {
+        RECOVERY_LENS.to_vec()
+    };
+    for &stmts in &recovery_lens {
+        let (ms, rate) = recovery_time(stmts);
+        println!("durability/recovery/wal={stmts}: {ms:.2} ms ({rate:.0} stmts/s replay)");
+        report.push_row(
+            format!("recovery/wal={stmts}"),
+            &[
+                ("wal_stmts", stmts as f64),
+                ("recover_ms", ms),
+                ("replay_stmts_per_sec", rate),
+            ],
+        );
+    }
+
+    if !test_mode {
+        report.write_at_repo_root("durability");
+    }
+
+    // Keep the benchmark visible in `--test` listings.
+    c.bench_function("durability/sweep", |b| b.iter(|| ()));
+}
+
+criterion_group!(benches, bench_durability);
+criterion_main!(benches);

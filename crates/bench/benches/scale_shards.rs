@@ -80,19 +80,32 @@ fn setup(shards: usize, cache_capacity: usize, cross_shard: bool) -> (Kernel, Ve
     deploy_repeated_tuple(0xCAFE, shards, cache_capacity, &workload)
 }
 
-/// Throughput for one configuration: `(virtual, wall, elapsed)` msg/s —
-/// see the module docs for what each denominator means.
-fn throughput(
-    shards: usize,
-    cache_capacity: usize,
-    cross_shard: bool,
-    rounds: usize,
-) -> (f64, f64, f64) {
+/// One configuration's measurements: throughput per denominator (see
+/// the module docs) plus per-shard delivery-cache hit rates.
+struct Measured {
+    virt: f64,
+    wall: f64,
+    elapsed: f64,
+    /// Per-shard cache hit rate over the measured rounds (hits over
+    /// lookups; 0 when the cache is disabled). The spread across shards
+    /// is the ROADMAP "per-shard cache sizing" signal: a shard whose
+    /// rate trails its peers is the one adaptive sizing should feed.
+    hit_rates: Vec<f64>,
+}
+
+/// Throughput for one configuration.
+fn throughput(shards: usize, cache_capacity: usize, cross_shard: bool, rounds: usize) -> Measured {
     let (mut kernel, triggers) = setup(shards, cache_capacity, cross_shard);
     // Warm round: converges sink labels and (when enabled) the cache,
     // and builds the worker pool so its lazy creation is not measured.
     trigger_round(&mut kernel, &triggers);
     let before = kernel.stats().delivered;
+    let cache_before: Vec<(u64, u64)> = (0..shards)
+        .map(|i| {
+            let s = kernel.shard(i).stats();
+            (s.cache_hits, s.cache_misses)
+        })
+        .collect();
     let cycles_before: Vec<u64> = (0..shards).map(|i| kernel.shard(i).clock().now()).collect();
     let busy_before: Vec<u64> = (0..shards).map(|i| kernel.shard(i).busy_nanos()).collect();
     let start = Instant::now();
@@ -113,11 +126,24 @@ fn throughput(
         .max(1);
     let virtual_secs = busiest_cycles as f64 / CYCLES_PER_SEC as f64;
     let wall_secs = busiest_nanos as f64 / 1e9;
-    (
-        delivered / virtual_secs,
-        delivered / wall_secs,
-        delivered / elapsed.as_secs_f64(),
-    )
+    let hit_rates: Vec<f64> = (0..shards)
+        .map(|i| {
+            let s = kernel.shard(i).stats();
+            let hits = s.cache_hits - cache_before[i].0;
+            let lookups = hits + (s.cache_misses - cache_before[i].1);
+            if lookups == 0 {
+                0.0
+            } else {
+                hits as f64 / lookups as f64
+            }
+        })
+        .collect();
+    Measured {
+        virt: delivered / virtual_secs,
+        wall: delivered / wall_secs,
+        elapsed: delivered / elapsed.as_secs_f64(),
+        hit_rates,
+    }
 }
 
 fn bench_scale_shards(c: &mut Criterion) {
@@ -133,22 +159,36 @@ fn bench_scale_shards(c: &mut Criterion) {
     for &shards in &SHARD_COUNTS {
         for (cache_label, capacity) in [("off", 0), ("on", DEFAULT_DELIVERY_CACHE_CAP)] {
             for (mode_label, cross) in [("partitioned", false), ("routed", true)] {
-                let (virt, wall, elapsed) = throughput(shards, capacity, cross, rounds);
+                let m = throughput(shards, capacity, cross, rounds);
+                let (virt, wall, elapsed) = (m.virt, m.wall, m.elapsed);
                 println!(
                     "scale_shards/{mode_label}/cache={cache_label}/shards={shards}: \
                      {virt:.0} virtual msg/s, {wall:.0} wall msg/s, {elapsed:.0} elapsed msg/s"
                 );
+                let mut fields = vec![
+                    ("shards".to_string(), shards as f64),
+                    ("virtual_msgs_per_sec".to_string(), virt),
+                    ("wall_msgs_per_sec".to_string(), wall),
+                    ("elapsed_msgs_per_sec".to_string(), elapsed),
+                    ("users".to_string(), USERS as f64),
+                    ("label_entries".to_string(), ENTRIES as f64),
+                    ("burst".to_string(), BURST as f64),
+                ];
+                // Per-shard cache hit rates (ROADMAP "per-shard cache
+                // sizing" groundwork): recorded for cache-on rows so the
+                // trajectory shows where the decision tuples concentrate.
+                if capacity > 0 {
+                    let mean = m.hit_rates.iter().sum::<f64>() / m.hit_rates.len() as f64;
+                    fields.push(("cache_hit_rate_mean".to_string(), mean));
+                    for (i, rate) in m.hit_rates.iter().enumerate() {
+                        fields.push((format!("cache_hit_rate_s{i}"), *rate));
+                    }
+                }
+                let borrowed: Vec<(&str, f64)> =
+                    fields.iter().map(|(k, v)| (k.as_str(), *v)).collect();
                 report.push_row(
                     format!("{mode_label}/cache={cache_label}/shards={shards}"),
-                    &[
-                        ("shards", shards as f64),
-                        ("virtual_msgs_per_sec", virt),
-                        ("wall_msgs_per_sec", wall),
-                        ("elapsed_msgs_per_sec", elapsed),
-                        ("users", USERS as f64),
-                        ("label_entries", ENTRIES as f64),
-                        ("burst", BURST as f64),
-                    ],
+                    &borrowed,
                 );
                 if capacity == 0 && !cross {
                     virt_off_partitioned.push((shards, virt));

@@ -113,6 +113,49 @@ pub fn okws_sweep_point_with_cache(
     }
 }
 
+/// The §9.2.1 workload on the sharded kernel (ROADMAP: "fig7/fig8 on the
+/// sharded kernel"): same request mix as [`okws_sweep_point`], run on a
+/// `shards × lanes` deployment via [`crate::fixture::deploy_sharded`].
+///
+/// Throughput uses the **busiest shard's** cycle advance as the elapsed
+/// denominator ([`asbestos_kernel::Kernel::elapsed_cycles`]): shards
+/// model parallel cores, so the slowest one bounds the modeled wall
+/// clock. On `1 × 1` this is exactly [`okws_sweep_point`]'s denominator,
+/// making the series directly comparable. Cache disabled, like the
+/// paper-faithful single-shard sweep.
+pub fn okws_sweep_point_sharded(
+    sessions: usize,
+    seed: u64,
+    shards: usize,
+    lanes: usize,
+) -> SweepPoint {
+    let mut env = crate::fixture::deploy_sharded(seed, sessions, true, shards, lanes);
+    env.kernel.set_cache_capacity(0);
+    let start = env.kernel.cycle_snapshot();
+    let elapsed_before = env.kernel.elapsed_cycles();
+    let mut connections = 0u64;
+    for _round in 0..CONNS_PER_USER {
+        for user in 0..sessions {
+            env.request_ok("bench", user, &[]);
+            connections += 1;
+        }
+    }
+    let end = env.kernel.cycle_snapshot();
+    let elapsed = (env.kernel.elapsed_cycles() - elapsed_before).max(1);
+    let throughput = connections as f64 / (elapsed as f64 / CYCLES_PER_SEC as f64);
+    let mut kcycles = [0.0; 5];
+    for (i, &cat) in Category::ALL.iter().enumerate() {
+        let delta = end.total(cat) - start.total(cat);
+        kcycles[i] = delta as f64 / 1_000.0 / connections as f64;
+    }
+    SweepPoint {
+        sessions,
+        connections,
+        throughput,
+        kcycles_per_conn: kcycles,
+    }
+}
+
 /// Figure 7's baseline rows: Apache and Mod-Apache throughput at their
 /// paper concurrency sweet spots (400 and 16 connections, §9.2.1).
 pub fn baseline_throughputs(seed: u64) -> (f64, f64) {

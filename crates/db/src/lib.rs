@@ -12,6 +12,7 @@
 //! * decentralized declassification: `V(uT) = ⋆` writes rows with owner 0.
 
 pub mod ast;
+pub mod durable;
 pub mod engine;
 pub mod lexer;
 pub mod parser;
@@ -21,9 +22,12 @@ pub mod snapshot;
 pub mod table;
 pub mod value;
 
+pub use durable::{DbRecord, DbRecovery, DurableDb};
 pub use engine::{Database, DbError, QueryResult};
 pub use parser::parse;
 pub use proto::DbMsg;
-pub use proxy::{spawn_dbproxy, DbHandle, DbProxy, DB_PORT_ENV, DB_TRUSTED_ENV, USER_ID_COLUMN};
+pub use proxy::{
+    spawn_dbproxy, DbHandle, DbProxy, DB_PORT_ENV, DB_TRUSTED_ENV, OWNERS_TABLE, USER_ID_COLUMN,
+};
 pub use snapshot::{restore, snapshot, SnapshotError};
 pub use value::SqlValue;

@@ -22,8 +22,10 @@ use std::collections::BTreeMap;
 use asbestos_kernel::{
     Category, Handle, Kernel, Label, Level, Message, ProcessId, SendArgs, Service, Sys, Value,
 };
+use asbestos_store::BlockDev;
 
-use crate::ast::Stmt;
+use crate::ast::{SelectCols, Stmt};
+use crate::durable::{worker_table, DurableDb};
 use crate::engine::Database;
 use crate::parser::parse;
 use crate::proto::DbMsg;
@@ -31,6 +33,13 @@ use crate::value::SqlValue;
 
 /// The hidden ownership column the proxy adds to every table.
 pub const USER_ID_COLUMN: &str = "user_id";
+
+/// The proxy's private metadata table mapping usernames to their
+/// persistent uids. Rows here are what re-connect recovered data to a
+/// user whose handles were re-minted after a reboot (§7.5): `Bind`
+/// reuses the stored uid instead of allocating by arrival order. Created
+/// raw (no hidden column), so workers can never reach it.
+pub const OWNERS_TABLE: &str = "dbproxy_owners";
 
 /// Environment key for the proxy's worker-facing port.
 pub const DB_PORT_ENV: &str = "db.port";
@@ -57,7 +66,7 @@ type OwnedRow = (i64, Vec<SqlValue>);
 
 /// The ok-dbproxy service.
 pub struct DbProxy {
-    db: Database,
+    db: DurableDb,
     users: BTreeMap<String, Binding>,
     uid_taint: BTreeMap<i64, Handle>,
     next_uid: i64,
@@ -66,21 +75,58 @@ pub struct DbProxy {
 }
 
 impl DbProxy {
-    /// Creates an empty proxy.
+    /// Creates an empty proxy (volatile: nothing survives the boot).
     pub fn new() -> DbProxy {
         DbProxy::with_database(Database::new())
     }
 
-    /// Creates a proxy over a pre-loaded database — the §7.5 reboot path:
-    /// data (with its hidden ownership column) persists via
-    /// [`crate::snapshot::snapshot`], handles are re-minted after boot, and re-binding
-    /// users in the same order reconnects rows to their owners.
+    /// Creates a proxy over a pre-loaded database — the legacy snapshot
+    /// reboot path: data (with its hidden ownership column) persists via
+    /// [`crate::snapshot::snapshot`], handles are re-minted after boot,
+    /// and `Bind` reconnects rows through the persisted
+    /// [`OWNERS_TABLE`] uid map.
     pub fn with_database(db: Database) -> DbProxy {
+        DbProxy::with_durable(DurableDb::from_database(db))
+    }
+
+    /// Creates a proxy whose every committed statement is write-ahead
+    /// logged to `dev` before acknowledgement — the full §7.5 durability
+    /// path. Opening recovers: newest snapshot, then the committed WAL
+    /// prefix, then uid bindings from the recovered [`OWNERS_TABLE`].
+    pub fn with_store(dev: Box<dyn BlockDev>) -> DbProxy {
+        DbProxy::with_durable(DurableDb::open(dev))
+    }
+
+    fn with_durable(mut db: DurableDb) -> DbProxy {
+        // The owners table is proxy metadata: created raw (workers cannot
+        // reach tables without the hidden column) and itself WAL-logged,
+        // so uid bindings recover with the data they own. The index is
+        // derivable state recreated on every open, so it goes straight to
+        // the engine — logging it would accrete one redundant redo record
+        // per boot.
+        if db.engine().table(OWNERS_TABLE).is_none() {
+            let _ = db.admin_exec(&format!("CREATE TABLE {OWNERS_TABLE} (name, uid)"), &[]);
+        }
+        let _ = db
+            .engine_mut()
+            .run(&format!("CREATE INDEX ON {OWNERS_TABLE} (name)"));
+        let next_uid = db
+            .engine_mut()
+            .run(&format!("SELECT uid FROM {OWNERS_TABLE}"))
+            .map(|r| {
+                r.rows
+                    .iter()
+                    .filter_map(|row| row.first().and_then(SqlValue::as_int))
+                    .max()
+                    .unwrap_or(0)
+                    + 1
+            })
+            .unwrap_or(1);
         DbProxy {
             db,
             users: BTreeMap::new(),
             uid_taint: BTreeMap::new(),
-            next_uid: 1,
+            next_uid,
             worker_port: None,
             admin_port: None,
         }
@@ -88,7 +134,44 @@ impl DbProxy {
 
     /// Serializes the proxy's database (for §7.5 persistence).
     pub fn snapshot(&self) -> Vec<u8> {
-        crate::snapshot::snapshot(&self.db)
+        self.db.snapshot_bytes()
+    }
+
+    /// The boot epoch of the underlying store (0 when volatile).
+    pub fn boot_epoch(&self) -> u64 {
+        self.db.boot_epoch()
+    }
+
+    /// The persistent uid bound to `user`, if one exists (stored in
+    /// [`OWNERS_TABLE`]; survives reboots).
+    fn persisted_uid(&mut self, user: &str) -> Option<i64> {
+        self.db
+            .engine_mut()
+            .run_with_params(
+                &format!("SELECT uid FROM {OWNERS_TABLE} WHERE name = ?"),
+                &[SqlValue::Text(user.to_string())],
+            )
+            .ok()?
+            .rows
+            .first()
+            .and_then(|row| row.first().and_then(SqlValue::as_int))
+    }
+
+    /// Looks up — or allocates and persists — the uid for `user`. The
+    /// allocation rides the WAL: it is flushed no later than the first
+    /// acknowledged write it guards, so durable rows can never outlive
+    /// their owner binding.
+    fn lookup_or_assign_uid(&mut self, user: &str) -> i64 {
+        if let Some(uid) = self.persisted_uid(user) {
+            return uid;
+        }
+        let uid = self.next_uid;
+        self.next_uid += 1;
+        let _ = self.db.admin_exec(
+            &format!("INSERT INTO {OWNERS_TABLE} VALUES (?, ?)"),
+            &[SqlValue::Text(user.to_string()), SqlValue::Int(uid)],
+        );
+        uid
     }
 
     /// §7.5's write gate: `V ⊑ {uT 3, uG 0, 2}`.
@@ -121,38 +204,18 @@ impl DbProxy {
                 // can still reach us.
                 sys.raise_recv(taint, Level::L3)
                     .expect("Bind must arrive with a ⋆ grant for the taint handle");
-                let uid = self.next_uid;
-                self.next_uid += 1;
+                // §7.5 reboot re-binding: a user seen in any earlier boot
+                // keeps the uid persisted in the owners table, so fresh
+                // per-boot handles reconnect to the rows they owned.
+                let uid = self.lookup_or_assign_uid(&user);
                 self.uid_taint.insert(uid, taint);
                 self.users.insert(user, Binding { uid, taint, grant });
             }
             DbMsg::Ddl { sql } => {
                 sys.charge(PROXY_MSG_CYCLES);
-                let Ok(stmt) = parse(&sql) else { return };
-                match stmt {
-                    Stmt::CreateTable { name, mut columns } => {
-                        // Prepend the hidden ownership column and index it:
-                        // every worker query filters on it implicitly.
-                        columns.insert(0, USER_ID_COLUMN.to_string());
-                        let create = Stmt::CreateTable {
-                            name: name.clone(),
-                            columns,
-                        };
-                        if self.db.execute(&create, &[]).is_ok() {
-                            let _ = self.db.execute(
-                                &Stmt::CreateIndex {
-                                    table: name,
-                                    column: USER_ID_COLUMN.to_string(),
-                                },
-                                &[],
-                            );
-                        }
-                    }
-                    other @ Stmt::CreateIndex { .. } => {
-                        let _ = self.db.execute(&other, &[]);
-                    }
-                    _ => {} // Ddl carries schema statements only
-                }
+                // Prepends the hidden ownership column and indexes it;
+                // redo-logged so recovered tables keep their schema.
+                let _ = self.db.apply_ddl(&sql);
             }
             // §7.4's "special access": the trusted party (idd) runs raw
             // statements on its private tables — no hidden-column rewriting,
@@ -161,22 +224,30 @@ impl DbProxy {
                 sql, params, reply, ..
             } => {
                 sys.charge(PROXY_MSG_CYCLES);
-                let result = self.db.run_with_params(&sql, &params);
+                let result = self.db.admin_exec(&sql, &params);
                 let (ok, affected, work) = match &result {
                     Ok(r) => (true, r.affected as u64, r.work),
                     Err(_) => (false, 0, 1),
                 };
                 sys.charge(work * PROXY_ROW_CYCLES);
                 if let Some(reply) = reply {
+                    // Redo-logged before acknowledgement: the ack flushes
+                    // the WAL batch it rides on.
+                    self.db.flush();
                     let _ = sys.send(reply, DbMsg::ExecR { ok, affected }.to_value());
                 }
             }
             DbMsg::Query { sql, params, reply } => {
                 sys.charge(PROXY_MSG_CYCLES);
-                if let Ok(result) = self.db.run_with_params(&sql, &params) {
-                    sys.charge(result.work * PROXY_ROW_CYCLES);
-                    for row in result.rows {
-                        let _ = sys.send(reply, DbMsg::Row { values: row }.to_value());
+                // The Query arm is strictly read-only: a mutation smuggled
+                // in here would execute without being redo-logged and
+                // silently diverge memory from the durable log.
+                if matches!(parse(&sql), Ok(Stmt::Select { .. })) {
+                    if let Ok(result) = self.db.engine_mut().run_with_params(&sql, &params) {
+                        sys.charge(result.work * PROXY_ROW_CYCLES);
+                        for row in result.rows {
+                            let _ = sys.send(reply, DbMsg::Row { values: row }.to_value());
+                        }
                     }
                 }
                 let _ = sys.send(reply, DbMsg::Done.to_value());
@@ -220,13 +291,16 @@ impl DbProxy {
             }
         };
 
-        let outcome = self.rewrite_and_exec(&sql, &params, uid);
+        let outcome = self.db.worker_exec(&sql, &params, uid);
         let (ok, affected, work) = match outcome {
             Some(r) => (true, r.0, r.1),
             None => (false, 0, 1),
         };
         sys.charge(work * PROXY_ROW_CYCLES);
         if let Some(reply) = reply {
+            // §7.5: redo-logged before acknowledgement — flush the WAL
+            // batch (group commit) before the worker hears the verdict.
+            self.db.flush();
             // The outcome of a write to u's rows is u's information.
             let args =
                 SendArgs::new().contaminate(Label::from_pairs(Level::Star, &[(taint, Level::L3)]));
@@ -240,73 +314,6 @@ impl DbProxy {
                 &args,
             );
         }
-    }
-
-    /// Rewrites a worker write so it can only touch rows owned by `uid`,
-    /// then executes it. Returns `(affected, work)`.
-    fn rewrite_and_exec(
-        &mut self,
-        sql: &str,
-        params: &[SqlValue],
-        uid: i64,
-    ) -> Option<(usize, u64)> {
-        let stmt = parse(sql).ok()?;
-        if stmt
-            .mentioned_columns()
-            .iter()
-            .any(|c| c.eq_ignore_ascii_case(USER_ID_COLUMN))
-        {
-            return None; // workers cannot access or change this column
-        }
-        use crate::ast::{CmpOp, Comparison, Expr};
-        let owner_guard = Comparison {
-            column: USER_ID_COLUMN.to_string(),
-            op: CmpOp::Eq,
-            rhs: Expr::Lit(SqlValue::Int(uid)),
-        };
-        let rewritten = match stmt {
-            Stmt::Insert {
-                table,
-                columns,
-                values,
-            } => {
-                // Prepend the owner id. With an explicit column list we add
-                // the hidden column explicitly; without one we rely on
-                // user_id being the first column.
-                let columns = columns.map(|mut cs| {
-                    cs.insert(0, USER_ID_COLUMN.to_string());
-                    cs
-                });
-                let mut vals = Vec::with_capacity(values.len() + 1);
-                vals.push(Expr::Lit(SqlValue::Int(uid)));
-                vals.extend(values);
-                Stmt::Insert {
-                    table,
-                    columns,
-                    values: vals,
-                }
-            }
-            Stmt::Update {
-                table,
-                sets,
-                mut filter,
-            } => {
-                filter.conjuncts.push(owner_guard);
-                Stmt::Update {
-                    table,
-                    sets,
-                    filter,
-                }
-            }
-            Stmt::Delete { table, mut filter } => {
-                filter.conjuncts.push(owner_guard);
-                Stmt::Delete { table, filter }
-            }
-            // Everything else is not a worker write.
-            _ => return None,
-        };
-        let result = self.db.execute(&rewritten, params).ok()?;
-        Some((result.affected, result.work))
     }
 
     fn handle_query(
@@ -351,7 +358,15 @@ impl DbProxy {
         else {
             return None;
         };
-        if let crate::ast::SelectCols::Named(ref cs) = columns {
+        // Workers may only read worker-visible tables (hidden ownership
+        // column in position 0). Raw admin tables — idd's credential
+        // store, the proxy's own uid map — are unreachable: without this
+        // check a `SELECT *` would treat the first projected cell as the
+        // owner id and leak raw rows untainted.
+        if !worker_table(self.db.engine(), &table) {
+            return None;
+        }
+        if let SelectCols::Named(ref cs) = columns {
             if cs.iter().any(|c| c.eq_ignore_ascii_case(USER_ID_COLUMN)) {
                 return None;
             }
@@ -365,14 +380,15 @@ impl DbProxy {
         }
         // Prepend user_id to the projection so we can taint per row.
         let columns = match columns {
-            crate::ast::SelectCols::Star => crate::ast::SelectCols::Star,
-            crate::ast::SelectCols::Named(mut cs) => {
+            SelectCols::Star => SelectCols::Star,
+            SelectCols::Named(mut cs) => {
                 cs.insert(0, USER_ID_COLUMN.to_string());
-                crate::ast::SelectCols::Named(cs)
+                SelectCols::Named(cs)
             }
         };
         let result = self
             .db
+            .engine_mut()
             .execute(
                 &Stmt::Select {
                     columns,
@@ -443,6 +459,12 @@ impl Service for DbProxy {
             // Admin messages on the worker port are ignored outright.
             _ => {}
         }
+    }
+
+    fn on_teardown(&mut self, _sys: &mut Sys<'_>) {
+        // Clean shutdown: group-commit whatever is still buffered. A
+        // crash skips this — recovery then yields the committed prefix.
+        self.db.flush();
     }
 
     fn as_any(&self) -> Option<&dyn std::any::Any> {

@@ -110,16 +110,16 @@ pub fn restore(bytes: &[u8]) -> Result<Database, SnapshotError> {
     Ok(db)
 }
 
-fn put_u32(out: &mut Vec<u8>, v: u32) {
+pub(crate) fn put_u32(out: &mut Vec<u8>, v: u32) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
-fn put_str(out: &mut Vec<u8>, s: &str) {
+pub(crate) fn put_str(out: &mut Vec<u8>, s: &str) {
     put_u32(out, s.len() as u32);
     out.extend_from_slice(s.as_bytes());
 }
 
-fn put_cell(out: &mut Vec<u8>, cell: &SqlValue) {
+pub(crate) fn put_cell(out: &mut Vec<u8>, cell: &SqlValue) {
     match cell {
         SqlValue::Null => {
             out.push(0);
@@ -142,13 +142,13 @@ fn put_cell(out: &mut Vec<u8>, cell: &SqlValue) {
     }
 }
 
-struct Reader<'a> {
-    bytes: &'a [u8],
-    pos: usize,
+pub(crate) struct Reader<'a> {
+    pub(crate) bytes: &'a [u8],
+    pub(crate) pos: usize,
 }
 
 impl<'a> Reader<'a> {
-    fn take(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
+    pub(crate) fn take(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
         if self.pos + n > self.bytes.len() {
             return Err(SnapshotError::Truncated);
         }
@@ -157,19 +157,19 @@ impl<'a> Reader<'a> {
         Ok(out)
     }
 
-    fn u32(&mut self) -> Result<u32, SnapshotError> {
+    pub(crate) fn u32(&mut self) -> Result<u32, SnapshotError> {
         Ok(u32::from_le_bytes(
             self.take(4)?.try_into().expect("4 bytes"),
         ))
     }
 
-    fn string(&mut self) -> Result<String, SnapshotError> {
+    pub(crate) fn string(&mut self) -> Result<String, SnapshotError> {
         let len = self.u32()? as usize;
         let raw = self.take(len)?;
         String::from_utf8(raw.to_vec()).map_err(|_| SnapshotError::BadText)
     }
 
-    fn cell(&mut self) -> Result<SqlValue, SnapshotError> {
+    pub(crate) fn cell(&mut self) -> Result<SqlValue, SnapshotError> {
         let tag = self.take(1)?[0];
         let len = self.u32()? as usize;
         let payload = self.take(len)?;

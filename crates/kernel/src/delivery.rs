@@ -46,6 +46,24 @@ use crate::stats::DropReason;
 /// Default bound on cached delivery decisions.
 pub const DEFAULT_DELIVERY_CACHE_CAP: usize = 1 << 16;
 
+/// Parses a per-shard cache bound from an `ASBESTOS_CACHE_CAP`-style
+/// value; anything unset or unparsable falls back to the compiled-in
+/// default. `0` is legal and disables caching entirely.
+pub(crate) fn cache_cap_from(value: Option<&str>) -> usize {
+    value
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(DEFAULT_DELIVERY_CACHE_CAP)
+}
+
+/// The per-shard delivery-cache bound newly-built kernels start with:
+/// `ASBESTOS_CACHE_CAP` when set (operator knob for per-shard cache
+/// sizing experiments), else [`DEFAULT_DELIVERY_CACHE_CAP`]. Note the
+/// golden-trace suites pin cache counters under the default, so CI sets
+/// this only for jobs that do not compare against golden stats.
+pub(crate) fn default_cache_cap() -> usize {
+    cache_cap_from(std::env::var("ASBESTOS_CACHE_CAP").ok().as_deref())
+}
+
 /// What one call to [`crate::Kernel::step_outcome`] did.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum DeliveryOutcome {
@@ -628,6 +646,17 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn cache_cap_parsing() {
+        assert_eq!(cache_cap_from(None), DEFAULT_DELIVERY_CACHE_CAP);
+        assert_eq!(
+            cache_cap_from(Some("not-a-number")),
+            DEFAULT_DELIVERY_CACHE_CAP
+        );
+        assert_eq!(cache_cap_from(Some("0")), 0, "0 disables the cache");
+        assert_eq!(cache_cap_from(Some("4096")), 4096);
     }
 
     #[test]

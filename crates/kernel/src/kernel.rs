@@ -81,6 +81,19 @@ fn default_worker_target() -> usize {
         .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, usize::from))
 }
 
+/// Folds a boot epoch into the handle-cipher seed (SplitMix64 finalizer).
+/// Epoch 0 — the only epoch a non-durable deployment ever sees — leaves
+/// the seed untouched, so every pre-reboot golden trace is unchanged.
+fn mix_epoch(seed: u64, epoch: u64) -> u64 {
+    if epoch == 0 {
+        return seed;
+    }
+    let mut z = epoch.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    seed ^ (z ^ (z >> 31))
+}
+
 /// A point-in-time memory accounting report (the Figure 6 measurement).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct KmemReport {
@@ -162,6 +175,11 @@ pub struct Kernel {
     next_spawn_shard: usize,
     /// Round-robin cursor for the sequential `step()` debug scheduler.
     step_cursor: usize,
+    /// The boot epoch this kernel was assembled under (§5.1: handle
+    /// values are unique *since boot*; the epoch keys the handle cipher
+    /// so a rebooted deployment can never re-mint a dead boot's
+    /// handles). 0 for ordinary, non-durable kernels.
+    boot_epoch: u64,
 }
 
 impl Kernel {
@@ -187,15 +205,31 @@ impl Kernel {
     ///
     /// Panics unless `1 <= shards <= MAX_SHARDS`.
     pub fn with_cost_model_sharded(seed: u64, cost: CostModel, shards: usize) -> Kernel {
+        Kernel::with_boot_epoch(seed, cost, shards, 0)
+    }
+
+    /// Creates a kernel for boot epoch `epoch` of a durable deployment
+    /// (see [`Kernel::boot_epoch`]). The epoch is folded into the handle
+    /// cipher's key, so handles minted this boot are disjoint from every
+    /// other boot's — §5.1's "unique since boot" across actual reboots.
+    /// Epoch 0 is bit-for-bit the ordinary constructor.
+    pub fn with_boot_epoch(seed: u64, cost: CostModel, shards: usize, epoch: u64) -> Kernel {
         assert!(
             (1..=MAX_SHARDS).contains(&shards),
             "shard count must be in 1..={MAX_SHARDS}"
         );
+        let handle_seed = mix_epoch(seed, epoch);
         let xshard = Arc::new(InboxSet::new(shards));
         Kernel {
             shards: (0..shards)
                 .map(|i| {
-                    KernelShard::new(seed, i as u16, shards, cost.clone(), Arc::clone(&xshard))
+                    KernelShard::new(
+                        handle_seed,
+                        i as u16,
+                        shards,
+                        cost.clone(),
+                        Arc::clone(&xshard),
+                    )
                 })
                 .collect(),
             router: Router::new(shards),
@@ -206,12 +240,19 @@ impl Kernel {
             retired_wakeups: 0,
             next_spawn_shard: 0,
             step_cursor: 0,
+            boot_epoch: epoch,
         }
     }
 
     /// Number of kernel shards.
     pub fn num_shards(&self) -> usize {
         self.shards.len()
+    }
+
+    /// The boot epoch this kernel runs as (0 unless built by a durable
+    /// deployment's reboot path).
+    pub fn boot_epoch(&self) -> u64 {
+        self.boot_epoch
     }
 
     /// Sets the worker-thread budget for multi-shard rounds (capped at
@@ -378,11 +419,18 @@ impl Kernel {
 
     /// Sets the delivery-decision cache bound, in cached decisions per
     /// shard. Capacity 0 disables caching entirely (every delivery
-    /// evaluates Figure 4 from scratch — the ablation baseline).
-    pub fn set_delivery_cache_capacity(&mut self, capacity: usize) {
+    /// evaluates Figure 4 from scratch — the ablation baseline). New
+    /// kernels default to `ASBESTOS_CACHE_CAP` when that is set, else
+    /// [`crate::DEFAULT_DELIVERY_CACHE_CAP`].
+    pub fn set_cache_capacity(&mut self, capacity: usize) {
         for shard in &mut self.shards {
             shard.delivery_cache.set_capacity(capacity);
         }
+    }
+
+    /// Alias of [`Kernel::set_cache_capacity`] (the original name).
+    pub fn set_delivery_cache_capacity(&mut self, capacity: usize) {
+        self.set_cache_capacity(capacity);
     }
 
     /// Number of currently cached delivery decisions, over all shards.
@@ -402,6 +450,19 @@ impl Kernel {
         }
         if let Some(r) = recv {
             p.recv_label = Arc::new(r);
+        }
+    }
+
+    /// Clean shutdown: runs every live plain service's
+    /// [`Service::on_teardown`] hook, shard by shard. Call after
+    /// [`Kernel::run`] has drained the system and before dropping the
+    /// kernel; durable services (ok-dbproxy) flush their write-ahead
+    /// logs here. A crash is modeled by *not* calling this — the next
+    /// boot then recovers the committed prefix only.
+    pub fn teardown(&mut self) {
+        let Kernel { shards, router, .. } = self;
+        for shard in shards {
+            shard.teardown(router);
         }
     }
 

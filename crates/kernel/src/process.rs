@@ -38,6 +38,14 @@ pub trait Service: Send + 'static {
     /// Invoked for every message delivered to a port this process owns.
     fn on_message(&mut self, sys: &mut Sys<'_>, msg: &Message);
 
+    /// Invoked once by [`crate::Kernel::teardown`] when the deployment is
+    /// being shut down cleanly. Services with durable state (ok-dbproxy's
+    /// write-ahead log) flush here; a crash — dropping the kernel without
+    /// teardown — skips this, which is exactly the torn state the
+    /// recovery path must tolerate. Sends issued here are never
+    /// delivered: the kernel stops scheduling after teardown.
+    fn on_teardown(&mut self, _sys: &mut Sys<'_>) {}
+
     /// Optional downcast hook for god-mode test inspection.
     fn as_any(&self) -> Option<&dyn Any> {
         None

@@ -24,7 +24,7 @@ use std::sync::Arc;
 use asbestos_labels::{ops, Handle, Label};
 
 use crate::cycles::{Category, CostModel, CycleClock};
-use crate::delivery::{DeliveryCache, Mailboxes, DEFAULT_DELIVERY_CACHE_CAP};
+use crate::delivery::{default_cache_cap, DeliveryCache, Mailboxes};
 use crate::event_process::EventProcess;
 use crate::handle_table::{HandleTable, PortOwner};
 use crate::ids::{EpId, ExecCtx, ProcessId};
@@ -93,7 +93,7 @@ impl KernelShard {
             xshard,
             queue_limit: DEFAULT_QUEUE_LIMIT,
             port_queue_limit: DEFAULT_PORT_QUEUE_LIMIT,
-            delivery_cache: DeliveryCache::new(DEFAULT_DELIVERY_CACHE_CAP),
+            delivery_cache: DeliveryCache::new(default_cache_cap()),
             stats: Stats::default(),
             last_ctx: None,
             busy_nanos: 0,
@@ -188,6 +188,29 @@ impl KernelShard {
         if let Some(eid) = ep {
             if !self.eps[eid.index()].alive {
                 self.cleanup_ep(router, eid);
+            }
+        }
+    }
+
+    /// Runs every live plain service's `on_teardown` hook (clean
+    /// shutdown; see [`crate::Service::on_teardown`]). Event-process
+    /// services keep no durable state by construction — their memory is
+    /// per-boot simulated frames — so only plain services get the hook.
+    pub(crate) fn teardown(&mut self, router: &Router) {
+        for index in 0..self.processes.len() {
+            if !self.processes[index].alive {
+                continue;
+            }
+            let Some(mut body) = self.processes[index].body.take() else {
+                continue;
+            };
+            let pid = ProcessId::new(self.id, index);
+            if let Body::Plain(service) = &mut body {
+                let mut sys = Sys::new(self, router, ExecCtx { pid, ep: None }, false);
+                service.on_teardown(&mut sys);
+            }
+            if self.processes[index].alive {
+                self.processes[index].body = Some(body);
             }
         }
     }

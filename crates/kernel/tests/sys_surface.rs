@@ -292,3 +292,79 @@ fn queued_from_tracks_pending_sends() {
     kernel.run();
     assert_eq!(kernel.queued_from(sender), 0);
 }
+
+#[test]
+fn boot_epochs_mint_disjoint_handles() {
+    // §5.1: handle values are unique since boot. With a durable store a
+    // deployment actually reboots, so each boot epoch must key the handle
+    // cipher differently — same seed, different epoch, different handles.
+    let handles = |epoch: u64| -> Vec<u64> {
+        let mut kernel = asbestos_kernel::Kernel::with_boot_epoch(
+            42,
+            asbestos_kernel::CostModel::default(),
+            1,
+            epoch,
+        );
+        assert_eq!(kernel.boot_epoch(), epoch);
+        let minted = Arc::new(Mutex::new(Vec::new()));
+        let m2 = minted.clone();
+        kernel.spawn(
+            "minter",
+            Category::Other,
+            service_with_start(
+                move |sys| {
+                    for _ in 0..32 {
+                        m2.lock().unwrap().push(sys.new_handle().raw());
+                    }
+                },
+                |_, _| {},
+            ),
+        );
+        let out = minted.lock().unwrap().clone();
+        out
+    };
+    let epoch1 = handles(1);
+    let epoch2 = handles(2);
+    let zero_a = handles(0);
+    let zero_b = handles(0);
+    // Epoch 0 is deterministic (the pre-durability configuration)...
+    assert_eq!(zero_a, zero_b);
+    // ...and distinct epochs share no handle values at all.
+    assert!(epoch1.iter().all(|h| !epoch2.contains(h)));
+    assert!(epoch1.iter().all(|h| !zero_a.contains(h)));
+}
+
+#[test]
+fn teardown_runs_service_hooks_once() {
+    struct Flushy {
+        flushed: Arc<Mutex<u32>>,
+    }
+    impl asbestos_kernel::Service for Flushy {
+        fn on_message(
+            &mut self,
+            _sys: &mut asbestos_kernel::Sys<'_>,
+            _msg: &asbestos_kernel::Message,
+        ) {
+        }
+        fn on_teardown(&mut self, _sys: &mut asbestos_kernel::Sys<'_>) {
+            *self.flushed.lock().unwrap() += 1;
+        }
+    }
+    let flushed = Arc::new(Mutex::new(0));
+    let mut kernel = Kernel::new_sharded(411, 2);
+    for i in 0..3 {
+        kernel.spawn(
+            &format!("svc-{i}"),
+            Category::Other,
+            Box::new(Flushy {
+                flushed: flushed.clone(),
+            }),
+        );
+    }
+    // Event-process services have no durable state; no hook, no panic.
+    kernel.spawn_ep_service("epsvc", Category::Other, ep_service_fn(|_| {}, |_, _| {}));
+    kernel.run();
+    assert_eq!(*flushed.lock().unwrap(), 0, "teardown is explicit");
+    kernel.teardown();
+    assert_eq!(*flushed.lock().unwrap(), 3, "every plain service flushed");
+}

@@ -10,6 +10,7 @@
 
 use asbestos_db::DbProxy;
 use asbestos_kernel::{Category, Handle, Label, Level, Message, SendArgs, Service, Sys, Value};
+use asbestos_store::BlockDev;
 
 use crate::demux::{svc_declassifier_env, svc_verify_env, OkDemux, SVC_LIST_ENV};
 use crate::idd::{Idd, IDD_DEMUX_VERIFY_ENV, IDD_PORT_ENV, LAUNCHER_VERIFY_ENV};
@@ -127,6 +128,11 @@ pub struct OkwsConfig {
     /// demultiplexer hashing each accepted connection to a lane so its
     /// whole event stream stays on one shard.
     pub netd_lanes: usize,
+    /// The durable medium for ok-dbproxy's write-ahead log (§7.5
+    /// persistence). `None` (the default) is the paper's volatile
+    /// prototype; a device makes every acknowledged statement durable
+    /// and enables [`crate::Okws::reboot`].
+    pub db_store: Option<Box<dyn BlockDev>>,
 }
 
 impl OkwsConfig {
@@ -140,6 +146,7 @@ impl OkwsConfig {
             with_cache: false,
             shards: 1,
             netd_lanes: 1,
+            db_store: None,
         }
     }
 
@@ -152,6 +159,15 @@ impl OkwsConfig {
     /// Sets the netd lane count of the multi-queue front end.
     pub fn lanes(mut self, lanes: usize) -> OkwsConfig {
         self.netd_lanes = lanes;
+        self
+    }
+
+    /// Backs ok-dbproxy with a durable store on `dev`: every committed
+    /// statement is redo-logged before acknowledgement, and the same
+    /// device handed to [`crate::Okws::reboot`] recovers the deployment
+    /// after a crash or clean shutdown.
+    pub fn durable(mut self, dev: Box<dyn BlockDev>) -> OkwsConfig {
+        self.db_store = Some(dev);
         self
     }
 }
@@ -202,7 +218,13 @@ impl Service for Launcher {
         // all of them.
         sys.spawn("idd", Category::Okdb, Box::new(Idd::new()))
             .expect("launcher runs outside event processes");
-        sys.spawn("ok-dbproxy", Category::Okdb, Box::new(DbProxy::new()))
+        let proxy = match config.db_store.take() {
+            // §7.5 durability: the proxy recovers (snapshot + committed
+            // WAL prefix) before serving its first message.
+            Some(dev) => DbProxy::with_store(dev),
+            None => DbProxy::new(),
+        };
+        sys.spawn("ok-dbproxy", Category::Okdb, Box::new(proxy))
             .expect("launcher runs outside event processes");
         if config.with_cache {
             sys.spawn(

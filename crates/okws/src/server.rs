@@ -1,7 +1,8 @@
-//! OKWS assembly and a test/bench client.
+//! OKWS assembly, reboot, and a test/bench client.
 
-use asbestos_kernel::{Category, Kernel, ProcessId};
+use asbestos_kernel::{Category, CostModel, Kernel, ProcessId};
 use asbestos_net::{spawn_netd_lanes, ClientDriver, NetdHandle};
+use asbestos_store::Store;
 
 use crate::launcher::{Launcher, OkwsConfig};
 
@@ -68,10 +69,48 @@ impl Okws {
     /// Builds a kernel with the shard count the config asks for
     /// (`OkwsConfig::shards`) and deploys OKWS on it — the one-call
     /// launcher/worker wiring for sharded deployments.
+    ///
+    /// A durable config ([`OkwsConfig::durable`]) boots as the epoch
+    /// *after* the device's last recorded boot, so the kernel's handle
+    /// cipher never re-mints a dead boot's handles (§5.1: handles are
+    /// unique since boot — here, across actual reboots too).
     pub fn deploy(seed: u64, config: OkwsConfig) -> (Kernel, Okws) {
-        let mut kernel = Kernel::new_sharded(seed, config.shards);
+        let epoch = config
+            .db_store
+            .as_ref()
+            .map_or(0, |dev| Store::peek_epoch(dev.as_ref()) + 1);
+        let mut kernel = Kernel::with_boot_epoch(seed, CostModel::default(), config.shards, epoch);
         let okws = Okws::start(&mut kernel, config);
         (kernel, okws)
+    }
+
+    /// Boots the next epoch of a durable deployment: the device in
+    /// `config` carries the previous boot's snapshot + WAL, and the new
+    /// kernel recovers it during assembly. Everything per-boot is fresh —
+    /// handles (idd mints new `uT`/`uG` pairs on first login and
+    /// re-grants ok-dbproxy `⋆` on each), ports, sessions — while the
+    /// database rows and their hidden ownership column persist, and
+    /// `Bind` re-connects each user's fresh taint handle to their
+    /// recovered rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` has no durable store — a volatile deployment
+    /// has nothing to reboot *from*.
+    pub fn reboot(seed: u64, config: OkwsConfig) -> (Kernel, Okws) {
+        assert!(
+            config.db_store.is_some(),
+            "reboot needs a durable store (OkwsConfig::durable)"
+        );
+        Okws::deploy(seed, config)
+    }
+
+    /// Cleanly shuts the deployment down: drains the kernel, then runs
+    /// every service's teardown hook so ok-dbproxy group-commits its WAL
+    /// tail. Crash = skipping this and just dropping the kernel.
+    pub fn shutdown(self, kernel: &mut Kernel) {
+        kernel.run();
+        kernel.teardown();
     }
 }
 

@@ -560,3 +560,98 @@ fn label_growth_matches_section_9_3() {
         "ok-demux holds at least one session-port handle per session"
     );
 }
+
+/// A worker that tries to dump the trusted parties' *raw* tables: idd's
+/// credential store and ok-dbproxy's uid map. Neither carries the hidden
+/// ownership column, so the proxy must refuse the statements outright —
+/// without the worker-table check, `SELECT *` on a raw table would
+/// misread its first column as the owner id and leak rows untainted.
+struct TableSnoop;
+
+impl asbestos_okws::WorkerLogic for TableSnoop {
+    fn on_request(
+        &self,
+        _session: &mut dyn asbestos_okws::SessionStore,
+        req: &asbestos_net::HttpRequest,
+    ) -> asbestos_okws::Action {
+        let table = req.param("table").unwrap_or("okws_users").to_string();
+        if req.param("drop").is_some() {
+            return asbestos_okws::Action::DbExec {
+                sql: format!("DELETE FROM {table}"),
+                params: vec![],
+            };
+        }
+        asbestos_okws::Action::DbQuery {
+            sql: format!("SELECT * FROM {table}"),
+            params: vec![],
+        }
+    }
+
+    fn on_db_exec(
+        &self,
+        _session: &mut dyn asbestos_okws::SessionStore,
+        _req: &asbestos_net::HttpRequest,
+        ok: bool,
+        _affected: u64,
+    ) -> asbestos_okws::Action {
+        asbestos_okws::Action::ok(if ok { &b"dropped"[..] } else { &b"refused"[..] })
+    }
+
+    fn on_db_rows(
+        &self,
+        _session: &mut dyn asbestos_okws::SessionStore,
+        _req: &asbestos_net::HttpRequest,
+        rows: &[Vec<asbestos_db::SqlValue>],
+    ) -> asbestos_okws::Action {
+        asbestos_okws::Action::ok(format!("{} rows", rows.len()).into_bytes())
+    }
+}
+
+#[test]
+fn workers_cannot_reach_raw_credential_tables() {
+    let mut kernel = Kernel::new(213);
+    let mut config = OkwsConfig::new(80);
+    config
+        .services
+        .push(ServiceSpec::new("snoop", || Box::new(TableSnoop)));
+    config.users.push(("alice".into(), "pw-a".into()));
+    config.users.push(("bob".into(), "pw-b".into()));
+    let okws = Okws::start(&mut kernel, config);
+    let mut client = OkwsClient::new(&okws);
+
+    // idd's password table and the proxy's uid map: zero rows visible,
+    // even though both tables exist and have rows.
+    for table in ["okws_users", "dbproxy_owners"] {
+        let (status, body) = client
+            .request_sync(&mut kernel, "snoop", "alice", "pw-a", &[("table", table)])
+            .unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(
+            body, b"0 rows",
+            "a worker dump of raw table {table} must come back empty"
+        );
+    }
+
+    // Destructive writes are refused too — and the credentials survive:
+    // bob can still log in afterwards.
+    let (_, body) = client
+        .request_sync(
+            &mut kernel,
+            "snoop",
+            "alice",
+            "pw-a",
+            &[("table", "okws_users"), ("drop", "1")],
+        )
+        .unwrap();
+    assert_eq!(body, b"refused");
+    let (status, _) = client
+        .request_sync(
+            &mut kernel,
+            "snoop",
+            "bob",
+            "pw-b",
+            &[("table", "okws_users")],
+        )
+        .unwrap();
+    assert_eq!(status, 200, "bob's credentials survived the attack");
+}

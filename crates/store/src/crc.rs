@@ -1,0 +1,65 @@
+//! CRC-32 (IEEE 802.3 polynomial), table-driven.
+//!
+//! The workspace vendors no checksum crate, and the WAL needs exactly one
+//! well-understood integrity check: every frame carries the CRC of its
+//! payload, so a torn or bit-flipped tail is detected (never replayed) and
+//! recovery stops at the last intact committed prefix.
+
+/// Reflected polynomial for CRC-32/IEEE.
+const POLY: u32 = 0xEDB8_8320;
+
+/// The 256-entry lookup table, built at compile time.
+const TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ POLY
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 of `bytes` (IEEE, as used by zip/png/ethernet).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn detects_single_bit_flips() {
+        let data = b"the quick brown fox jumps over the lazy dog";
+        let good = crc32(data);
+        for i in 0..data.len() {
+            for bit in 0..8 {
+                let mut flipped = data.to_vec();
+                flipped[i] ^= 1 << bit;
+                assert_ne!(crc32(&flipped), good, "flip at byte {i} bit {bit}");
+            }
+        }
+    }
+}
