@@ -13,7 +13,9 @@
 //! with the cache on and off; the acceptance bar is ≥ 2× on this workload.
 
 use asbestos_bench::report::{bench_test_mode, BenchReport};
-use asbestos_bench::workload_tuples::{deploy_repeated_tuple, trigger_round, TupleWorkload};
+use asbestos_bench::workload_tuples::{
+    deploy_repeated_tuple, trigger_round, PayloadMode, TupleWorkload,
+};
 use asbestos_kernel::{Handle, Kernel, DEFAULT_DELIVERY_CACHE_CAP};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::time::Instant;
@@ -35,6 +37,7 @@ const WORKLOAD: TupleWorkload = TupleWorkload {
     handle_stride: 0x100,
     per_user_sinks: false,
     cross_shard: false,
+    payload: PayloadMode::None,
 };
 
 /// Deploys the shared-sink repeated-tuple workload (see

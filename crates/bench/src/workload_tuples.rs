@@ -14,7 +14,21 @@
 //! comparable and prevents the workloads from silently diverging.
 
 use asbestos_kernel::util::service_with_start;
-use asbestos_kernel::{Category, Handle, Kernel, Label, Level, Value};
+use asbestos_kernel::{Category, Handle, Kernel, Label, Level, Payload, Value};
+
+/// What each burst message carries.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub enum PayloadMode {
+    /// Control-plane tuples only (`Value::U64`) — the original regime.
+    None,
+    /// Each send clones one pre-built shared payload of the given size:
+    /// the refcount moves, the bytes stay put (the zero-copy hot path).
+    Shared(usize),
+    /// Each send materializes a fresh buffer of the given size — the
+    /// per-send deep copy the zero-copy path removed, kept as the A/B
+    /// baseline so the win stays measurable.
+    Copied(usize),
+}
 
 /// Shape of one repeated-tuple deployment.
 #[derive(Clone, Copy)]
@@ -35,6 +49,8 @@ pub struct TupleWorkload {
     /// With per-user sinks: place each sink one shard away from its
     /// sender so every message rides the cross-shard router.
     pub cross_shard: bool,
+    /// Body carried by each burst message.
+    pub payload: PayloadMode,
 }
 
 /// Deploys the workload over `shards` shards with the given delivery
@@ -104,6 +120,13 @@ pub fn deploy_repeated_tuple(
         let trig_key = format!("user{user}.trigger");
         let publish_key = trig_key.clone();
         let burst = w.burst;
+        let mode = w.payload;
+        // Built once per user, outside the send loop: the Shared mode's
+        // whole point is that steady-state sends touch no bytes.
+        let template: Option<Payload> = match mode {
+            PayloadMode::None => None,
+            PayloadMode::Shared(size) | PayloadMode::Copied(size) => Some(vec![0xA5; size].into()),
+        };
         kernel.spawn_on(
             send_shard,
             &format!("user{user}"),
@@ -116,7 +139,14 @@ pub fn deploy_repeated_tuple(
                 },
                 move |sys, _msg| {
                     for i in 0..burst {
-                        sys.send(sink, Value::U64(i as u64)).unwrap();
+                        let body = match (&mode, &template) {
+                            (PayloadMode::Shared(_), Some(t)) => Value::Bytes(t.clone()),
+                            (PayloadMode::Copied(_), Some(t)) => {
+                                Value::Bytes(Payload::copy_from_slice(t))
+                            }
+                            _ => Value::U64(i as u64),
+                        };
+                        sys.send(sink, body).unwrap();
                     }
                 },
             ),
@@ -161,6 +191,7 @@ mod tests {
             handle_stride: 0x100,
             per_user_sinks: false,
             cross_shard: false,
+            payload: PayloadMode::None,
         };
         let (mut kernel, triggers) = deploy_repeated_tuple(1, 1, 0, &w);
         trigger_round(&mut kernel, &triggers);
@@ -177,5 +208,45 @@ mod tests {
         trigger_round(&mut kernel, &triggers);
         assert_eq!(kernel.stats().delivered, 4 + 20);
         assert_eq!(kernel.stats().dropped_total(), 0);
+    }
+
+    #[test]
+    fn payload_modes_differ_only_in_materializations() {
+        let base = TupleWorkload {
+            users: 2,
+            entries: 3,
+            burst: 4,
+            handle_base: 0x1000,
+            handle_stride: 0x100,
+            per_user_sinks: true,
+            cross_shard: true,
+            payload: PayloadMode::Shared(256),
+        };
+        // Shared: one template materialization per user at deploy time,
+        // zero per send.
+        let (mut kernel, triggers) = deploy_repeated_tuple(1, 2, 0, &base);
+        let before = Payload::deep_copies();
+        trigger_round(&mut kernel, &triggers);
+        assert_eq!(kernel.stats().delivered, 2 + 8);
+        assert_eq!(
+            Payload::deep_copies(),
+            before,
+            "shared mode must not copy bytes per send"
+        );
+
+        // Copied: same deliveries, one materialization per send.
+        let copied = TupleWorkload {
+            payload: PayloadMode::Copied(256),
+            ..base
+        };
+        let (mut kernel, triggers) = deploy_repeated_tuple(1, 2, 0, &copied);
+        let before = Payload::deep_copies();
+        trigger_round(&mut kernel, &triggers);
+        assert_eq!(kernel.stats().delivered, 2 + 8);
+        assert_eq!(
+            Payload::deep_copies(),
+            before + 8,
+            "copied mode deep-copies once per send"
+        );
     }
 }

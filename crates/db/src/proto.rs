@@ -9,7 +9,7 @@ fn sql_to_value(v: &SqlValue) -> Value {
         SqlValue::Null => Value::Unit,
         SqlValue::Int(i) => Value::List(vec![Value::Str("i".into()), Value::U64(*i as u64)]),
         SqlValue::Text(t) => Value::Str(t.clone()),
-        SqlValue::Blob(b) => Value::Bytes(b.clone()),
+        SqlValue::Blob(b) => Value::Bytes(b.clone().into()),
     }
 }
 
@@ -17,7 +17,7 @@ fn value_to_sql(v: &Value) -> Option<SqlValue> {
     match v {
         Value::Unit => Some(SqlValue::Null),
         Value::Str(s) => Some(SqlValue::Text(s.clone())),
-        Value::Bytes(b) => Some(SqlValue::Blob(b.clone())),
+        Value::Bytes(b) => Some(SqlValue::Blob(b.to_vec())),
         Value::List(items) => {
             if items.len() == 2 && items[0].as_str() == Some("i") {
                 Some(SqlValue::Int(items[1].as_u64()? as i64))

@@ -2,7 +2,7 @@
 //! "to read a file, for example, the client sends a READ message to the
 //! fileserver's port and awaits the corresponding READ_R reply."
 
-use asbestos_kernel::{Handle, Value};
+use asbestos_kernel::{Handle, Payload, Value};
 
 /// A message in the file-server protocol.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -41,8 +41,9 @@ pub enum FsMsg {
     ReadR {
         /// File name.
         name: String,
-        /// Contents; `None` if the file does not exist.
-        data: Option<Vec<u8>>,
+        /// Contents (shared with the server's stored copy); `None` if the
+        /// file does not exist.
+        data: Option<Payload>,
     },
     /// Write a file. For owned files the sender must prove it speaks for
     /// the owner with `V(uG) ≤ 0` (§5.4); for system files, `V(s) ≤ 1`.
@@ -50,7 +51,7 @@ pub enum FsMsg {
         /// File name.
         name: String,
         /// New contents.
-        data: Vec<u8>,
+        data: Payload,
         /// Optional reply port for [`FsMsg::WriteR`].
         reply: Option<Handle>,
     },
@@ -150,7 +151,7 @@ impl FsMsg {
             }),
             "write" => Some(FsMsg::Write {
                 name: items.get(1)?.as_str()?.to_string(),
-                data: items.get(2)?.as_bytes()?.to_vec(),
+                data: items.get(2)?.as_payload()?.clone(),
                 reply: items.get(3).and_then(|v| v.as_handle()),
             }),
             "write-r" => Some(FsMsg::WriteR {
@@ -188,7 +189,7 @@ mod tests {
             },
             FsMsg::ReadR {
                 name: "f".into(),
-                data: Some(vec![1]),
+                data: Some(vec![1].into()),
             },
             FsMsg::ReadR {
                 name: "f".into(),
@@ -196,12 +197,12 @@ mod tests {
             },
             FsMsg::Write {
                 name: "f".into(),
-                data: vec![2],
+                data: vec![2].into(),
                 reply: Some(h),
             },
             FsMsg::Write {
                 name: "f".into(),
-                data: vec![],
+                data: Payload::new(),
                 reply: None,
             },
             FsMsg::WriteR {

@@ -17,7 +17,8 @@
 use std::collections::BTreeMap;
 
 use asbestos_kernel::{
-    Category, Handle, Kernel, Label, Level, Message, ProcessId, SendArgs, Service, Sys, Value,
+    Category, Handle, Kernel, Label, Level, Message, Payload, ProcessId, SendArgs, Service, Sys,
+    Value,
 };
 
 use crate::proto::FsMsg;
@@ -46,7 +47,9 @@ enum Owner {
 
 struct File {
     owner: Owner,
-    data: Vec<u8>,
+    // Stored as a shared payload: a READ_R reply clones the refcount, so
+    // serving a file never copies its contents.
+    data: Payload,
 }
 
 /// The file-server service.
@@ -152,7 +155,7 @@ impl Service for FileServer {
                     name,
                     File {
                         owner,
-                        data: Vec::new(),
+                        data: Payload::new(),
                     },
                 );
             }
@@ -161,7 +164,7 @@ impl Service for FileServer {
                     name,
                     File {
                         owner: Owner::System,
-                        data: Vec::new(),
+                        data: Payload::new(),
                     },
                 );
             }

@@ -81,7 +81,7 @@ fn spawn_shell(kernel: &mut Kernel, name: &'static str) -> Handle {
                             fs,
                             FsMsg::Write {
                                 name: file,
-                                data,
+                                data: data.into(),
                                 reply: None,
                             }
                             .to_value(),
@@ -97,7 +97,7 @@ fn spawn_shell(kernel: &mut Kernel, name: &'static str) -> Handle {
                             fs,
                             FsMsg::Write {
                                 name: file,
-                                data,
+                                data: data.into(),
                                 reply: None,
                             }
                             .to_value(),
@@ -172,7 +172,7 @@ fn taint_on_read_and_figure2_isolation() {
         Value::List(vec![
             "write".into(),
             "u-diary".into(),
-            Value::Bytes(b"dear diary".to_vec()),
+            Value::Bytes(b"dear diary".to_vec().into()),
         ]),
     );
     kernel.run();
@@ -191,7 +191,7 @@ fn taint_on_read_and_figure2_isolation() {
         Value::List(vec![
             "write".into(),
             "u-diary".into(),
-            Value::Bytes(b"dear diary".to_vec()),
+            Value::Bytes(b"dear diary".to_vec().into()),
         ]),
     );
     kernel.inject(u_cmd, Value::List(vec!["read".into(), "u-diary".into()]));
@@ -239,7 +239,7 @@ fn taint_on_read_and_figure2_isolation() {
         Value::List(vec![
             "write".into(),
             "v-notes".into(),
-            Value::Bytes(b"v stuff".to_vec()),
+            Value::Bytes(b"v stuff".to_vec().into()),
         ]),
     );
     kernel.inject(v_cmd, Value::List(vec!["read".into(), "v-notes".into()]));
@@ -291,7 +291,7 @@ fn writes_require_speak_for_proof() {
         Value::List(vec![
             "write".into(),
             "u-file".into(),
-            Value::Bytes(b"mine".to_vec()),
+            Value::Bytes(b"mine".to_vec().into()),
         ]),
     );
     kernel.run();
@@ -303,7 +303,7 @@ fn writes_require_speak_for_proof() {
         Value::List(vec![
             "write".into(),
             "u-file".into(),
-            Value::Bytes(b"overwrite".to_vec()),
+            Value::Bytes(b"overwrite".to_vec().into()),
         ]),
     );
     // u (or anyone) writing without naming the credential is also refused.
@@ -312,7 +312,7 @@ fn writes_require_speak_for_proof() {
         Value::List(vec![
             "write-unproven".into(),
             "u-file".into(),
-            Value::Bytes(b"oops".to_vec()),
+            Value::Bytes(b"oops".to_vec().into()),
         ]),
     );
     kernel.run();
@@ -388,7 +388,7 @@ fn system_files_mandatory_integrity() {
                     fs_port,
                     FsMsg::Write {
                         name: "passwd".into(),
-                        data: b"root:x:0".to_vec(),
+                        data: b"root:x:0".to_vec().into(),
                         reply: None,
                     }
                     .to_value(),
@@ -416,7 +416,7 @@ fn system_files_mandatory_integrity() {
                     fs_port,
                     FsMsg::Write {
                         name: "passwd".into(),
-                        data: b"evil".to_vec(),
+                        data: b"evil".to_vec().into(),
                         reply: None,
                     }
                     .to_value(),
@@ -429,7 +429,7 @@ fn system_files_mandatory_integrity() {
                     fs_port,
                     FsMsg::Write {
                         name: "passwd".into(),
-                        data: b"evil2".to_vec(),
+                        data: b"evil2".to_vec().into(),
                         reply: None,
                     }
                     .to_value(),
@@ -509,7 +509,7 @@ fn server_stays_unconta_minated_across_users() {
             Value::List(vec![
                 "write".into(),
                 file.into(),
-                Value::Bytes(b"data".to_vec()),
+                Value::Bytes(b"data".to_vec().into()),
             ]),
         );
         kernel.inject(cmd, Value::List(vec!["read".into(), file.into()]));

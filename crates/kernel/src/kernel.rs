@@ -613,9 +613,11 @@ impl Kernel {
     }
 
     /// Pulls every shard's inbound channel into its mailboxes (with
-    /// destination-side queue bounds). The pending count makes the
-    /// nothing-in-flight case — every step of a cross-shard-free
-    /// workload — one atomic load instead of an O(shards) scan.
+    /// destination-side queue bounds). The nothing-in-flight case —
+    /// every step of a cross-shard-free workload — costs O(shards)
+    /// relaxed atomic loads and no locks; keeping the check per-inbox
+    /// (rather than one global counter) is what keeps the *send* path
+    /// free of a shared contended atomic.
     fn route_parked(&mut self, point: PullPoint) {
         if self.xshard.pending() > 0 {
             for shard in &mut self.shards {

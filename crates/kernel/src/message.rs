@@ -120,10 +120,19 @@ pub(crate) struct QueuedMessage {
 }
 
 impl QueuedMessage {
-    /// Accounted bytes for queue memory accounting.
-    pub fn queue_bytes(&self) -> usize {
-        // Message header + payload + the four label snapshots.
-        48 + self.body.size_bytes()
+    /// Accounted bytes for queue memory accounting, *excluding* payload
+    /// backing buffers. Queued payloads are refcounted views, so billing
+    /// `Value::size_bytes` per message would charge one shared buffer
+    /// once per queued clone; the kmem report instead adds each unique
+    /// backing buffer once (see `KernelShard::kmem_report`). For a
+    /// message whose payloads are unshared whole-buffer views the two
+    /// schemes sum to the same total.
+    pub fn queue_bytes_shallow(&self) -> usize {
+        let mut payload_window_bytes = 0;
+        self.body
+            .for_each_payload(&mut |p| payload_window_bytes += p.len());
+        // Message header + payload headers + the four label snapshots.
+        48 + self.body.size_bytes() - payload_window_bytes
             + self.es.heap_bytes()
             + self.ds.heap_bytes()
             + self.dr.heap_bytes()

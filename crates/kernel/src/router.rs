@@ -149,13 +149,13 @@ struct Inbox {
 /// order-preserving), and the receiving shard enqueues a drained batch in
 /// arrival order into its per-port FIFO mailboxes.
 ///
-/// `pending` counts messages pushed but not yet taken across *all*
-/// shards. It is the "outboxes dirty" signal: an idle kernel (and every
-/// single-shard kernel, which never routes) sees zero and pays one atomic
-/// load instead of an O(shards) scan.
+/// There is deliberately no kernel-wide pending counter: a shared atomic
+/// bumped on every push is a cache line every sending shard contends on.
+/// [`InboxSet::pending`] sums the per-inbox mirrors instead — an
+/// O(shards) read on the coordinator's (cold, per-round) path, bought
+/// with zero shared-counter traffic on the (hot, per-message) send path.
 pub(crate) struct InboxSet {
     inboxes: Box<[Inbox]>,
-    pending: AtomicUsize,
 }
 
 impl InboxSet {
@@ -167,13 +167,15 @@ impl InboxSet {
                     queue: Mutex::new(Vec::new()),
                 })
                 .collect(),
-            pending: AtomicUsize::new(0),
         }
     }
 
     /// Cross-shard messages pushed but not yet pulled, kernel-wide.
     pub fn pending(&self) -> usize {
-        self.pending.load(Ordering::Acquire)
+        self.inboxes
+            .iter()
+            .map(|inbox| inbox.len.load(Ordering::Acquire))
+            .sum()
     }
 
     /// Pending inbound messages for one shard.
@@ -197,22 +199,41 @@ impl InboxSet {
         let mut queue = inbox.queue.lock().expect("inbox lock");
         queue.push(qm);
         inbox.len.store(queue.len(), Ordering::Release);
-        self.pending.fetch_add(1, Ordering::AcqRel);
         true
     }
 
-    /// Takes every message currently queued for `shard`, in arrival
-    /// order. The no-mail fast path is one atomic load, no lock.
-    pub fn take(&self, shard: usize) -> Vec<QueuedMessage> {
+    /// Swap-drains every message queued for `shard`, in arrival order,
+    /// into `buf` (which must arrive empty). The whole batch moves with
+    /// one lock acquisition and one atomic store, however many messages
+    /// it holds; the no-mail fast path is one atomic load, no lock.
+    ///
+    /// Allocation reuse: the queue keeps `buf`'s old backing storage and
+    /// the caller gets the queue's, so the two buffers ping-pong between
+    /// sender and receiver. Once both have grown to the workload's
+    /// high-water batch size, steady state allocates nothing — the
+    /// property `inbox_take_reuses_allocations` pins.
+    pub fn take_into(&self, shard: usize, buf: &mut Vec<QueuedMessage>) -> usize {
+        debug_assert!(buf.is_empty(), "drain buffer must arrive empty");
         let inbox = &self.inboxes[shard];
         if inbox.len.load(Ordering::Acquire) == 0 {
-            return Vec::new();
+            return 0;
         }
         let mut queue = inbox.queue.lock().expect("inbox lock");
-        let batch = std::mem::take(&mut *queue);
+        std::mem::swap(&mut *queue, buf);
         inbox.len.store(0, Ordering::Release);
-        self.pending.fetch_sub(batch.len(), Ordering::AcqRel);
-        batch
+        buf.len()
+    }
+
+    /// Spare capacity currently parked in `shard`'s queue (the swap
+    /// partner of the receiving shard's drain buffer; observability for
+    /// the no-realloc pin).
+    #[cfg(test)]
+    pub fn queue_capacity(&self, shard: usize) -> usize {
+        self.inboxes[shard]
+            .queue
+            .lock()
+            .expect("inbox lock")
+            .capacity()
     }
 
     /// Visits every queued message without draining (god-mode accounting:
@@ -272,12 +293,11 @@ mod tests {
         assert!(r.ports.read().unwrap().is_empty());
     }
 
-    #[test]
-    fn inbox_push_take_pending_and_limit() {
+    fn test_qm(tag: u64) -> QueuedMessage {
         use crate::value::Value;
         use asbestos_labels::Label;
         use std::sync::Arc;
-        let qm = |tag: u64| QueuedMessage {
+        QueuedMessage {
             port: Handle::from_raw(9),
             body: Value::U64(tag),
             es: Arc::new(Label::bottom()),
@@ -285,19 +305,59 @@ mod tests {
             dr: Label::bottom(),
             v: Label::top(),
             from: None,
-        };
+        }
+    }
+
+    #[test]
+    fn inbox_push_take_pending_and_limit() {
         let set = InboxSet::new(2);
         assert_eq!(set.pending(), 0);
-        assert!(set.push(1, qm(1), 8));
-        assert!(set.push(1, qm(2), 8));
+        assert!(set.push(1, test_qm(1), 8));
+        assert!(set.push(1, test_qm(2), 8));
         assert_eq!((set.pending(), set.len(1), set.len(0)), (2, 2, 0));
-        assert!(!set.push(1, qm(3), 2), "inbox at its limit rejects");
-        let batch = set.take(1);
+        assert!(!set.push(1, test_qm(3), 2), "inbox at its limit rejects");
+        let mut batch = Vec::new();
+        assert_eq!(set.take_into(1, &mut batch), 2);
         let tags: Vec<u64> = batch.iter().map(|m| m.body.as_u64().unwrap()).collect();
         assert_eq!(tags, vec![1, 2], "arrival order preserved");
         assert_eq!(set.pending(), 0);
-        assert!(set.take(1).is_empty(), "fast path on empty inbox");
+        batch.clear();
+        assert_eq!(set.take_into(1, &mut batch), 0, "fast path on empty inbox");
         assert!(set.bookkeeping_bytes() > 0);
+    }
+
+    #[test]
+    fn inbox_take_reuses_allocations() {
+        // Warm up: grow both swap partners to the batch high-water mark.
+        let set = InboxSet::new(1);
+        let mut buf = Vec::new();
+        for _ in 0..3 {
+            for tag in 0..16 {
+                assert!(set.push(0, test_qm(tag), usize::MAX));
+            }
+            set.take_into(0, &mut buf);
+            buf.clear();
+        }
+        // Steady state: the no-realloc pin. Capacities may only ping-pong
+        // between the inbox queue and the drain buffer — a fresh
+        // allocation on any drain is the regression this test exists to
+        // catch.
+        let mut caps = [buf.capacity(), set.queue_capacity(0)];
+        caps.sort_unstable();
+        for _ in 0..8 {
+            for tag in 0..16 {
+                assert!(set.push(0, test_qm(tag), usize::MAX));
+            }
+            assert_eq!(set.take_into(0, &mut buf), 16);
+            buf.clear();
+            let mut now = [buf.capacity(), set.queue_capacity(0)];
+            now.sort_unstable();
+            assert_eq!(
+                now, caps,
+                "steady-state drains must reuse the warmed buffers"
+            );
+            caps = now;
+        }
     }
 
     #[test]

@@ -59,6 +59,11 @@ pub struct KernelShard {
     /// pending inbound messages live in `xshard[self.id]` until
     /// [`KernelShard::pull_inbound`] drains them.
     pub(crate) xshard: Arc<InboxSet>,
+    /// Reusable swap partner for [`KernelShard::pull_inbound`]: drained
+    /// batches land here, are enqueued, and the emptied (but still
+    /// capacitied) buffer swaps back into the inbound channel on the next
+    /// drain — steady state allocates nothing.
+    pub(crate) drain_buf: Vec<QueuedMessage>,
     pub(crate) queue_limit: usize,
     pub(crate) port_queue_limit: usize,
     pub(crate) delivery_cache: DeliveryCache,
@@ -91,6 +96,7 @@ impl KernelShard {
             frames: FramePool::new(),
             mailboxes: Mailboxes::default(),
             xshard,
+            drain_buf: Vec::new(),
             queue_limit: DEFAULT_QUEUE_LIMIT,
             port_queue_limit: DEFAULT_PORT_QUEUE_LIMIT,
             delivery_cache: DeliveryCache::new(default_cache_cap()),
@@ -340,18 +346,24 @@ impl KernelShard {
     /// local send would. Returns the number of messages pulled; `point`
     /// picks which observability counter they land in.
     pub(crate) fn pull_inbound(&mut self, point: PullPoint) -> usize {
-        let batch = self.xshard.take(self.id as usize);
-        let n = batch.len();
+        let mut batch = std::mem::take(&mut self.drain_buf);
+        let n = self.xshard.take_into(self.id as usize, &mut batch);
         if n == 0 {
+            self.drain_buf = batch;
             return 0;
         }
         match point {
             PullPoint::Barrier => self.stats.xshard_barrier += n as u64,
             PullPoint::Subround => self.stats.xshard_subround += n as u64,
         }
-        for qm in batch {
+        self.stats.xshard_batch_drains += 1;
+        self.stats.xshard_batch_max = self.stats.xshard_batch_max.max(n as u64);
+        for qm in batch.drain(..) {
             self.enqueue_checked(qm);
         }
+        // `drain` leaves the capacity in place; hand the buffer back as
+        // the next swap partner.
+        self.drain_buf = batch;
         n
     }
 
@@ -395,9 +407,24 @@ impl KernelShard {
         let handle_bytes = self.handles.kernel_bytes();
         // Pending messages: mailboxes plus anything parked in this
         // shard's inbound cross-shard channel (queue_len counts both).
-        let mut queue_bytes: usize = self.mailboxes.iter().map(QueuedMessage::queue_bytes).sum();
-        self.xshard
-            .for_each_queued(self.id as usize, |qm| queue_bytes += qm.queue_bytes());
+        // Payload backing buffers are charged **once** per unique buffer,
+        // however many queued messages share them — the accounting rule
+        // that keeps the zero-copy path's reported footprint honest (N
+        // queued refcounts on one 4 KiB buffer hold 4 KiB, not N·4 KiB).
+        let mut seen_buffers = std::collections::HashSet::new();
+        let mut queue_bytes: usize = 0;
+        let mut charge = |qm: &QueuedMessage| {
+            queue_bytes += qm.queue_bytes_shallow();
+            qm.body.for_each_payload(&mut |p| {
+                if !p.is_empty() && seen_buffers.insert(p.backing_id()) {
+                    queue_bytes += p.backing_len();
+                }
+            });
+        };
+        for qm in self.mailboxes.iter() {
+            charge(qm);
+        }
+        self.xshard.for_each_queued(self.id as usize, &mut charge);
         let delivery_cache_bytes = self.delivery_cache.bytes();
         let user_frame_bytes = self.frames.frames_in_use() * PAGE_SIZE;
         KmemReport {

@@ -74,6 +74,13 @@ pub struct Stats {
     /// Cross-shard messages that waited out a round barrier before the
     /// destination shard picked them up.
     pub xshard_barrier: u64,
+    /// Non-empty swap-drains of this shard's inbound cross-shard channel.
+    /// `(xshard_subround + xshard_barrier) / xshard_batch_drains` is the
+    /// mean batch length — the batching-efficacy observable: amortization
+    /// of the channel mutex degrades toward 1 message per drain.
+    pub xshard_batch_drains: u64,
+    /// Largest batch one swap-drain ever pulled.
+    pub xshard_batch_max: u64,
 }
 
 impl Stats {
@@ -121,6 +128,10 @@ impl Stats {
         self.worker_wakeups += other.worker_wakeups;
         self.xshard_subround += other.xshard_subround;
         self.xshard_barrier += other.xshard_barrier;
+        self.xshard_batch_drains += other.xshard_batch_drains;
+        // A maximum, not a sum: the merged view reports the largest batch
+        // any shard drained.
+        self.xshard_batch_max = self.xshard_batch_max.max(other.xshard_batch_max);
     }
 }
 

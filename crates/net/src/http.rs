@@ -8,6 +8,8 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
+use asbestos_kernel::Payload;
+
 /// A parsed HTTP request.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct HttpRequest {
@@ -136,30 +138,70 @@ fn find_head_end(buf: &[u8]) -> Option<usize> {
     buf.windows(4).position(|w| w == b"\r\n\r\n")
 }
 
-/// Builds an HTTP/1.0 response.
+/// Decimal digit count (for exact response-head sizing).
+fn digits(mut n: usize) -> usize {
+    let mut d = 1;
+    while n >= 10 {
+        n /= 10;
+        d += 1;
+    }
+    d
+}
+
+/// Exact byte length of the response head `build_response` emits for
+/// this status line and body length.
+fn head_len(status: u16, reason: &str, body_len: usize) -> usize {
+    // "HTTP/1.0 {status} {reason}\r\n"
+    let status_line = 9 + digits(status as usize) + 1 + reason.len() + 2;
+    // Fixed headers, the width-padded Content-Length, and the blank line.
+    let content_length = 16 + digits(body_len).max(5) + 2;
+    status_line + 31 + 41 + content_length + 19 + 2
+}
+
+/// Builds an HTTP/1.0 response as a shared [`Payload`].
+///
+/// The buffer is preallocated at its exact final size and written once —
+/// the single payload materialization on a worker's response path; every
+/// later hop (OKWS → netd → substrate) moves the refcount. The body can
+/// be re-extracted as a shared slice with [`response_body`].
 ///
 /// With the default server headers and a 11-byte body this produces exactly
 /// the paper's 144-byte benchmark response (133 bytes of headers).
-pub fn build_response(status: u16, reason: &str, body: &[u8]) -> Vec<u8> {
-    let mut out = Vec::with_capacity(160 + body.len());
-    out.extend_from_slice(format!("HTTP/1.0 {status} {reason}\r\n").as_bytes());
+pub fn build_response(status: u16, reason: &str, body: &[u8]) -> Payload {
+    use std::io::Write as _;
+    let exact = head_len(status, reason, body.len()) + body.len();
+    let mut out = Vec::with_capacity(exact);
+    // `write!` into the Vec: no intermediate format! allocations.
+    let _ = write!(out, "HTTP/1.0 {status} {reason}\r\n");
     out.extend_from_slice(b"Server: OKWS/Asbestos SOSP-05\r\n");
     out.extend_from_slice(b"Content-Type: text/plain; charset=utf-8\r\n");
-    out.extend_from_slice(format!("Content-Length: {:>5}\r\n", body.len()).as_bytes());
+    let _ = write!(out, "Content-Length: {:>5}\r\n", body.len());
     out.extend_from_slice(b"Connection: close\r\n");
     out.extend_from_slice(b"\r\n");
     out.extend_from_slice(body);
-    out
+    debug_assert_eq!(out.len(), exact, "head_len must size the head exactly");
+    debug_assert_eq!(out.capacity(), exact, "response build must not realloc");
+    out.into()
 }
 
 /// Convenience: `200 OK` with the given body.
-pub fn ok_response(body: &[u8]) -> Vec<u8> {
+pub fn ok_response(body: &[u8]) -> Payload {
     build_response(200, "OK", body)
 }
 
 /// Convenience: an error response.
-pub fn error_response(status: u16, reason: &str) -> Vec<u8> {
+pub fn error_response(status: u16, reason: &str) -> Payload {
     build_response(status, reason, reason.as_bytes())
+}
+
+/// The body of a built response, as a zero-copy slice sharing the
+/// response's buffer (e.g. for caching a served body without rebuilding
+/// or copying it).
+pub fn response_body(response: &Payload) -> Payload {
+    match response.windows(4).position(|w| w == b"\r\n\r\n") {
+        Some(head) => response.slice(head + 4..response.len()),
+        None => response.slice(0..0),
+    }
 }
 
 #[cfg(test)]
@@ -234,6 +276,37 @@ mod tests {
         assert_eq!(resp.len(), 144, "total response bytes");
         let head_len = resp.windows(4).position(|w| w == b"\r\n\r\n").unwrap() + 4;
         assert_eq!(head_len, 133, "header bytes");
+    }
+
+    #[test]
+    fn build_is_one_materialization_and_body_slice_is_shared() {
+        let before = Payload::deep_copies();
+        let resp = build_response(200, "OK", b"hello world");
+        assert_eq!(
+            Payload::deep_copies(),
+            before + 1,
+            "one exact-capacity buffer, written once"
+        );
+        let body = response_body(&resp);
+        assert_eq!(&body[..], b"hello world");
+        assert_eq!(body.backing_id(), resp.backing_id(), "zero-copy slice");
+        assert_eq!(Payload::deep_copies(), before + 1);
+    }
+
+    #[test]
+    fn head_len_matches_for_varied_statuses_and_bodies() {
+        for (status, reason, body) in [
+            (200u16, "OK", &b"hello world"[..]),
+            (404, "Not Found", b""),
+            (503, "Service Unavailable", b"idd unavailable"),
+            (200, "OK", &[0u8; 123_456][..]),
+        ] {
+            let resp = build_response(status, reason, body);
+            assert_eq!(
+                resp.len(),
+                head_len(status, reason, body.len()) + body.len()
+            );
+        }
     }
 
     #[test]

@@ -24,7 +24,8 @@ use std::sync::Arc;
 use std::sync::Mutex;
 
 use asbestos_kernel::{
-    Category, Handle, Kernel, Label, Level, Message, ProcessId, SendArgs, Service, Sys, Value,
+    Category, Handle, Kernel, Label, Level, Message, Payload, ProcessId, SendArgs, Service, Sys,
+    Value,
 };
 
 use crate::proto::NetMsg;
@@ -196,21 +197,18 @@ impl Netd {
                     }
                 }
                 let limit = usize::try_from(max).unwrap_or(usize::MAX);
-                let bytes = if peek {
+                // Zero-copy ingest: the substrate freezes the read bytes
+                // once, and the frozen buffer rides into the kernel as a
+                // refcounted payload — the single write-at-the-edge the
+                // whole message path preserves.
+                let frozen = if peek {
                     self.net.lock().unwrap().server_peek(conn, limit)
                 } else {
-                    self.net
-                        .lock()
-                        .unwrap()
-                        .server_read(conn, limit)
-                        .to_vec()
-                        .into()
+                    self.net.lock().unwrap().server_read(conn, limit)
                 };
+                let bytes = Payload::from_arc(frozen.into_arc());
                 sys.charge(NETD_EVENT_CYCLES + bytes.len() as u64 * NETD_BYTE_CYCLES);
-                let body = NetMsg::ReadR {
-                    bytes: bytes.to_vec(),
-                }
-                .to_value();
+                let body = NetMsg::ReadR { bytes }.to_value();
                 let _ = sys.send_args(reply, body, &reply_args());
             }
             NetMsg::Write { bytes } => {

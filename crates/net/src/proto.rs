@@ -11,7 +11,7 @@
 //! Requests to a connection's own port `uC`; LISTEN to netd's control port;
 //! device events are injected by the external world.
 
-use asbestos_kernel::{Handle, Value};
+use asbestos_kernel::{Handle, Payload, Value};
 
 /// A message in the netd protocol.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -46,8 +46,8 @@ pub enum NetMsg {
     },
     /// Write response bytes to the connection.
     Write {
-        /// Payload.
-        bytes: Vec<u8>,
+        /// Payload (a refcounted view; encoding and decoding share it).
+        bytes: Payload,
     },
     /// Attach a taint handle: future replies for this connection are
     /// contaminated `taint 3`, and the connection port accepts `taint 3`
@@ -72,8 +72,9 @@ pub enum NetMsg {
     },
     /// Read reply: the requested bytes (possibly empty).
     ReadR {
-        /// Data read.
-        bytes: Vec<u8>,
+        /// Data read (a refcounted view of the NIC buffer; the bytes
+        /// were written once, at the substrate edge).
+        bytes: Payload,
     },
     /// Select reply: pending input bytes.
     SelectR {
@@ -145,7 +146,7 @@ impl NetMsg {
                 peek: items.get(3)?.as_bool()?,
             }),
             "write" => Some(NetMsg::Write {
-                bytes: items.get(1)?.as_bytes()?.to_vec(),
+                bytes: items.get(1)?.as_payload()?.clone(),
             }),
             "add-taint" => Some(NetMsg::AddTaint {
                 taint: items.get(1)?.as_handle()?,
@@ -158,7 +159,7 @@ impl NetMsg {
                 port: items.get(1)?.as_handle()?,
             }),
             "read-r" => Some(NetMsg::ReadR {
-                bytes: items.get(1)?.as_bytes()?.to_vec(),
+                bytes: items.get(1)?.as_payload()?.clone(),
             }),
             "select-r" => Some(NetMsg::SelectR {
                 available: items.get(1)?.as_u64()?,
@@ -195,18 +196,39 @@ mod tests {
                 peek: true,
             },
             NetMsg::Write {
-                bytes: vec![1, 2, 3],
+                bytes: vec![1, 2, 3].into(),
             },
             NetMsg::AddTaint { taint: h },
             NetMsg::Close,
             NetMsg::Select { reply: h },
             NetMsg::NewConn { port: h },
-            NetMsg::ReadR { bytes: vec![9] },
+            NetMsg::ReadR {
+                bytes: vec![9].into(),
+            },
             NetMsg::SelectR { available: 5 },
         ];
         for msg in msgs {
             assert_eq!(NetMsg::from_value(&msg.to_value()), Some(msg));
         }
+    }
+
+    #[test]
+    fn payload_roundtrip_shares_the_buffer() {
+        let original: Payload = vec![7u8; 32].into();
+        let msg = NetMsg::Write {
+            bytes: original.clone(),
+        };
+        let before = Payload::deep_copies();
+        let decoded = NetMsg::from_value(&msg.to_value());
+        let Some(NetMsg::Write { bytes }) = decoded else {
+            panic!("roundtrip failed");
+        };
+        assert_eq!(bytes.backing_id(), original.backing_id());
+        assert_eq!(
+            Payload::deep_copies(),
+            before,
+            "encode/decode must move refcounts, not bytes"
+        );
     }
 
     #[test]

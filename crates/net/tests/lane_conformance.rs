@@ -98,7 +98,7 @@ fn run_workload(w: &Workload, shards: usize, lanes: usize) -> Vec<Vec<u8>> {
                         let mut out = format!("[{seq}:").into_bytes();
                         out.extend(bytes.to_ascii_uppercase());
                         out.push(b']');
-                        sys.send(uc, NetMsg::Write { bytes: out }.to_value())
+                        sys.send(uc, NetMsg::Write { bytes: out.into() }.to_value())
                             .unwrap();
                     }
                     if done {

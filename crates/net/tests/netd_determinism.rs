@@ -86,7 +86,7 @@ fn run_tainted_workload(shards: usize, lanes: usize) -> u64 {
                     sys.send(
                         uc,
                         NetMsg::Write {
-                            bytes: b"stolen".to_vec(),
+                            bytes: b"stolen".to_vec().into(),
                         }
                         .to_value(),
                     )
@@ -176,7 +176,7 @@ fn run_tainted_workload(shards: usize, lanes: usize) -> u64 {
                         let mut out = b"RESP:".to_vec();
                         out.extend(bytes.to_ascii_uppercase());
                         out.extend(b":OK");
-                        sys.send(uc, NetMsg::Write { bytes: out }.to_value())
+                        sys.send(uc, NetMsg::Write { bytes: out.into() }.to_value())
                             .unwrap();
                         sys.send(uc, NetMsg::Close.to_value()).unwrap();
                     }

@@ -67,8 +67,14 @@ fn connection_notify_read_write_roundtrip() {
                 Some(NetMsg::ReadR { bytes }) => {
                     let port = cp.lock().unwrap().expect("ReadR follows NewConn");
                     let upper: Vec<u8> = bytes.to_ascii_uppercase();
-                    sys.send(port, NetMsg::Write { bytes: upper }.to_value())
-                        .unwrap();
+                    sys.send(
+                        port,
+                        NetMsg::Write {
+                            bytes: upper.into(),
+                        }
+                        .to_value(),
+                    )
+                    .unwrap();
                     sys.send(port, NetMsg::Close.to_value()).unwrap();
                 }
                 _ => {}
@@ -187,7 +193,7 @@ fn tainted_replies_contaminate_and_port_label_opens_for_owner() {
                     sys.send(
                         uc,
                         NetMsg::Write {
-                            bytes: b"users-own-data".to_vec(),
+                            bytes: b"users-own-data".to_vec().into(),
                         }
                         .to_value(),
                     )
@@ -217,7 +223,7 @@ fn tainted_replies_contaminate_and_port_label_opens_for_owner() {
                     sys.send(
                         uc,
                         NetMsg::Write {
-                            bytes: b"stolen".to_vec(),
+                            bytes: b"stolen".to_vec().into(),
                         }
                         .to_value(),
                     )

@@ -15,7 +15,8 @@ use std::collections::BTreeMap;
 
 use asbestos_db::DbMsg;
 use asbestos_kernel::{
-    Category, Handle, Kernel, Label, Level, Message, ProcessId, SendArgs, Service, Sys, Value,
+    Category, Handle, Kernel, Label, Level, Message, Payload, ProcessId, SendArgs, Service, Sys,
+    Value,
 };
 
 use crate::idd::CACHE_TRUSTED_ENV;
@@ -35,8 +36,8 @@ pub enum CacheMsg {
         user: String,
         /// Cache key (shared namespace; ownership isolates values).
         key: String,
-        /// Cached bytes.
-        bytes: Vec<u8>,
+        /// Cached bytes (a refcounted view; storing shares, not copies).
+        bytes: Payload,
     },
     /// Look up `key`. The cache replies with ok-dbproxy's two-message
     /// pattern (§7.5): a [`CacheMsg::Hit`] contaminated with the owner's
@@ -53,8 +54,9 @@ pub enum CacheMsg {
     Hit {
         /// Cache key echoed back.
         key: String,
-        /// The cached bytes.
-        bytes: Vec<u8>,
+        /// The cached bytes (shared with the stored entry — a hit moves a
+        /// refcount, never the bytes).
+        bytes: Payload,
     },
     /// End of a lookup; always delivered untainted.
     GetDone {
@@ -109,7 +111,7 @@ impl CacheMsg {
             "cache-put" => Some(CacheMsg::Put {
                 user: items.get(1)?.as_str()?.to_string(),
                 key: items.get(2)?.as_str()?.to_string(),
-                bytes: items.get(3)?.as_bytes()?.to_vec(),
+                bytes: items.get(3)?.as_payload()?.clone(),
             }),
             "cache-get" => Some(CacheMsg::Get {
                 key: items.get(1)?.as_str()?.to_string(),
@@ -117,7 +119,7 @@ impl CacheMsg {
             }),
             "cache-hit" => Some(CacheMsg::Hit {
                 key: items.get(1)?.as_str()?.to_string(),
-                bytes: items.get(2)?.as_bytes()?.to_vec(),
+                bytes: items.get(2)?.as_payload()?.clone(),
             }),
             "cache-get-done" => Some(CacheMsg::GetDone {
                 key: items.get(1)?.as_str()?.to_string(),
@@ -138,7 +140,7 @@ struct Binding {
 
 struct Entry {
     owner_taint: Handle,
-    bytes: Vec<u8>,
+    bytes: Payload,
 }
 
 /// The shared-cache service.
@@ -310,7 +312,7 @@ mod tests {
             CacheMsg::Put {
                 user: "u".into(),
                 key: "k".into(),
-                bytes: vec![1],
+                bytes: vec![1].into(),
             },
             CacheMsg::Get {
                 key: "k".into(),
@@ -318,7 +320,7 @@ mod tests {
             },
             CacheMsg::Hit {
                 key: "k".into(),
-                bytes: vec![2],
+                bytes: vec![2].into(),
             },
             CacheMsg::GetDone { key: "k".into() },
             CacheMsg::Evict {

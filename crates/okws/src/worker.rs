@@ -426,7 +426,12 @@ impl Worker {
                     let v = Self::credential_label(sys);
                     let _ = sys.send_args(
                         cache,
-                        crate::cache::CacheMsg::Put { user, key, bytes }.to_value(),
+                        crate::cache::CacheMsg::Put {
+                            user,
+                            key,
+                            bytes: bytes.into(),
+                        }
+                        .to_value(),
                         &SendArgs::new().verify(v),
                     );
                 }

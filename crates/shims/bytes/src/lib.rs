@@ -41,6 +41,13 @@ impl Bytes {
     pub fn is_empty(&self) -> bool {
         self.data.is_empty()
     }
+
+    /// Hands out the shared backing allocation without copying —
+    /// the zero-copy bridge from a frozen NIC buffer into a refcounted
+    /// kernel payload.
+    pub fn into_arc(self) -> Arc<[u8]> {
+        self.data
+    }
 }
 
 impl Deref for Bytes {

@@ -102,7 +102,7 @@ fn main() {
                                 fs,
                                 FsMsg::Write {
                                     name,
-                                    data,
+                                    data: data.into(),
                                     reply: None,
                                 }
                                 .to_value(),
@@ -172,7 +172,7 @@ fn main() {
         Value::List(vec![
             "write".into(),
             "u-diary".into(),
-            Value::Bytes(b"dear diary, labels work".to_vec()),
+            Value::Bytes(b"dear diary, labels work".to_vec().into()),
         ]),
     );
     kernel.run();
@@ -192,7 +192,7 @@ fn main() {
         Value::List(vec![
             "write".into(),
             "v-notes".into(),
-            Value::Bytes(b"v's secrets".to_vec()),
+            Value::Bytes(b"v's secrets".to_vec().into()),
         ]),
     );
     kernel.run();

@@ -242,7 +242,7 @@ fn no_laundering_through_file_server() {
                     fs_port,
                     asbestos::fs::FsMsg::Write {
                         name: "public-board".into(),
-                        data: b"laundered secret".to_vec(),
+                        data: b"laundered secret".to_vec().into(),
                         reply: None,
                     }
                     .to_value(),
