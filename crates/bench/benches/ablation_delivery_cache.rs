@@ -38,6 +38,8 @@ const WORKLOAD: TupleWorkload = TupleWorkload {
     per_user_sinks: false,
     cross_shard: false,
     payload: PayloadMode::None,
+    zipf_s: 0.0,
+    sink_spin: 0,
 };
 
 /// Deploys the shared-sink repeated-tuple workload (see

@@ -88,6 +88,8 @@ fn setup(
         per_user_sinks: true,
         cross_shard,
         payload,
+        zipf_s: 0.0,
+        sink_spin: 0,
     };
     deploy_repeated_tuple(0xCAFE, shards, cache_capacity, &workload)
 }
@@ -103,6 +105,10 @@ struct Measured {
     /// is the ROADMAP "per-shard cache sizing" signal: a shard whose
     /// rate trails its peers is the one adaptive sizing should feed.
     hit_rates: Vec<f64>,
+    /// Per-shard mailbox depth high-water mark (lifetime max — the
+    /// queueing pressure each shard absorbed) and per-port-bound drops.
+    queue_hwms: Vec<u64>,
+    port_drops: Vec<u64>,
     /// Swap-drains of the cross-shard inbound queues over the measured
     /// rounds (each drain is one mutex acquisition however many messages
     /// it moves).
@@ -166,6 +172,11 @@ fn throughput(
             }
         })
         .collect();
+    let per_shard = |f: fn(&asbestos_kernel::Stats) -> u64| -> Vec<u64> {
+        (0..shards).map(|i| f(kernel.shard(i).stats())).collect()
+    };
+    let queue_hwms = per_shard(|s| s.queue_depth_hwm);
+    let port_drops = per_shard(|s| s.dropped_port_queue_full);
     let stats_after = kernel.stats();
     let batch_drains = stats_after.xshard_batch_drains - stats_before.xshard_batch_drains;
     let batched = (stats_after.xshard_subround + stats_after.xshard_barrier)
@@ -175,6 +186,8 @@ fn throughput(
         wall: delivered / wall_secs,
         elapsed: delivered / elapsed.as_secs_f64(),
         hit_rates,
+        queue_hwms,
+        port_drops,
         batch_drains,
         batch_mean: if batch_drains == 0 {
             0.0
@@ -228,6 +241,16 @@ fn bench_scale_shards(c: &mut Criterion) {
                     for (i, rate) in m.hit_rates.iter().enumerate() {
                         fields.push((format!("cache_hit_rate_s{i}"), *rate));
                     }
+                }
+                // Per-shard queueing pressure: mailbox-depth high-water
+                // marks and per-port-bound drops. The HWM spread is the
+                // work-stealing signal (a shard whose backlog towers over
+                // its peers is the steal source); drops flag saturation.
+                for (i, hwm) in m.queue_hwms.iter().enumerate() {
+                    fields.push((format!("queue_depth_hwm_s{i}"), *hwm as f64));
+                }
+                for (i, drops) in m.port_drops.iter().enumerate() {
+                    fields.push((format!("port_queue_full_s{i}"), *drops as f64));
                 }
                 let borrowed: Vec<(&str, f64)> =
                     fields.iter().map(|(k, v)| (k.as_str(), *v)).collect();

@@ -22,7 +22,7 @@
 //! *how state changes become durable*, plus the worker-statement rewrite
 //! (shared verbatim between live execution and replay).
 
-use asbestos_store::{BlockDev, Store};
+use asbestos_store::{AdaptiveBatch, BlockDev, Store};
 
 use crate::ast::{CmpOp, Comparison, Expr, Stmt};
 use crate::engine::{Database, DbError, QueryResult};
@@ -265,6 +265,17 @@ pub struct DbRecovery {
     pub boot_epoch: u64,
 }
 
+/// Parses an `ASBESTOS_DB_GROUP_COMMIT`-style value: `auto` (any case)
+/// installs the adaptive controller, a number >= 1 fixes the batch,
+/// anything else means 1 — sync per mutation.
+fn group_commit_from(value: Option<&str>) -> GroupCommit {
+    match value.map(str::trim) {
+        Some(v) if v.eq_ignore_ascii_case("auto") => GroupCommit::Auto(AdaptiveBatch::default()),
+        Some(v) => GroupCommit::Fixed(v.parse::<usize>().ok().filter(|&n| n >= 1).unwrap_or(1)),
+        None => GroupCommit::Fixed(1),
+    }
+}
+
 /// A [`Database`] whose mutations are write-ahead logged.
 ///
 /// In *volatile* mode (no store) it is a plain in-memory database with
@@ -272,9 +283,19 @@ pub struct DbRecovery {
 pub struct DurableDb {
     db: Database,
     store: Option<Store>,
-    /// Records per group commit; 1 = sync every mutation.
-    group_commit: usize,
+    /// Group-commit sizing: a fixed record count, or the adaptive
+    /// controller that grows the batch under sustained append pressure
+    /// and shrinks it when idle (`ASBESTOS_DB_GROUP_COMMIT=auto`).
+    group_commit: GroupCommit,
     recovery: DbRecovery,
+}
+
+/// How the group-commit batch is sized.
+enum GroupCommit {
+    /// Static: exactly this many records per sync.
+    Fixed(usize),
+    /// Self-tuning (see [`asbestos_store::AdaptiveBatch`]).
+    Auto(AdaptiveBatch),
 }
 
 impl DurableDb {
@@ -289,7 +310,7 @@ impl DurableDb {
         DurableDb {
             db,
             store: None,
-            group_commit: 1,
+            group_commit: GroupCommit::Fixed(1),
             recovery: DbRecovery::default(),
         }
     }
@@ -297,7 +318,9 @@ impl DurableDb {
     /// Opens (and recovers) a durable database over `dev`: newest intact
     /// snapshot, then committed WAL records replayed through the same
     /// apply paths live execution uses. The group-commit batch defaults
-    /// to `ASBESTOS_DB_GROUP_COMMIT` (else 1 — sync per mutation).
+    /// to `ASBESTOS_DB_GROUP_COMMIT`: a number fixes the batch, `auto`
+    /// installs the adaptive controller (grow under sustained pressure,
+    /// shrink when idle), and unset means 1 — sync per mutation.
     pub fn open(dev: Box<dyn BlockDev>) -> DurableDb {
         let (store, recovery) = Store::open(dev);
         let mut db = match &recovery.snapshot {
@@ -330,11 +353,8 @@ impl DurableDb {
                 None => skipped += 1,
             }
         }
-        let group_commit = std::env::var("ASBESTOS_DB_GROUP_COMMIT")
-            .ok()
-            .and_then(|v| v.parse::<usize>().ok())
-            .filter(|&n| n >= 1)
-            .unwrap_or(1);
+        let group_commit =
+            group_commit_from(std::env::var("ASBESTOS_DB_GROUP_COMMIT").ok().as_deref());
         DurableDb {
             db,
             store: Some(store),
@@ -358,9 +378,34 @@ impl DurableDb {
         self.store.is_some()
     }
 
-    /// Sets the group-commit batch size (records per sync).
+    /// Sets a fixed group-commit batch size (records per sync).
     pub fn set_group_commit(&mut self, records: usize) {
-        self.group_commit = records.max(1);
+        self.group_commit = GroupCommit::Fixed(records.max(1));
+    }
+
+    /// Switches to the adaptive group-commit controller, bounded to
+    /// `[min, max]` records per sync (grow under sustained append
+    /// pressure, shrink when idle — worst-case ack latency is one
+    /// under-filled window).
+    pub fn set_group_commit_auto(&mut self, min: usize, max: usize) {
+        self.group_commit = GroupCommit::Auto(AdaptiveBatch::new(min, max));
+    }
+
+    /// The batch size the next flush decision uses (fixed value, or the
+    /// adaptive controller's current pick).
+    pub fn group_commit_now(&self) -> usize {
+        match &self.group_commit {
+            GroupCommit::Fixed(n) => *n,
+            GroupCommit::Auto(b) => b.current(),
+        }
+    }
+
+    /// (grows, shrinks) of the adaptive controller; (0, 0) when fixed.
+    pub fn group_commit_transitions(&self) -> (u64, u64) {
+        match &self.group_commit {
+            GroupCommit::Fixed(_) => (0, 0),
+            GroupCommit::Auto(b) => b.transitions(),
+        }
     }
 
     /// Read access to the engine (SELECT paths; never logged).
@@ -416,7 +461,7 @@ impl DurableDb {
     }
 
     fn log(&mut self, record: DbRecord) {
-        let batch = self.group_commit;
+        let batch = self.group_commit_now();
         if let Some(store) = &mut self.store {
             store.append(&record.to_bytes());
             if store.pending() >= batch {
@@ -431,7 +476,13 @@ impl DurableDb {
     /// pending or in volatile mode.
     pub fn flush(&mut self) {
         let Some(store) = &mut self.store else { return };
+        // Feed the controller how full this flush actually ran: a full
+        // batch is append pressure, an under-filled one is idleness.
+        let committed = store.pending();
         store.commit();
+        if let GroupCommit::Auto(b) = &mut self.group_commit {
+            b.on_flush(committed);
+        }
         if store.needs_compaction() {
             let snapshot = crate::snapshot::snapshot(&self.db);
             store.compact(&snapshot);
@@ -547,6 +598,65 @@ mod tests {
         }
         assert_eq!(dev.sync_count() - syncs_before, 2, "16 records, batch 8");
         assert_eq!(db.pending(), 0);
+    }
+
+    #[test]
+    fn adaptive_group_commit_grows_under_load_and_shrinks_idle() {
+        let dev = MemDev::new();
+        let mut db = DurableDb::open(Box::new(dev.clone()));
+        db.apply_ddl("CREATE TABLE t (v)");
+        db.flush();
+        db.set_group_commit_auto(1, 16);
+        assert_eq!(db.group_commit_now(), 1, "starts latency-safe");
+
+        let syncs_before = dev.sync_count();
+        for i in 0..64 {
+            db.worker_exec("INSERT INTO t VALUES (?)", &[SqlValue::Int(i)], 1);
+        }
+        assert_eq!(db.group_commit_now(), 16, "sustained appends hit the cap");
+        let (grows, _) = db.group_commit_transitions();
+        assert!(grows >= 4);
+        assert!(
+            dev.sync_count() - syncs_before < 64,
+            "the grown batch amortized syncs below one-per-record"
+        );
+
+        // One under-filled flush (a lone record against a batch of 16)
+        // walks the batch back down.
+        db.worker_exec("INSERT INTO t VALUES (99)", &[], 1);
+        db.flush();
+        assert!(db.group_commit_now() < 16, "idleness shrinks the batch");
+        assert_eq!(db.pending(), 0);
+
+        // Everything flushed is recoverable, same as fixed batching.
+        drop(db);
+        let mut db2 = DurableDb::open(Box::new(dev));
+        let rows = db2.engine_mut().run("SELECT v FROM t").unwrap().rows;
+        assert_eq!(rows.len(), 65);
+    }
+
+    #[test]
+    fn group_commit_env_parsing() {
+        assert_eq!(group_commit_from(None).current_for_test(), 1);
+        assert_eq!(group_commit_from(Some("8")).current_for_test(), 8);
+        assert_eq!(group_commit_from(Some("junk")).current_for_test(), 1);
+        assert!(matches!(
+            group_commit_from(Some("auto")),
+            GroupCommit::Auto(_)
+        ));
+        assert!(matches!(
+            group_commit_from(Some(" AUTO ")),
+            GroupCommit::Auto(_)
+        ));
+    }
+
+    impl GroupCommit {
+        fn current_for_test(&self) -> usize {
+            match self {
+                GroupCommit::Fixed(n) => *n,
+                GroupCommit::Auto(b) => b.current(),
+            }
+        }
     }
 
     #[test]

@@ -54,6 +54,7 @@ use crate::cycles::{Category, CostModel, CycleClock, CycleSnapshot};
 use crate::delivery::DeliveryOutcome;
 use crate::event_process::EventProcess;
 use crate::handle_table::HandleTable;
+use crate::handle_table::PortOwner;
 use crate::ids::{EpId, ProcessId, MAX_SHARDS};
 use crate::memory::PAGE_SIZE;
 use crate::message::QueuedMessage;
@@ -62,6 +63,7 @@ use crate::process::{Body, EpService, Process, Service};
 use crate::router::{InboxSet, PullPoint, Router};
 use crate::shard::KernelShard;
 use crate::stats::Stats;
+use crate::tuner::{Action, ShardSample, ShardSignals, Signals, TunePolicy, TunerState};
 use crate::value::Value;
 
 /// Default bound on queued messages per shard (the resource-exhaustion
@@ -113,6 +115,10 @@ pub struct KmemReport {
     /// plus the cross-shard inbound channels' headers and spare capacity.
     /// Always zero on a single-shard kernel.
     pub pool_bytes: usize,
+    /// Self-tuning bookkeeping: the control loop's per-shard counter
+    /// samples. Zero until the tuner arms (and therefore always zero on
+    /// single-shard or sequential kernels).
+    pub tuner_bytes: usize,
 }
 
 impl KmemReport {
@@ -125,6 +131,7 @@ impl KmemReport {
             + self.delivery_cache_bytes
             + self.user_frame_bytes
             + self.pool_bytes
+            + self.tuner_bytes
     }
 
     /// Total memory in 4 KiB pages, rounded up (Figure 6's unit).
@@ -141,6 +148,7 @@ impl KmemReport {
         self.delivery_cache_bytes += other.delivery_cache_bytes;
         self.user_frame_bytes += other.user_frame_bytes;
         self.pool_bytes += other.pool_bytes;
+        self.tuner_bytes += other.tuner_bytes;
     }
 }
 
@@ -180,6 +188,10 @@ pub struct Kernel {
     /// so a rebooted deployment can never re-mint a dead boot's
     /// handles). 0 for ordinary, non-durable kernels.
     boot_epoch: u64,
+    /// The self-tuning control loop (policy + windowing bookkeeping);
+    /// inert unless this kernel schedules nondeterministically (see
+    /// [`Kernel::tuning_active`]).
+    tuner: TunerState,
 }
 
 impl Kernel {
@@ -241,6 +253,7 @@ impl Kernel {
             next_spawn_shard: 0,
             step_cursor: 0,
             boot_epoch: epoch,
+            tuner: TunerState::new(),
         }
     }
 
@@ -298,6 +311,13 @@ impl Kernel {
     /// Read-only access to one shard (god-mode observability).
     pub fn shard(&self, shard: usize) -> &KernelShard {
         &self.shards[shard]
+    }
+
+    /// The shard currently hosting `port`, per the router directory.
+    /// Steals move ports between shards; tests use this to pin where a
+    /// migration landed.
+    pub fn port_shard(&self, port: Handle) -> usize {
+        self.router.shard_of(port) as usize
     }
 
     // ------------------------------------------------------------------
@@ -379,6 +399,7 @@ impl Kernel {
             v: Label::top(),
             from: None,
         });
+        shard.note_queue_depth();
     }
 
     /// Sets a global environment entry (the §4 bootstrapping namespace,
@@ -474,6 +495,174 @@ impl Kernel {
             shard.processes[pid.index()].body = None;
             shard.cleanup_process(&self.router, pid);
         }
+    }
+
+    // ------------------------------------------------------------------
+    // The self-tuning control loop (signals → policy → actuator; see
+    // `tuner.rs` for the policy layer).
+    // ------------------------------------------------------------------
+
+    /// Whether the control loop runs between rounds right now. Always
+    /// requires more than one shard. By default (`ASBESTOS_TUNE` not
+    /// off, no programmatic override) it additionally requires parallel
+    /// pool workers (`effective_workers > 1`): sequential and
+    /// single-shard kernels are the deterministic configurations the
+    /// golden-trace suites pin, so ambient tuning never touches them.
+    /// An explicit [`Kernel::set_tuning_enabled`]`(true)` arms the loop
+    /// even under the sequential sweep — the caller is deliberately
+    /// trading scheduling determinism for tuning (benches do this so
+    /// per-shard `busy_nanos` stays a clean, non-overlapping measure
+    /// while the tuner runs).
+    pub fn tuning_active(&self) -> bool {
+        self.shards.len() > 1
+            && match self.tuner.override_enabled {
+                Some(on) => on,
+                None => self.effective_workers() > 1 && self.tuner.env_enabled,
+            }
+    }
+
+    /// Forces the control loop on or off, overriding both `ASBESTOS_TUNE`
+    /// and the parallel-workers gate (the multi-shard gate still
+    /// applies). Benches pin tuning per run with this.
+    pub fn set_tuning_enabled(&mut self, on: bool) {
+        self.tuner.override_enabled = Some(on);
+    }
+
+    /// Installs a tuning policy (thresholds are data, not code — see
+    /// [`TunePolicy`]). The default is [`crate::DefaultPolicy`].
+    pub fn set_tune_policy(&mut self, policy: Box<dyn TunePolicy>) {
+        self.tuner.policy = policy;
+    }
+
+    /// Tuning actions actually applied so far (cache resizes + steals).
+    /// The determinism guard pins this at 0 for sequential runs.
+    pub fn tuner_actions(&self) -> u64 {
+        self.tuner.actions_applied
+    }
+
+    /// One control-loop iteration: snapshot an observation window, let
+    /// the policy observe and adjust, apply the actions. Runs between
+    /// drain rounds, when the coordinator holds `&mut` over every shard
+    /// — no locking, and no handler can be mid-delivery.
+    fn tune(&mut self) {
+        if !self.tuning_active() {
+            return;
+        }
+        let n = self.shards.len();
+        if self.tuner.last.len() != n {
+            // First window: arm the load tracking and baseline the
+            // counters; deltas start accumulating from here.
+            self.tuner.last = (0..n).map(|i| Self::sample(&self.shards[i])).collect();
+            for shard in &mut self.shards {
+                shard.mailboxes.set_track_load(true);
+                shard.mailboxes.take_port_arrivals();
+            }
+            return;
+        }
+        let mut signals = Signals {
+            shards: Vec::with_capacity(n),
+        };
+        for i in 0..n {
+            let arrivals = self.shards[i].mailboxes.take_port_arrivals();
+            let shard = &self.shards[i];
+            let cur = Self::sample(shard);
+            let prev = self.tuner.last[i];
+            self.tuner.last[i] = cur;
+            // Hottest steal-eligible destination ports first; ties break
+            // on the handle value so the ordering is stable.
+            let mut hot_ports: Vec<(Handle, u64)> = arrivals
+                .into_iter()
+                .filter(|&(port, _)| Self::steal_eligible(shard, port).is_some())
+                .collect();
+            hot_ports.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+            hot_ports.truncate(4);
+            signals.shards.push(ShardSignals {
+                busy_nanos: cur.busy_nanos - prev.busy_nanos,
+                delivered: cur.delivered - prev.delivered,
+                cache_hits: cur.cache_hits - prev.cache_hits,
+                cache_misses: cur.cache_misses - prev.cache_misses,
+                cache_evictions: cur.cache_evictions - prev.cache_evictions,
+                cache_len: shard.delivery_cache.len(),
+                cache_capacity: shard.delivery_cache.capacity(),
+                queue_depth_hwm: shard.stats.queue_depth_hwm,
+                port_queue_drops: cur.port_queue_drops - prev.port_queue_drops,
+                hot_ports,
+            });
+        }
+        self.tuner.policy.observe(&signals);
+        let actions = self.tuner.policy.adjust(&signals);
+        for action in actions {
+            match action {
+                Action::SetCacheCapacity { shard, capacity } => {
+                    if shard < n && self.shards[shard].delivery_cache.capacity() != capacity {
+                        self.shards[shard].delivery_cache.set_capacity(capacity);
+                        self.shards[shard].stats.cache_resizes += 1;
+                        self.tuner.actions_applied += 1;
+                    }
+                }
+                Action::StealPort { port, to_shard } => {
+                    if self.migrate_port_owner(port, to_shard).is_some() {
+                        self.tuner.actions_applied += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    fn sample(shard: &KernelShard) -> ShardSample {
+        let (cache_hits, cache_misses, cache_evictions) = shard.delivery_cache.counters();
+        ShardSample {
+            busy_nanos: shard.busy_nanos,
+            delivered: shard.stats.delivered,
+            cache_hits,
+            cache_misses,
+            cache_evictions,
+            port_queue_drops: shard.stats.dropped_port_queue_full,
+        }
+    }
+
+    /// Whether `port`'s owner can migrate off `shard` right now: a live
+    /// plain-bodied process with no live event processes (an EP's delta
+    /// chain is pinned to its base's shard) and not mid-handler — always
+    /// true between rounds.
+    fn steal_eligible(shard: &KernelShard, port: Handle) -> Option<ProcessId> {
+        match shard.handles.port(port)?.owner {
+            Some(PortOwner::Process(pid)) => {
+                let p = &shard.processes[pid.index()];
+                (p.alive && p.eps.is_empty() && p.body.is_some()).then_some(pid)
+            }
+            _ => None,
+        }
+    }
+
+    /// The work-steal actuator: migrates `port`'s owning process — its
+    /// labels, memory, every port it owns, and each port's *whole*
+    /// pending queue — onto `to_shard`, re-registering its ports in the
+    /// Router directory. Returns the process's new id, or `None` when
+    /// the port has no currently-eligible owner. Also a public god-mode
+    /// surface so tests can drive explicit steal schedules and pin the
+    /// FIFO/multiset invariants deterministically.
+    ///
+    /// Must only be called between rounds (or outside `run()`), which is
+    /// the only time the coordinator can hold `&mut self` anyway.
+    pub fn migrate_port_owner(&mut self, port: Handle, to_shard: usize) -> Option<ProcessId> {
+        let n = self.shards.len();
+        if n <= 1 || to_shard >= n {
+            return None;
+        }
+        let src = self.router.shard_of(port) as usize;
+        if src == to_shard {
+            return None;
+        }
+        let pid = Self::steal_eligible(&self.shards[src], port)?;
+        // Flush the in-flight cross-shard channels first so every
+        // message already routed to the moving ports sits in the
+        // source's mailboxes and migrates inside its whole-queue move —
+        // nothing in flight can dangle toward a shard that no longer
+        // owns the port.
+        self.route_parked(PullPoint::Barrier);
+        let export = self.shards[src].export_process(pid);
+        Some(self.shards[to_shard].adopt_process(&self.router, export))
     }
 
     // ------------------------------------------------------------------
@@ -598,6 +787,10 @@ impl Kernel {
             );
             if round_steps > 0 {
                 self.rounds += 1;
+                // Between rounds the coordinator owns everything: one
+                // observation window per round, applied before the next
+                // round is scheduled.
+                self.tune();
             }
             let quiescent =
                 self.xshard.pending() == 0 && self.shards.iter().all(|s| s.mailboxes.len() == 0);
@@ -774,6 +967,7 @@ impl Kernel {
         if self.shards.len() > 1 {
             total.pool_bytes = self.xshard.bookkeeping_bytes()
                 + self.pool.as_ref().map_or(0, ShardPool::bookkeeping_bytes);
+            total.tuner_bytes = self.tuner.bytes();
         }
         total
     }

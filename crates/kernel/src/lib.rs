@@ -101,6 +101,7 @@ mod router;
 pub mod shard;
 pub mod stats;
 pub mod sys;
+pub mod tuner;
 pub mod util;
 pub mod value;
 
@@ -117,6 +118,7 @@ pub use process::{EpService, Process, Service, PROCESS_STRUCT_BYTES};
 pub use shard::{KernelShard, DEFAULT_PORT_QUEUE_LIMIT};
 pub use stats::{DropReason, Stats};
 pub use sys::Sys;
+pub use tuner::{Action, DefaultPolicy, ShardSignals, Signals, TunePolicy};
 pub use value::{Payload, Value};
 
 // Re-export the label vocabulary so downstream crates need only one import.

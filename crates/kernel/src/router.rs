@@ -5,8 +5,9 @@
 //! between them. It holds exactly two read-mostly maps:
 //!
 //! * the **port directory** — which shard owns each port handle, written
-//!   once at `new_port` time (ports never migrate), read on every send
-//!   that does not resolve locally;
+//!   at `new_port` time and updated only between rounds when the tuner
+//!   (or a test) migrates a port's owner to another shard, read on every
+//!   send that does not resolve locally;
 //! * the **global environment** — the §4 bootstrapping namespace, which
 //!   was always whole-kernel state.
 //!
@@ -24,7 +25,10 @@
 //! learn the handle (handle values propagate through messages and the
 //! environment, both of which synchronize at the receiving shard's drain
 //! points), so lookup races cannot occur in workloads that follow the §4
-//! bootstrap convention. The *environment* is the one shared-state
+//! bootstrap convention. Migration rewrites happen only while the
+//! coordinator holds `&mut` over every shard — between rounds, with the
+//! in-flight channels flushed first — so no delivery loop can observe a
+//! directory entry mid-update. The *environment* is the one shared-state
 //! carve-out: when two shards touch one key in the same round — a write
 //! racing a write, or a write racing a `Sys::env` read — the winner is
 //! decided by lock order, i.e. by thread scheduling, and such workloads

@@ -81,6 +81,15 @@ pub struct Stats {
     pub xshard_batch_drains: u64,
     /// Largest batch one swap-drain ever pulled.
     pub xshard_batch_max: u64,
+    /// Deepest one shard's mailboxes have ever been (messages pending at
+    /// once). In the merged view this is a maximum across shards, so a
+    /// hot shard's backlog is visible even when the mean stays flat.
+    pub queue_depth_hwm: u64,
+    /// Whole-port-queue steals this shard adopted (hot-shard work
+    /// stealing: a process and all its port queues migrated here).
+    pub steals: u64,
+    /// Times the tuner resized this shard's delivery cache.
+    pub cache_resizes: u64,
 }
 
 impl Stats {
@@ -132,6 +141,10 @@ impl Stats {
         // A maximum, not a sum: the merged view reports the largest batch
         // any shard drained.
         self.xshard_batch_max = self.xshard_batch_max.max(other.xshard_batch_max);
+        // Also a maximum: the deepest backlog any single shard saw.
+        self.queue_depth_hwm = self.queue_depth_hwm.max(other.queue_depth_hwm);
+        self.steals += other.steals;
+        self.cache_resizes += other.cache_resizes;
     }
 }
 

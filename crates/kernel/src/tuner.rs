@@ -1,0 +1,604 @@
+//! The self-tuning control loop: signals → policy → actuator.
+//!
+//! Every performance knob the kernel grew while being sharded — per-shard
+//! delivery-cache capacity, shard placement — was static at deploy time,
+//! so a Zipf-skewed user population leaves N−1 shards idle while one
+//! shard cliffs. This module closes the loop: between drain rounds the
+//! coordinator snapshots one observation window of per-shard counters
+//! ([`Signals`]), feeds it to a [`TunePolicy`], and applies the returned
+//! [`Action`]s. The design follows the "policy out of mechanism" rule:
+//!
+//! * **Signals** are plain counter deltas — no policy reads live kernel
+//!   structures, so a policy is testable in isolation by feeding it
+//!   synthetic windows.
+//! * **The policy** ([`DefaultPolicy`], or anything implementing
+//!   [`TunePolicy`]) decides; thresholds live here, not in the drain
+//!   loop.
+//! * **The actuator** is the coordinator (`Kernel::tune`), which owns
+//!   `&mut` everything between rounds and can therefore resize caches
+//!   and migrate whole processes without any locking.
+//!
+//! Determinism contract: the loop only runs when the kernel is already
+//! scheduling nondeterministically (`shards > 1` *and* parallel pool
+//! workers). With `ASBESTOS_WORKERS=1`, `shards == 1`, or
+//! `ASBESTOS_TUNE=off` the tuner is inert and the golden-trace suites
+//! (`shard_determinism`, `netd_determinism`) see bit-identical runs —
+//! pinned by test. Every action is semantically invisible: cache sizing
+//! never changes a Figure 4 verdict (fingerprint keys), and a steal
+//! moves a process *wholesale* — labels, memory, ports, and whole
+//! per-port queues — so delivery order per sender per port and every
+//! verdict are preserved (pinned by proptest).
+
+use asbestos_labels::Handle;
+
+/// One shard's contribution to an observation window. All counter
+/// fields are deltas since the previous window; capacity/length fields
+/// are point-in-time.
+#[derive(Clone, Debug, Default)]
+pub struct ShardSignals {
+    /// Real host nanoseconds this shard's delivery loop ran this window.
+    pub busy_nanos: u64,
+    /// Messages delivered this window.
+    pub delivered: u64,
+    /// Delivery-cache hits this window.
+    pub cache_hits: u64,
+    /// Delivery-cache misses this window.
+    pub cache_misses: u64,
+    /// Delivery-cache evictions this window (capacity pressure).
+    pub cache_evictions: u64,
+    /// Cached decisions right now.
+    pub cache_len: usize,
+    /// The cache bound right now (0 = caching disabled by the operator;
+    /// the default policy never resurrects a disabled cache).
+    pub cache_capacity: usize,
+    /// Deepest this shard's mailboxes have ever been.
+    pub queue_depth_hwm: u64,
+    /// Per-port backpressure drops this window.
+    pub port_queue_drops: u64,
+    /// Steal-eligible destination ports by message arrivals this window,
+    /// hottest first. The actuator pre-filters to ports whose owning
+    /// process can actually migrate, so a policy may pick any entry.
+    pub hot_ports: Vec<(Handle, u64)>,
+}
+
+/// One observation window across all shards.
+#[derive(Clone, Debug, Default)]
+pub struct Signals {
+    /// Per-shard windows, indexed by shard id.
+    pub shards: Vec<ShardSignals>,
+}
+
+impl Signals {
+    /// Index of the busiest shard this window.
+    pub fn hottest(&self) -> usize {
+        self.shards
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, s)| s.busy_nanos)
+            .map_or(0, |(i, _)| i)
+    }
+
+    /// Index of the idlest shard this window.
+    pub fn idlest(&self) -> usize {
+        self.shards
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, s)| s.busy_nanos)
+            .map_or(0, |(i, _)| i)
+    }
+
+    /// Mean per-shard busy nanoseconds this window.
+    pub fn mean_busy(&self) -> u64 {
+        if self.shards.is_empty() {
+            return 0;
+        }
+        self.shards.iter().map(|s| s.busy_nanos).sum::<u64>() / self.shards.len() as u64
+    }
+}
+
+/// An adjustment a policy asks the actuator to make.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Action {
+    /// Rebound one shard's delivery cache.
+    SetCacheCapacity {
+        /// Which shard.
+        shard: usize,
+        /// New bound, in cached decisions.
+        capacity: usize,
+    },
+    /// Steal `port`'s owner: migrate the owning process — its labels,
+    /// memory, every port it owns, and each port's *whole* pending
+    /// mailbox queue — onto `to_shard`, re-registering the ports in the
+    /// Router directory. Queues move in one piece (never message by
+    /// message), preserving per-sender-per-port FIFO; and because the
+    /// owner moves with its ports, label evaluation keeps running on
+    /// the shard that owns the destination's data.
+    StealPort {
+        /// A hot destination port (from [`ShardSignals::hot_ports`]).
+        port: Handle,
+        /// Destination shard.
+        to_shard: usize,
+    },
+}
+
+/// A tuning policy: pure decision logic over counter windows.
+///
+/// [`TunePolicy::observe`] feeds every window (streak bookkeeping,
+/// smoothing); [`TunePolicy::adjust`] asks for actions. The actuator
+/// calls both once per window, in that order. Policies never see live
+/// kernel structures, so they are testable in isolation.
+pub trait TunePolicy: Send {
+    /// Feeds one observation window.
+    fn observe(&mut self, signals: &Signals);
+
+    /// Requests adjustments after an [`TunePolicy::observe`].
+    fn adjust(&mut self, signals: &Signals) -> Vec<Action>;
+}
+
+/// Hottest-shard busy time below which the default policy does nothing
+/// in a window. Keeps small deterministic workloads (every functional
+/// test) untouched while being far below one bench round.
+pub const DEFAULT_MIN_BUSY_NANOS: u64 = 1_000_000;
+
+/// Hottest-to-mean busy ratio past which a window counts as imbalanced.
+pub const DEFAULT_STEAL_RATIO: f64 = 1.3;
+
+/// Consecutive imbalanced windows before a steal fires.
+pub const DEFAULT_STEAL_PATIENCE: u32 = 2;
+
+/// Window hit rate below which an evicting cache grows.
+pub const DEFAULT_GROW_BELOW_HIT_RATE: f64 = 0.90;
+
+/// Total cached-decision budget across all shards (the kmem bound the
+/// cache loop grows within): 4× the static per-shard default.
+pub const DEFAULT_CACHE_BUDGET_ENTRIES: usize = 4 * crate::DEFAULT_DELIVERY_CACHE_CAP;
+
+/// Smallest bound the shrink path leaves a live cache.
+pub const DEFAULT_CACHE_FLOOR: usize = 1 << 10;
+
+/// The built-in policy: multiplicative cache grow/shrink by hit rate
+/// within a kmem budget, and hot-port stealing after sustained
+/// imbalance. All thresholds are public fields so benches and tests can
+/// run the same logic with different constants.
+#[derive(Clone, Debug)]
+pub struct DefaultPolicy {
+    /// Do nothing in windows whose hottest shard ran less than this.
+    pub min_busy_nanos: u64,
+    /// Hottest/mean busy ratio that counts as imbalance.
+    pub steal_ratio: f64,
+    /// Consecutive imbalanced windows before stealing.
+    pub steal_patience: u32,
+    /// Grow an evicting shard's cache while its hit rate is below this.
+    pub grow_below_hit_rate: f64,
+    /// Total cache budget (entries) across shards.
+    pub cache_budget_entries: usize,
+    /// Smallest capacity the shrink path leaves.
+    pub cache_floor: usize,
+    /// Imbalance streak (bookkeeping fed by `observe`).
+    imbalanced_windows: u32,
+}
+
+impl Default for DefaultPolicy {
+    fn default() -> DefaultPolicy {
+        DefaultPolicy {
+            min_busy_nanos: DEFAULT_MIN_BUSY_NANOS,
+            steal_ratio: DEFAULT_STEAL_RATIO,
+            steal_patience: DEFAULT_STEAL_PATIENCE,
+            grow_below_hit_rate: DEFAULT_GROW_BELOW_HIT_RATE,
+            cache_budget_entries: DEFAULT_CACHE_BUDGET_ENTRIES,
+            cache_floor: DEFAULT_CACHE_FLOOR,
+            imbalanced_windows: 0,
+        }
+    }
+}
+
+impl DefaultPolicy {
+    fn window_imbalanced(&self, s: &Signals) -> bool {
+        if s.shards.len() <= 1 {
+            return false;
+        }
+        let hot = &s.shards[s.hottest()];
+        hot.busy_nanos >= self.min_busy_nanos
+            && !hot.hot_ports.is_empty()
+            && hot.busy_nanos as f64 > self.steal_ratio * s.mean_busy() as f64
+    }
+}
+
+impl TunePolicy for DefaultPolicy {
+    fn observe(&mut self, signals: &Signals) {
+        if self.window_imbalanced(signals) {
+            self.imbalanced_windows += 1;
+        } else {
+            self.imbalanced_windows = 0;
+        }
+    }
+
+    fn adjust(&mut self, signals: &Signals) -> Vec<Action> {
+        let mut actions = Vec::new();
+        let n = signals.shards.len();
+        if n <= 1 {
+            return actions;
+        }
+        let hottest_busy = signals.shards[signals.hottest()].busy_nanos;
+        if hottest_busy < self.min_busy_nanos {
+            // Activity floor: below it the window carries no usable
+            // signal (and tiny deterministic test workloads stay
+            // untouched even when the loop is armed).
+            return actions;
+        }
+
+        // --- Feedback loop 1: adaptive cache capacity. -----------------
+        let mut total_cap: usize = signals.shards.iter().map(|s| s.cache_capacity).sum();
+        for (i, sh) in signals.shards.iter().enumerate() {
+            let lookups = sh.cache_hits + sh.cache_misses;
+            if sh.cache_capacity == 0 {
+                // Operator disabled caching (ablation); never resurrect.
+                continue;
+            }
+            if lookups > 0 {
+                let hit_rate = sh.cache_hits as f64 / lookups as f64;
+                if sh.cache_evictions > 0 && hit_rate < self.grow_below_hit_rate {
+                    // Thrashing: the working set exceeds the bound. Grow
+                    // multiplicatively while the global budget allows.
+                    let new_cap = sh.cache_capacity.saturating_mul(2);
+                    if total_cap - sh.cache_capacity + new_cap <= self.cache_budget_entries {
+                        total_cap = total_cap - sh.cache_capacity + new_cap;
+                        actions.push(Action::SetCacheCapacity {
+                            shard: i,
+                            capacity: new_cap,
+                        });
+                    }
+                }
+            } else if sh.cache_capacity > self.cache_floor && sh.cache_len <= sh.cache_capacity / 4
+            {
+                // Idle and mostly empty: give the budget back.
+                let new_cap = (sh.cache_capacity / 2).max(self.cache_floor);
+                total_cap = total_cap - sh.cache_capacity + new_cap;
+                actions.push(Action::SetCacheCapacity {
+                    shard: i,
+                    capacity: new_cap,
+                });
+            }
+        }
+
+        // --- Feedback loop 2: hot-shard work stealing. -----------------
+        if self.imbalanced_windows >= self.steal_patience {
+            let hottest = signals.hottest();
+            let idlest = signals.idlest();
+            if hottest != idlest {
+                let hot = &signals.shards[hottest];
+                let gap = hot.busy_nanos - signals.shards[idlest].busy_nanos;
+                let denom = hot.delivered.max(1);
+                // A port's busy share ≈ its arrival share of the shard's
+                // deliveries. Steal the *largest* port that fits in half
+                // the hot–idle gap: moving a port bigger than the gap
+                // would just relocate the hotspot onto the idle shard
+                // and ping-pong it back next window. A single mega-port
+                // that dwarfs the gap is therefore never stolen — its
+                // shard simply keeps it while smaller ports drain away.
+                let fits = |arrivals: u64| {
+                    let est = hot.busy_nanos as u128 * arrivals as u128 / denom as u128;
+                    est * 2 <= gap as u128
+                };
+                if let Some(&(port, _)) = hot.hot_ports.iter().find(|&&(_, a)| fits(a)) {
+                    actions.push(Action::StealPort {
+                        port,
+                        to_shard: idlest,
+                    });
+                    // Stay primed rather than restarting the full
+                    // patience count: the patience filter gates the
+                    // *onset* (a noise streak must persist to fire at
+                    // all), but once genuine imbalance is established,
+                    // every further imbalanced window — each computed
+                    // from fresh post-steal signals, so the half-gap
+                    // rule re-checks against the new distribution — may
+                    // steal again. One balanced window still resets to
+                    // zero via `observe`.
+                    self.imbalanced_windows = self.steal_patience.saturating_sub(1);
+                }
+            }
+        }
+        actions
+    }
+}
+
+/// Cumulative per-shard counter sample; consecutive samples bound one
+/// observation window (the actuator stores the previous one).
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct ShardSample {
+    pub(crate) busy_nanos: u64,
+    pub(crate) delivered: u64,
+    pub(crate) cache_hits: u64,
+    pub(crate) cache_misses: u64,
+    pub(crate) cache_evictions: u64,
+    pub(crate) port_queue_drops: u64,
+}
+
+/// The coordinator's tuning state: the installed policy plus the
+/// windowing bookkeeping. Lives on `Kernel`; the actuator methods
+/// (`Kernel::tune`, `Kernel::migrate_port_owner`) are in `kernel.rs`
+/// because they need `&mut` over the shards.
+pub(crate) struct TunerState {
+    pub(crate) policy: Box<dyn TunePolicy>,
+    /// Previous cumulative sample per shard; empty until the loop arms.
+    pub(crate) last: Vec<ShardSample>,
+    /// The `ASBESTOS_TUNE` knob, read at kernel construction.
+    pub(crate) env_enabled: bool,
+    /// Programmatic override (benches pin tuning on/off per run).
+    pub(crate) override_enabled: Option<bool>,
+    /// Actions actually applied (the determinism guard pins this at 0
+    /// for sequential configurations).
+    pub(crate) actions_applied: u64,
+}
+
+impl TunerState {
+    pub(crate) fn new() -> TunerState {
+        TunerState {
+            policy: Box::new(DefaultPolicy::default()),
+            last: Vec::new(),
+            env_enabled: default_tune_enabled(),
+            override_enabled: None,
+            actions_applied: 0,
+        }
+    }
+
+    /// Accounted bookkeeping bytes (goes into `KmemReport::tuner_bytes`;
+    /// zero until the loop arms, so untuned kernels report nothing).
+    pub(crate) fn bytes(&self) -> usize {
+        self.last.capacity() * std::mem::size_of::<ShardSample>()
+    }
+}
+
+/// Parses an `ASBESTOS_TUNE`-style value: everything except `off`/`0`
+/// (case-insensitive) arms the loop. Unset means on — the tuner already
+/// gates itself on nondeterministic scheduling being in effect.
+pub(crate) fn tune_enabled_from(value: Option<&str>) -> bool {
+    !matches!(
+        value.map(str::trim).map(str::to_ascii_lowercase).as_deref(),
+        Some("off") | Some("0") | Some("false")
+    )
+}
+
+/// Reads the `ASBESTOS_TUNE` knob.
+pub(crate) fn default_tune_enabled() -> bool {
+    tune_enabled_from(std::env::var("ASBESTOS_TUNE").ok().as_deref())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn window(busy: &[u64]) -> Signals {
+        Signals {
+            shards: busy
+                .iter()
+                .map(|&b| ShardSignals {
+                    busy_nanos: b,
+                    // One modest port (10% of the shard's deliveries):
+                    // always within the half-gap bound when the window
+                    // is imbalanced enough to steal at all.
+                    delivered: 100,
+                    cache_capacity: 1 << 10,
+                    hot_ports: vec![(Handle::from_raw(7), 10)],
+                    ..ShardSignals::default()
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn knob_parsing() {
+        assert!(tune_enabled_from(None));
+        assert!(tune_enabled_from(Some("on")));
+        assert!(tune_enabled_from(Some("ON")));
+        assert!(!tune_enabled_from(Some("off")));
+        assert!(!tune_enabled_from(Some("OFF")));
+        assert!(!tune_enabled_from(Some("0")));
+        assert!(!tune_enabled_from(Some("false")));
+    }
+
+    #[test]
+    fn activity_floor_gates_everything() {
+        let mut p = DefaultPolicy::default();
+        // Wildly imbalanced but microscopic: no window may act.
+        let s = window(&[900, 1, 1, 1]);
+        for _ in 0..10 {
+            p.observe(&s);
+            assert!(p.adjust(&s).is_empty(), "sub-floor window acted");
+        }
+    }
+
+    #[test]
+    fn sustained_imbalance_steals_to_the_idlest_shard() {
+        let mut p = DefaultPolicy::default();
+        let s = window(&[40_000_000, 2_000_000, 3_000_000, 1_000_000]);
+        p.observe(&s);
+        assert!(
+            p.adjust(&s)
+                .iter()
+                .all(|a| !matches!(a, Action::StealPort { .. })),
+            "one imbalanced window must not steal (patience)"
+        );
+        p.observe(&s);
+        let actions = p.adjust(&s);
+        assert!(
+            actions.contains(&Action::StealPort {
+                port: Handle::from_raw(7),
+                to_shard: 3,
+            }),
+            "two imbalanced windows steal the hot port to the idlest shard: {actions:?}"
+        );
+    }
+
+    #[test]
+    fn steal_skips_a_mega_port_that_would_overshoot() {
+        let mut p = DefaultPolicy::default();
+        let mut s = window(&[40_000_000, 30_000_000, 30_000_000, 20_000_000]);
+        // Port 7 carries 90% of the hot shard's load — moving it would
+        // make the idle shard hotter than the source ever was. Port 8
+        // (4% → 1.6 ms) fits in half the 20 ms gap and is taken instead.
+        s.shards[0].hot_ports = vec![(Handle::from_raw(7), 90), (Handle::from_raw(8), 4)];
+        p.observe(&s);
+        p.adjust(&s);
+        p.observe(&s);
+        let actions = p.adjust(&s);
+        assert!(
+            actions.contains(&Action::StealPort {
+                port: Handle::from_raw(8),
+                to_shard: 3,
+            }),
+            "the largest port fitting the half-gap is stolen: {actions:?}"
+        );
+        assert!(
+            !actions.iter().any(
+                |a| matches!(a, Action::StealPort { port, .. } if *port == Handle::from_raw(7))
+            ),
+            "the mega-port must stay put"
+        );
+    }
+
+    #[test]
+    fn no_steal_when_every_port_overshoots() {
+        let mut p = DefaultPolicy::default();
+        let mut s = window(&[40_000_000, 30_000_000, 30_000_000, 20_000_000]);
+        s.shards[0].hot_ports = vec![(Handle::from_raw(7), 100)];
+        for _ in 0..6 {
+            p.observe(&s);
+            let actions = p.adjust(&s);
+            assert!(
+                actions
+                    .iter()
+                    .all(|a| !matches!(a, Action::StealPort { .. })),
+                "an unsplittable hotspot is left alone: {actions:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn balanced_windows_reset_patience() {
+        let mut p = DefaultPolicy::default();
+        let hot = window(&[40_000_000, 2_000_000, 3_000_000, 1_000_000]);
+        let calm = window(&[10_000_000, 9_000_000, 11_000_000, 10_000_000]);
+        p.observe(&hot);
+        p.adjust(&hot);
+        p.observe(&calm);
+        p.adjust(&calm);
+        p.observe(&hot);
+        let actions = p.adjust(&hot);
+        assert!(
+            actions
+                .iter()
+                .all(|a| !matches!(a, Action::StealPort { .. })),
+            "a calm window resets the imbalance streak"
+        );
+    }
+
+    #[test]
+    fn thrashing_cache_grows_within_budget_and_idle_cache_shrinks() {
+        let mut p = DefaultPolicy::default();
+        let mut s = window(&[10_000_000, 10_000_000]);
+        // Shard 0 thrashes: lookups with low hit rate and evictions.
+        s.shards[0].cache_hits = 10;
+        s.shards[0].cache_misses = 990;
+        s.shards[0].cache_evictions = 500;
+        s.shards[0].cache_capacity = 1 << 12;
+        // Shard 1 is idle with a big, mostly-empty cache.
+        s.shards[1].cache_capacity = 1 << 14;
+        s.shards[1].cache_len = 10;
+        p.observe(&s);
+        let actions = p.adjust(&s);
+        assert!(actions.contains(&Action::SetCacheCapacity {
+            shard: 0,
+            capacity: 1 << 13,
+        }));
+        assert!(actions.contains(&Action::SetCacheCapacity {
+            shard: 1,
+            capacity: 1 << 13,
+        }));
+    }
+
+    #[test]
+    fn cache_growth_respects_the_global_budget() {
+        let mut p = DefaultPolicy {
+            cache_budget_entries: 1 << 12,
+            ..DefaultPolicy::default()
+        };
+        let mut s = window(&[10_000_000, 10_000_000]);
+        for sh in &mut s.shards {
+            sh.cache_hits = 0;
+            sh.cache_misses = 1000;
+            sh.cache_evictions = 900;
+            sh.cache_capacity = 1 << 11;
+        }
+        p.observe(&s);
+        // Budget 4096, current total 4096: no growth fits.
+        assert!(p.adjust(&s).is_empty());
+    }
+
+    /// Covert-channel hygiene at the policy layer: a flooding user's
+    /// thrash signals on its own shard never change what the policy does
+    /// to a healthy shard's cache, and any steal it provokes targets
+    /// only the flooded shard's ports.
+    #[test]
+    fn flood_on_one_shard_never_acts_on_a_healthy_shard() {
+        let healthy = |s: &mut Signals| {
+            s.shards[0].cache_hits = 990;
+            s.shards[0].cache_misses = 10;
+            s.shards[0].cache_evictions = 0;
+            s.shards[0].cache_len = 100;
+            s.shards[0].hot_ports = vec![(Handle::from_raw(40), 5)];
+        };
+        // Quiet system: shard 1 idle-but-present.
+        let mut quiet = window(&[5_000_000, 5_000_000, 5_000_000, 5_000_000]);
+        healthy(&mut quiet);
+        // Flooded system: shard 1 thrashes its cache and dominates busy
+        // time with two steal-eligible ports.
+        let mut noisy = window(&[5_000_000, 60_000_000, 5_000_000, 5_000_000]);
+        healthy(&mut noisy);
+        noisy.shards[1].cache_hits = 10;
+        noisy.shards[1].cache_misses = 990;
+        noisy.shards[1].cache_evictions = 500;
+        noisy.shards[1].delivered = 10_000;
+        noisy.shards[1].hot_ports =
+            vec![(Handle::from_raw(50), 2_000), (Handle::from_raw(51), 1_500)];
+
+        let on_shard0 = |s: &Signals| {
+            let mut p = DefaultPolicy::default();
+            let mut acts = Vec::new();
+            for _ in 0..4 {
+                p.observe(s);
+                acts.extend(p.adjust(s));
+            }
+            acts.retain(|a| match a {
+                Action::SetCacheCapacity { shard, .. } => *shard == 0,
+                Action::StealPort { port, .. } => *port == Handle::from_raw(40),
+            });
+            acts
+        };
+        assert_eq!(
+            on_shard0(&quiet),
+            on_shard0(&noisy),
+            "shard 0's treatment is independent of shard 1's flood"
+        );
+        assert!(
+            on_shard0(&noisy).is_empty(),
+            "a healthy shard is left alone entirely"
+        );
+    }
+
+    #[test]
+    fn disabled_cache_stays_disabled() {
+        let mut p = DefaultPolicy::default();
+        let mut s = window(&[10_000_000, 10_000_000]);
+        s.shards[0].cache_capacity = 0;
+        s.shards[0].cache_misses = 1000;
+        s.shards[0].cache_evictions = 0;
+        p.observe(&s);
+        assert!(
+            p.adjust(&s)
+                .iter()
+                .all(|a| !matches!(a, Action::SetCacheCapacity { shard: 0, .. })),
+            "the ablation configuration must survive tuning"
+        );
+    }
+}

@@ -172,6 +172,11 @@ fn single_shard_matches_pre_refactor_engine() {
         ep_switches: 7,
         cache_hits: 67,
         cache_misses: 6,
+        // The deepest the mailboxes ever got during this workload —
+        // deterministic like every other counter here. Steals and cache
+        // resizes stay zero via the spread below: the tuner is inert on
+        // a single-shard kernel by construction.
+        queue_depth_hwm: 6,
         ..Stats::default()
     };
     assert_eq!(kernel.stats(), expected_stats);
@@ -183,9 +188,10 @@ fn single_shard_matches_pre_refactor_engine() {
         queue_bytes: 0,
         delivery_cache_bytes: 3768,
         user_frame_bytes: 77824,
-        // A single-shard kernel allocates no pool and no cross-shard
-        // channel storage worth billing.
+        // A single-shard kernel allocates no pool, no cross-shard
+        // channel storage worth billing, and never arms the tuner.
         pool_bytes: 0,
+        tuner_bytes: 0,
     };
     assert_eq!(kernel.kmem_report(), expected_kmem);
 

@@ -192,15 +192,53 @@ fn random_scripts(chains: usize, rng: &mut TestRng) -> Vec<Vec<Step>> {
         .collect()
 }
 
+/// Everything a chain test needs to drive the workload by hand: the
+/// kernel, per-chain receiver logs, the senders' trigger ports, and the
+/// receivers' delivery ports (steal tests migrate those).
+struct ChainRig {
+    kernel: Kernel,
+    logs: Vec<Arc<Mutex<Vec<u64>>>>,
+    triggers: Vec<Handle>,
+    recv_ports: Vec<Handle>,
+}
+
 /// Runs the chain workload on `shards` shards; returns per-chain receiver
 /// logs plus (delivered, label drops, sent) counters.
 fn run_chains(scripts: &[Vec<Step>], shards: usize, seed: u64) -> (Vec<Vec<u64>>, (u64, u64, u64)) {
+    let mut rig = setup_chains(scripts, shards, seed);
+    for &port in &rig.triggers {
+        rig.kernel.inject(port, Value::Unit);
+    }
+    rig.kernel.run();
+    assert_eq!(rig.kernel.queue_len(), 0);
+    rig.outcome()
+}
+
+impl ChainRig {
+    fn outcome(&self) -> (Vec<Vec<u64>>, (u64, u64, u64)) {
+        let stats = self.kernel.stats();
+        let traces = self
+            .logs
+            .iter()
+            .map(|l| l.lock().unwrap().clone())
+            .collect();
+        (
+            traces,
+            (stats.delivered, stats.dropped_label_check, stats.sent),
+        )
+    }
+}
+
+/// Spawns the chain workload without injecting the triggers, so tests
+/// can interleave injection, partial draining, and explicit port steals.
+fn setup_chains(scripts: &[Vec<Step>], shards: usize, seed: u64) -> ChainRig {
     let mut kernel = Kernel::new_sharded(seed, shards);
     let logs: Vec<Arc<Mutex<Vec<u64>>>> = scripts
         .iter()
         .map(|_| Arc::new(Mutex::new(Vec::new())))
         .collect();
     let mut trigger_ports = Vec::new();
+    let mut recv_ports = Vec::new();
 
     for (chain, script) in scripts.iter().enumerate() {
         // Receiver and sender deliberately land on *different* shards
@@ -227,6 +265,7 @@ fn run_chains(scripts: &[Vec<Step>], shards: usize, seed: u64) -> (Vec<Vec<u64>>
             ),
         );
         let target = kernel.global_env(&recv_key).unwrap().as_handle().unwrap();
+        recv_ports.push(target);
 
         let script = script.clone();
         let send_key = format!("chain{chain}.send");
@@ -282,18 +321,12 @@ fn run_chains(scripts: &[Vec<Step>], shards: usize, seed: u64) -> (Vec<Vec<u64>>
         trigger_ports.push(kernel.global_env(&send_key).unwrap().as_handle().unwrap());
     }
 
-    for &port in &trigger_ports {
-        kernel.inject(port, Value::Unit);
+    ChainRig {
+        kernel,
+        logs,
+        triggers: trigger_ports,
+        recv_ports,
     }
-    kernel.run();
-    assert_eq!(kernel.queue_len(), 0);
-
-    let stats = kernel.stats();
-    let traces = logs.iter().map(|l| l.lock().unwrap().clone()).collect();
-    (
-        traces,
-        (stats.delivered, stats.dropped_label_check, stats.sent),
-    )
 }
 
 #[test]
@@ -498,4 +531,286 @@ fn per_port_queue_limit_drops_only_the_hot_port() {
 fn port_queue_full_is_a_distinct_drop_reason() {
     assert_ne!(DropReason::PortQueueFull, DropReason::QueueFull);
     let _ = Handle::from_raw(1); // keep the import exercised on all paths
+}
+
+// ---------------------------------------------------------------------
+// Work stealing: whole-queue port migration is delivery-invisible.
+// ---------------------------------------------------------------------
+
+/// Randomized steal schedules interleaved with partial draining: inject
+/// everything, deliver a few messages, migrate a random receiver port
+/// (its pending queue moves wholesale with it), repeat, then drain. The
+/// per-chain traces — not just the multiset — must match the 1-shard
+/// baseline: per-sender-per-port FIFO survives any sequence of steals.
+#[test]
+fn steal_schedules_preserve_fifo_and_multiset() {
+    let mut rng = TestRng::deterministic("sharding::steals");
+    let mut migrations_total = 0u32;
+    for case in 0..8u64 {
+        let scripts = random_scripts(6, &mut rng);
+        let (base_traces, base_counts) = run_chains(&scripts, 1, 0xBEEF + case);
+        for shards in shard_counts() {
+            if shards == 1 {
+                continue;
+            }
+            let mut rig = setup_chains(&scripts, shards, 0xBEEF + case);
+            for &port in &rig.triggers {
+                rig.kernel.inject(port, Value::Unit);
+            }
+            let mut migrations = 0u32;
+            for _ in 0..6 {
+                // Deliver a few messages so queues are mid-drain, then
+                // steal a random receiver — pending messages and all.
+                for _ in 0..=rng.below(8) {
+                    if !rig.kernel.step() {
+                        break;
+                    }
+                }
+                let chain = rng.below(rig.recv_ports.len() as u64) as usize;
+                let to = rng.below(shards as u64) as usize;
+                let port = rig.recv_ports[chain];
+                if rig.kernel.migrate_port_owner(port, to).is_some() {
+                    migrations += 1;
+                    assert_eq!(
+                        rig.kernel.port_shard(port),
+                        to,
+                        "router directory tracks the migrated port"
+                    );
+                }
+            }
+            rig.kernel.run();
+            assert_eq!(rig.kernel.queue_len(), 0);
+            let (traces, counts) = rig.outcome();
+            assert_eq!(
+                traces, base_traces,
+                "case {case}: {shards}-shard traces after {migrations} steals"
+            );
+            assert_eq!(
+                counts, base_counts,
+                "case {case}: {shards}-shard counters after {migrations} steals"
+            );
+            migrations_total += migrations;
+        }
+    }
+    assert!(
+        migrations_total > 20,
+        "schedule exercised real migrations (got {migrations_total})"
+    );
+}
+
+// ---------------------------------------------------------------------
+// The tuner is not a cross-user channel.
+// ---------------------------------------------------------------------
+
+/// A victim's delivery traces must be bit-identical whether or not an
+/// unrelated user floods the system while the control loop is armed and
+/// reacting. The attacker's load may move the *attacker's* ports and
+/// resize the *attacker's* shard caches — never alter what the victim
+/// observes.
+#[test]
+fn tuner_reactions_to_a_flood_are_invisible_to_other_users() {
+    let run = |with_attacker: bool| -> (Vec<u64>, u64) {
+        let mut kernel = Kernel::new_sharded(31, 4);
+        kernel.set_worker_threads(1);
+        kernel.set_tuning_enabled(true);
+        // Aggressive thresholds so the attacker's flood (thousands of
+        // deliveries per window) trips the loop, while the victim's
+        // trickle stays far below the activity floor.
+        let mut policy = asbestos_kernel::DefaultPolicy::default();
+        policy.min_busy_nanos = 200_000;
+        policy.steal_ratio = 1.05;
+        policy.steal_patience = 1;
+        kernel.set_tune_policy(Box::new(policy));
+
+        // Victim: spawned FIRST in both configurations so its handles,
+        // ports, and placement are identical with and without the flood.
+        let victim_log: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+        let l2 = victim_log.clone();
+        kernel.spawn_on(
+            0,
+            "victim-recv",
+            Category::Other,
+            service_with_start(
+                |sys| {
+                    let p = sys.new_port(Label::top());
+                    sys.set_port_label(p, Label::top()).unwrap();
+                    sys.publish_env("victim.recv", Value::Handle(p));
+                },
+                move |_sys, msg| l2.lock().unwrap().push(msg.body.as_u64().unwrap()),
+            ),
+        );
+        let victim_target = kernel
+            .global_env("victim.recv")
+            .unwrap()
+            .as_handle()
+            .unwrap();
+        kernel.spawn_on(
+            1,
+            "victim-send",
+            Category::Other,
+            service_with_start(
+                |sys| {
+                    let p = sys.new_port(Label::top());
+                    sys.set_port_label(p, Label::top()).unwrap();
+                    sys.publish_env("victim.send", Value::Handle(p));
+                },
+                move |sys, msg| {
+                    let wave = msg.body.as_u64().unwrap();
+                    for i in 0..3 {
+                        sys.send(victim_target, Value::U64(wave * 10 + i)).unwrap();
+                    }
+                },
+            ),
+        );
+        let victim_trigger = kernel
+            .global_env("victim.send")
+            .unwrap()
+            .as_handle()
+            .unwrap();
+
+        // Attacker: one flooder fanning out to four sinks pinned to one
+        // shard, so the shard runs hot and its ports are steal bait.
+        let mut attacker_trigger = None;
+        if with_attacker {
+            let mut sinks = Vec::new();
+            for i in 0..4 {
+                let key = format!("sink{i}.port");
+                let publish_key = key.clone();
+                kernel.spawn_on(
+                    3,
+                    &format!("sink{i}"),
+                    Category::Other,
+                    service_with_start(
+                        move |sys| {
+                            let p = sys.new_port(Label::top());
+                            sys.set_port_label(p, Label::top()).unwrap();
+                            sys.publish_env(&publish_key, Value::Handle(p));
+                        },
+                        |_, _| {},
+                    ),
+                );
+                sinks.push(kernel.global_env(&key).unwrap().as_handle().unwrap());
+            }
+            kernel.spawn_on(
+                2,
+                "flooder",
+                Category::Other,
+                service_with_start(
+                    |sys| {
+                        let p = sys.new_port(Label::top());
+                        sys.set_port_label(p, Label::top()).unwrap();
+                        sys.publish_env("flood.port", Value::Handle(p));
+                    },
+                    move |sys, _msg| {
+                        for round in 0..400u64 {
+                            for &sink in &sinks {
+                                sys.send(sink, Value::U64(round)).unwrap();
+                            }
+                        }
+                    },
+                ),
+            );
+            attacker_trigger = Some(
+                kernel
+                    .global_env("flood.port")
+                    .unwrap()
+                    .as_handle()
+                    .unwrap(),
+            );
+        }
+
+        // Several waves so the control loop gets multiple observation
+        // windows: arm, observe, steal, re-observe.
+        for wave in 0..6u64 {
+            kernel.inject(victim_trigger, Value::U64(wave));
+            if let Some(flood) = attacker_trigger {
+                kernel.inject(flood, Value::Unit);
+            }
+            kernel.run();
+        }
+        assert_eq!(kernel.queue_len(), 0);
+
+        let trace = victim_log.lock().unwrap().clone();
+        (trace, kernel.tuner_actions())
+    };
+
+    let (quiet_trace, quiet_actions) = run(false);
+    let (noisy_trace, noisy_actions) = run(true);
+
+    // The victim-only system sits below the activity floor: armed but
+    // untouched. The flood makes the tuner actually react — this test is
+    // only meaningful if it does.
+    assert_eq!(quiet_actions, 0, "victim trickle stays below the floor");
+    assert!(
+        noisy_actions > 0,
+        "flood must trip the control loop for this regression to bite"
+    );
+    // And none of those reactions — steals, resizes — are visible to the
+    // victim: its delivery trace (the only surface a guest can observe
+    // in this model) is bit-identical.
+    assert_eq!(noisy_trace, quiet_trace, "victim trace unchanged by flood");
+    assert_eq!(
+        quiet_trace.len(),
+        18,
+        "victim saw every one of its own messages"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Determinism guard: ambient tuning never touches deterministic modes.
+// ---------------------------------------------------------------------
+
+/// Without an explicit `set_tuning_enabled(true)` override, the tuner
+/// must stay inert in every configuration the golden-trace suites pin:
+/// the sequential sweep (`workers == 1`), a single shard, and any run
+/// with tuning explicitly forced off — even under a hair-trigger policy
+/// and a workload that would otherwise trip every threshold.
+#[test]
+fn ambient_tuning_is_inert_in_deterministic_modes() {
+    let hair_trigger = || {
+        let mut policy = asbestos_kernel::DefaultPolicy::default();
+        policy.min_busy_nanos = 0;
+        policy.steal_ratio = 1.0;
+        policy.steal_patience = 0;
+        Box::new(policy)
+    };
+    let mut rng = TestRng::deterministic("sharding::inert");
+    let scripts = random_scripts(8, &mut rng);
+
+    // Sequential sweep at 4 shards, ambient (env-default) tuning.
+    let mut rig = setup_chains(&scripts, 4, 0xD00D);
+    rig.kernel.set_worker_threads(1);
+    rig.kernel.set_tune_policy(hair_trigger());
+    assert!(
+        !rig.kernel.tuning_active(),
+        "sweep mode: ambient tuning off"
+    );
+    for &port in &rig.triggers {
+        rig.kernel.inject(port, Value::Unit);
+    }
+    rig.kernel.run();
+    assert_eq!(rig.kernel.tuner_actions(), 0, "sweep mode: no actions");
+
+    // Single shard: inert even when explicitly forced on.
+    let mut rig = setup_chains(&scripts, 1, 0xD00D);
+    rig.kernel.set_tuning_enabled(true);
+    rig.kernel.set_tune_policy(hair_trigger());
+    assert!(!rig.kernel.tuning_active(), "1 shard: tuning can't arm");
+    for &port in &rig.triggers {
+        rig.kernel.inject(port, Value::Unit);
+    }
+    rig.kernel.run();
+    assert_eq!(rig.kernel.tuner_actions(), 0, "1 shard: no actions");
+
+    // Parallel pool with tuning explicitly forced off.
+    let mut rig = setup_chains(&scripts, 4, 0xD00D);
+    rig.kernel.set_worker_threads(4);
+    rig.kernel.set_tuning_enabled(false);
+    rig.kernel.set_tune_policy(hair_trigger());
+    assert!(!rig.kernel.tuning_active(), "forced off: tuning off");
+    for &port in &rig.triggers {
+        rig.kernel.inject(port, Value::Unit);
+    }
+    rig.kernel.run();
+    assert_eq!(rig.kernel.tuner_actions(), 0, "forced off: no actions");
 }

@@ -23,9 +23,11 @@
 pub mod blockdev;
 pub mod crc;
 pub mod store;
+pub mod tune;
 pub mod wal;
 
 pub use blockdev::{BlockDev, FileDev, MemDev};
 pub use crc::crc32;
 pub use store::{Recovery, Store, DEFAULT_COMPACT_THRESHOLD, DEFAULT_SEGMENT_LIMIT};
+pub use tune::{AdaptiveBatch, MAX_GROUP_COMMIT, MIN_GROUP_COMMIT};
 pub use wal::{encode_commit, encode_frame, scan_committed, scan_frames, FrameKind};

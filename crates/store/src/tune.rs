@@ -1,0 +1,169 @@
+//! Adaptive group-commit sizing: the WAL half of the self-tuning
+//! runtime.
+//!
+//! Group commit trades ack latency for sync amortization: a batch of N
+//! appends shares one sync, so under sustained append pressure a large
+//! batch is nearly free throughput, while an idle connection wants the
+//! smallest batch possible so a lone record is never parked behind a
+//! sync that isn't coming. A static `ASBESTOS_DB_GROUP_COMMIT` forces
+//! the operator to pick one point on that curve at deploy time;
+//! [`AdaptiveBatch`] walks the curve instead — multiplicative increase
+//! while flushes keep filling (the batch is the bottleneck), halving
+//! the moment a flush runs under-filled (the load went away), which
+//! bounds worst-case ack latency to one under-filled window.
+//!
+//! This is a pure controller over flush observations — no store or
+//! clock access — so the db layer can consult it wherever it already
+//! decides to flush, and tests drive it with synthetic flush sequences.
+
+/// Smallest batch the controller ever picks: every record syncs.
+pub const MIN_GROUP_COMMIT: usize = 1;
+
+/// Largest batch the controller grows to. Past a few hundred records
+/// per sync the amortization curve is flat, while the committed-prefix
+/// exposure window keeps growing — so cap it.
+pub const MAX_GROUP_COMMIT: usize = 256;
+
+/// Consecutive full flushes required before the batch doubles.
+pub const GROW_AFTER_FULL_FLUSHES: u32 = 2;
+
+/// A multiplicative-increase / multiplicative-decrease controller for
+/// the group-commit batch size.
+#[derive(Clone, Debug)]
+pub struct AdaptiveBatch {
+    current: usize,
+    min: usize,
+    max: usize,
+    /// Consecutive flushes that filled the whole batch.
+    full_streak: u32,
+    /// Times the batch grew (observability; bench JSON reports it).
+    grows: u64,
+    /// Times the batch shrank.
+    shrinks: u64,
+}
+
+impl Default for AdaptiveBatch {
+    fn default() -> AdaptiveBatch {
+        AdaptiveBatch::new(MIN_GROUP_COMMIT, MAX_GROUP_COMMIT)
+    }
+}
+
+impl AdaptiveBatch {
+    /// A controller bounded to `[min, max]` records per sync, starting
+    /// at `min` (latency-safe until pressure proves otherwise).
+    pub fn new(min: usize, max: usize) -> AdaptiveBatch {
+        let min = min.max(1);
+        let max = max.max(min);
+        AdaptiveBatch {
+            current: min,
+            min,
+            max,
+            full_streak: 0,
+            grows: 0,
+            shrinks: 0,
+        }
+    }
+
+    /// Records the batch should accumulate before the next sync.
+    pub fn current(&self) -> usize {
+        self.current
+    }
+
+    /// Feeds one flush observation: how many records the flush actually
+    /// committed. A flush that filled the whole batch is append
+    /// pressure — after [`GROW_AFTER_FULL_FLUSHES`] in a row the batch
+    /// doubles. A flush below half the batch means the burst ended —
+    /// the batch halves immediately, so at most one under-filled window
+    /// ever pays the large-batch ack latency.
+    pub fn on_flush(&mut self, committed: usize) {
+        if committed >= self.current {
+            self.full_streak += 1;
+            if self.full_streak >= GROW_AFTER_FULL_FLUSHES && self.current < self.max {
+                self.current = (self.current * 2).min(self.max);
+                self.full_streak = 0;
+                self.grows += 1;
+            }
+        } else {
+            self.full_streak = 0;
+            if committed < self.current / 2 && self.current > self.min {
+                self.current = (self.current / 2).max(self.min);
+                self.shrinks += 1;
+            }
+        }
+    }
+
+    /// (times grown, times shrunk) — the bench JSON observability pair.
+    pub fn transitions(&self) -> (u64, u64) {
+        (self.grows, self.shrinks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grows_under_sustained_pressure_to_the_cap() {
+        let mut b = AdaptiveBatch::default();
+        assert_eq!(b.current(), MIN_GROUP_COMMIT);
+        for _ in 0..64 {
+            let cur = b.current();
+            b.on_flush(cur);
+        }
+        assert_eq!(
+            b.current(),
+            MAX_GROUP_COMMIT,
+            "sustained full flushes hit the cap"
+        );
+        let (grows, shrinks) = b.transitions();
+        assert!(grows >= 8);
+        assert_eq!(shrinks, 0);
+    }
+
+    #[test]
+    fn one_underfilled_flush_halves_the_batch() {
+        let mut b = AdaptiveBatch::new(1, 64);
+        for _ in 0..32 {
+            let cur = b.current();
+            b.on_flush(cur);
+        }
+        assert_eq!(b.current(), 64);
+        b.on_flush(3);
+        assert_eq!(b.current(), 32, "an idle flush halves immediately");
+        b.on_flush(0);
+        b.on_flush(0);
+        b.on_flush(0);
+        b.on_flush(0);
+        b.on_flush(0);
+        assert_eq!(b.current(), 1, "sustained idle walks back to min");
+    }
+
+    #[test]
+    fn near_full_flushes_hold_steady() {
+        let mut b = AdaptiveBatch::new(1, 64);
+        for _ in 0..32 {
+            let cur = b.current();
+            b.on_flush(cur);
+        }
+        // 60% fill: not pressure (no grow), not idle (no shrink).
+        for _ in 0..10 {
+            b.on_flush(38);
+        }
+        assert_eq!(b.current(), 64);
+    }
+
+    #[test]
+    fn bounds_are_respected() {
+        let mut b = AdaptiveBatch::new(4, 16);
+        assert_eq!(b.current(), 4);
+        for _ in 0..100 {
+            let cur = b.current();
+            b.on_flush(cur);
+        }
+        assert_eq!(b.current(), 16);
+        for _ in 0..100 {
+            b.on_flush(0);
+        }
+        assert_eq!(b.current(), 4);
+    }
+}
