@@ -109,6 +109,12 @@ struct Measured {
     /// queueing pressure each shard absorbed) and per-port-bound drops.
     queue_hwms: Vec<u64>,
     port_drops: Vec<u64>,
+    /// Per-shard overload-control verdict counters (PR 8): sends
+    /// deferred into the retry queue and messages shed. Zero in this
+    /// workload's default (backpressure-off) configuration — recorded
+    /// so any future regime change shows up in the trajectory.
+    deferred: Vec<u64>,
+    shed: Vec<u64>,
     /// Swap-drains of the cross-shard inbound queues over the measured
     /// rounds (each drain is one mutex acquisition however many messages
     /// it moves).
@@ -177,6 +183,8 @@ fn throughput(
     };
     let queue_hwms = per_shard(|s| s.queue_depth_hwm);
     let port_drops = per_shard(|s| s.dropped_port_queue_full);
+    let deferred = per_shard(|s| s.sent_deferred);
+    let shed = per_shard(|s| s.dropped_shed);
     let stats_after = kernel.stats();
     let batch_drains = stats_after.xshard_batch_drains - stats_before.xshard_batch_drains;
     let batched = (stats_after.xshard_subround + stats_after.xshard_barrier)
@@ -188,6 +196,8 @@ fn throughput(
         hit_rates,
         queue_hwms,
         port_drops,
+        deferred,
+        shed,
         batch_drains,
         batch_mean: if batch_drains == 0 {
             0.0
@@ -251,6 +261,14 @@ fn bench_scale_shards(c: &mut Criterion) {
                 }
                 for (i, drops) in m.port_drops.iter().enumerate() {
                     fields.push((format!("port_queue_full_s{i}"), *drops as f64));
+                }
+                // Overload-control verdicts per shard (PR 8): deferred
+                // sends and shed messages.
+                for (i, d) in m.deferred.iter().enumerate() {
+                    fields.push((format!("deferred_s{i}"), *d as f64));
+                }
+                for (i, s) in m.shed.iter().enumerate() {
+                    fields.push((format!("shed_s{i}"), *s as f64));
                 }
                 let borrowed: Vec<(&str, f64)> =
                     fields.iter().map(|(k, v)| (k.as_str(), *v)).collect();

@@ -391,6 +391,9 @@ impl KernelShard {
         let hit_budget = loop {
             self.pull_inbound(pull);
             pull = PullPoint::Subround;
+            // Re-admit parked retries while capacity lasts (a no-op
+            // unless backpressure is armed and something is parked).
+            self.flush_retries(router);
             if self.mailboxes.len() == 0 {
                 break false;
             }

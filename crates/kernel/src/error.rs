@@ -29,6 +29,13 @@ pub enum SysError {
     /// (§8: "Asbestos does not yet deal gracefully with certain forms of
     /// resource exhaustion" — we at least make it explicit).
     ResourceExhausted,
+    /// The caller exhausted its own send-credit window *and* its deferral
+    /// quota for this port this activation; it should back off and retry
+    /// on a later activation. Only raised with backpressure armed, and —
+    /// crucially for the covert-channel argument — computed purely from
+    /// the caller's own send history, never from destination queue
+    /// occupancy (see [`crate::backpressure`]).
+    WouldBlock,
 }
 
 impl fmt::Display for SysError {
@@ -40,6 +47,7 @@ impl fmt::Display for SysError {
             SysError::EventProcessForbidden => "operation forbidden in event-process context",
             SysError::InvalidArgument => "invalid argument",
             SysError::ResourceExhausted => "resource limit exceeded",
+            SysError::WouldBlock => "send credits exhausted; back off and retry",
         };
         f.write_str(msg)
     }

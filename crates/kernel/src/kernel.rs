@@ -438,6 +438,33 @@ impl Kernel {
         }
     }
 
+    /// Arms (or disarms) overload control: credit-based send windows,
+    /// the retry queue, and `WouldBlock` refusals (see
+    /// [`crate::backpressure`]). Off by default — the disarmed kernel is
+    /// bit-identical to the pre-overload-control one, which is what the
+    /// determinism goldens pin.
+    pub fn set_backpressure(&mut self, on: bool) {
+        for shard in &mut self.shards {
+            shard.bp.enabled = on;
+        }
+    }
+
+    /// Whether overload control is armed.
+    pub fn backpressure_enabled(&self) -> bool {
+        self.shards[0].bp.enabled
+    }
+
+    /// Sets every shard's shed threshold: the mailbox depth at which
+    /// [`crate::Sys::overloaded`] starts reporting true to
+    /// deployment-side shedders. `usize::MAX` (the default) means never.
+    /// Under the adaptive runtime the tuner's shed loop moves this per
+    /// shard ([`crate::Action::SetShedThreshold`]).
+    pub fn set_shed_threshold(&mut self, threshold: usize) {
+        for shard in &mut self.shards {
+            shard.shed_threshold = threshold;
+        }
+    }
+
     /// Sets the delivery-decision cache bound, in cached decisions per
     /// shard. Capacity 0 disables caching entirely (every delivery
     /// evaluates Figure 4 from scratch — the ablation baseline). New
@@ -587,6 +614,7 @@ impl Kernel {
                 queue_depth_hwm: shard.stats.queue_depth_hwm,
                 port_queue_drops: cur.port_queue_drops - prev.port_queue_drops,
                 hot_ports,
+                shed_threshold: shard.shed_threshold,
             });
         }
         self.tuner.policy.observe(&signals);
@@ -602,6 +630,12 @@ impl Kernel {
                 }
                 Action::StealPort { port, to_shard } => {
                     if self.migrate_port_owner(port, to_shard).is_some() {
+                        self.tuner.actions_applied += 1;
+                    }
+                }
+                Action::SetShedThreshold { shard, threshold } => {
+                    if shard < n && self.shards[shard].shed_threshold != threshold {
+                        self.shards[shard].shed_threshold = threshold;
                         self.tuner.actions_applied += 1;
                     }
                 }
@@ -686,7 +720,13 @@ impl Kernel {
         if n == 1 {
             // The monolithic engine's step, with no routing checks at
             // all: a single-shard kernel never touches the channels.
-            return self.shards[0].step_outcome(&self.router);
+            let outcome = self.shards[0].step_outcome(&self.router);
+            if outcome == DeliveryOutcome::Idle && self.shards[0].flush_retries(&self.router) > 0 {
+                // Idle mailboxes can hide parked retries (backpressure);
+                // re-admitting them found more work.
+                return self.shards[0].step_outcome(&self.router);
+            }
+            return outcome;
         }
         loop {
             // Route first: cross-shard sends (including coordinator-phase
@@ -704,9 +744,15 @@ impl Kernel {
             // Every mailbox is empty; only an empty in-flight set too
             // means the kernel is truly idle. (A pull above can come up
             // empty of *deliverable* messages when queue bounds drop the
-            // whole batch, so re-check rather than assume.)
+            // whole batch, so re-check rather than assume.) Parked
+            // retries count as work: drained mailboxes mean there is
+            // capacity to re-admit into.
             if self.xshard.pending() == 0 {
-                return DeliveryOutcome::Idle;
+                let Kernel { shards, router, .. } = self;
+                let flushed: usize = shards.iter_mut().map(|s| s.flush_retries(router)).sum();
+                if flushed == 0 {
+                    return DeliveryOutcome::Idle;
+                }
             }
         }
     }
@@ -724,15 +770,25 @@ impl Kernel {
     pub fn run_limited(&mut self, limit: u64) -> u64 {
         if self.shards.len() == 1 {
             // The monolithic engine's loop, bit for bit (the host-time
-            // accumulation is invisible to the simulation).
+            // accumulation is invisible to the simulation; with
+            // backpressure disarmed the flush below is a constant-time
+            // no-op).
             let start = std::time::Instant::now();
             let mut steps = 0;
-            while self.shards[0].step_outcome(&self.router) != DeliveryOutcome::Idle {
-                steps += 1;
-                assert!(
-                    steps < limit,
-                    "kernel did not go idle after {limit} deliveries: livelock in simulated services?"
-                );
+            loop {
+                while self.shards[0].step_outcome(&self.router) != DeliveryOutcome::Idle {
+                    steps += 1;
+                    assert!(
+                        steps < limit,
+                        "kernel did not go idle after {limit} deliveries: livelock in simulated services?"
+                    );
+                }
+                // Idle mailboxes can hide parked retries; a drained
+                // system always has capacity for them, so flushing here
+                // terminates.
+                if self.shards[0].flush_retries(&self.router) == 0 {
+                    break;
+                }
             }
             self.shards[0].busy_nanos += start.elapsed().as_nanos() as u64;
             return steps;
@@ -754,7 +810,10 @@ impl Kernel {
                 let mut round_steps = 0;
                 let mut hit = false;
                 for shard in &mut self.shards {
-                    if shard.mailboxes.len() > 0 || self.xshard.len(shard.shard_id()) > 0 {
+                    if shard.mailboxes.len() > 0
+                        || self.xshard.len(shard.shard_id()) > 0
+                        || shard.retry_len() > 0
+                    {
                         let (n, h) = shard.drain_round(&self.router, budget, PullPoint::Subround);
                         round_steps += n;
                         hit |= h;
@@ -766,7 +825,9 @@ impl Kernel {
                 // parked, then hand every busy shard to a worker.
                 self.route_parked(PullPoint::Barrier);
                 let active: Vec<usize> = (0..self.shards.len())
-                    .filter(|&i| self.shards[i].mailboxes.len() > 0)
+                    .filter(|&i| {
+                        self.shards[i].mailboxes.len() > 0 || self.shards[i].retry_len() > 0
+                    })
                     .collect();
                 if active.is_empty() {
                     (0, false)
@@ -792,8 +853,11 @@ impl Kernel {
                 // round is scheduled.
                 self.tune();
             }
-            let quiescent =
-                self.xshard.pending() == 0 && self.shards.iter().all(|s| s.mailboxes.len() == 0);
+            let quiescent = self.xshard.pending() == 0
+                && self
+                    .shards
+                    .iter()
+                    .all(|s| s.mailboxes.len() == 0 && s.retry_len() == 0);
             if quiescent {
                 return steps;
             }
@@ -920,9 +984,14 @@ impl Kernel {
     }
 
     /// Pending (sent but undelivered) messages across all shards:
-    /// mailboxes plus the in-flight cross-shard channels.
+    /// mailboxes, the in-flight cross-shard channels, and the
+    /// backpressure retry queues.
     pub fn queue_len(&self) -> usize {
-        self.shards.iter().map(|s| s.mailboxes.len()).sum::<usize>() + self.xshard.pending()
+        self.shards
+            .iter()
+            .map(|s| s.mailboxes.len() + s.retry_len())
+            .sum::<usize>()
+            + self.xshard.pending()
     }
 
     /// Pending messages sent by a given process (god-mode; used by tests to

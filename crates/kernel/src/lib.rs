@@ -85,7 +85,20 @@
 //! ones (pinned by `tests/delivery_cache.rs`). Hits, misses, evictions,
 //! and cache bytes surface in [`Stats`] and [`KmemReport`];
 //! [`Kernel::set_delivery_cache_capacity`] bounds or disables it.
+//!
+//! **Overload control.** Armed by [`Kernel::set_backpressure`] (off by
+//! default), the [`backpressure`] module turns silent queue-bound drops
+//! into graceful degradation: per-(sender, port) credit windows that
+//! refill on the sender's *own* handler activations (AIMD: halve on
+//! overrun, grow by one per clean activation), a bounded per-shard retry
+//! queue that parks over-budget or capacity-blocked messages instead of
+//! dropping them, and [`SysError::WouldBlock`] for senders that exhaust
+//! both window and deferral quota. The verdict a sender observes is a
+//! pure function of its own send history — never of shared queue
+//! occupancy — which is what keeps the backpressure signal from becoming
+//! a covert channel (pinned by `tests/covert_channels.rs`).
 
+pub mod backpressure;
 pub mod cycles;
 pub mod delivery;
 pub mod error;
@@ -105,6 +118,7 @@ pub mod tuner;
 pub mod util;
 pub mod value;
 
+pub use backpressure::{PortPressure, SendVerdict};
 pub use cycles::{Category, CostModel, CYCLES_PER_SEC};
 pub use delivery::{DeliveryOutcome, DEFAULT_DELIVERY_CACHE_CAP};
 pub use error::{SysError, SysResult};

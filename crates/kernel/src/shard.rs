@@ -24,6 +24,7 @@ use std::sync::Arc;
 
 use asbestos_labels::{ops, Handle, Label};
 
+use crate::backpressure::{Backpressure, SendVerdict};
 use crate::cycles::{Category, CostModel, CycleClock};
 use crate::delivery::{default_cache_cap, DeliveryCache, Mailboxes};
 use crate::event_process::EventProcess;
@@ -43,6 +44,25 @@ use crate::value::Value;
 /// lower it so one hot port cannot monopolize the whole queue budget
 /// (§8's resource-exhaustion caveat, applied per port).
 pub const DEFAULT_PORT_QUEUE_LIMIT: usize = DEFAULT_QUEUE_LIMIT;
+
+/// Environment variable overriding the per-port queue bound.
+pub const PORT_QUEUE_ENV: &str = "ASBESTOS_PORT_QUEUE";
+
+/// Parses a per-port queue bound from an env-var value. Unset,
+/// unparsable, or zero (a port that could never accept a message) fall
+/// back to [`DEFAULT_PORT_QUEUE_LIMIT`].
+pub(crate) fn port_queue_limit_from(value: Option<&str>) -> usize {
+    value
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(DEFAULT_PORT_QUEUE_LIMIT)
+}
+
+/// The per-port queue bound for new shards: `ASBESTOS_PORT_QUEUE` if set
+/// and valid, else [`DEFAULT_PORT_QUEUE_LIMIT`].
+pub(crate) fn default_port_queue_limit() -> usize {
+    port_queue_limit_from(std::env::var(PORT_QUEUE_ENV).ok().as_deref())
+}
 
 /// Everything one process owns, packed to cross a shard boundary during
 /// hot-shard work stealing (see [`KernelShard::export_process`]).
@@ -82,6 +102,15 @@ pub struct KernelShard {
     pub(crate) port_queue_limit: usize,
     pub(crate) delivery_cache: DeliveryCache,
     pub(crate) stats: Stats,
+    /// Overload-control state: credit windows, the retry queue, per-port
+    /// pressure counters. Inert unless armed (see
+    /// [`crate::backpressure`]).
+    pub(crate) bp: Backpressure,
+    /// Mailbox depth at which this shard reports itself overloaded to
+    /// deployment-side shedders ([`crate::Sys::overloaded`]). Starts at
+    /// `usize::MAX` (never) and is adapted downward by the tuner's
+    /// shed-threshold loop when port-queue drops appear.
+    pub(crate) shed_threshold: usize,
     pub(crate) last_ctx: Option<ExecCtx>,
     /// Real (host) nanoseconds this shard's delivery loop has run, over
     /// all `run()` calls. Shards model parallel cores, so the busiest
@@ -112,9 +141,11 @@ impl KernelShard {
             xshard,
             drain_buf: Vec::new(),
             queue_limit: DEFAULT_QUEUE_LIMIT,
-            port_queue_limit: DEFAULT_PORT_QUEUE_LIMIT,
+            port_queue_limit: default_port_queue_limit(),
             delivery_cache: DeliveryCache::new(default_cache_cap()),
             stats: Stats::default(),
+            bp: Backpressure::default(),
+            shed_threshold: usize::MAX,
             last_ctx: None,
             busy_nanos: 0,
         }
@@ -191,6 +222,12 @@ impl KernelShard {
         let Some(mut body) = self.processes[pid.index()].body.take() else {
             return;
         };
+        if self.bp.enabled {
+            // Each handler activation is one tick of the sender's credit
+            // clock: windows refill on the sender's own schedule, never
+            // on (attacker-observable) delivery events.
+            self.bp.note_activation(pid);
+        }
         {
             let mut sys = Sys::new(self, router, ExecCtx { pid, ep }, is_new_ep);
             match &mut body {
@@ -401,7 +438,7 @@ impl KernelShard {
         port: Handle,
         body: Value,
         args: &SendArgs,
-    ) -> Result<(), crate::error::SysError> {
+    ) -> Result<SendVerdict, crate::error::SysError> {
         let category = self.processes[ctx.pid.index()].category;
         let ps: &Arc<Label> = match ctx.ep {
             Some(eid) => &self.eps[eid.index()].send_label,
@@ -461,8 +498,24 @@ impl KernelShard {
             router.shard_of(port)
         };
         if dest == self.id {
+            if self.bp.enabled {
+                return self.bp_send_local(ctx.pid, qm);
+            }
             self.enqueue_checked(qm);
         } else {
+            if self.bp.enabled {
+                // Cross-shard sends are credit-free (the loop is
+                // shard-local), but channel-bound overflow and the
+                // per-sender FIFO barrier park instead of dropping.
+                // Parking is silent — the verdict never reflects shared
+                // channel state.
+                if self.bp.barred(ctx.pid, port)
+                    || self.xshard.len(dest as usize) >= self.queue_limit
+                {
+                    self.park(qm);
+                    return Ok(SendVerdict::Delivered);
+                }
+            }
             // Sub-round routing: push straight into the destination's
             // inbound channel — no outbox, no barrier wait. Queue bounds
             // are ultimately the destination shard's to enforce (it runs
@@ -475,7 +528,7 @@ impl KernelShard {
                 self.stats.record_drop(DropReason::QueueFull);
             }
         }
-        Ok(())
+        Ok(SendVerdict::Delivered)
     }
 
     /// Drains this shard's inbound cross-shard channel into its per-port
@@ -496,7 +549,7 @@ impl KernelShard {
         self.stats.xshard_batch_drains += 1;
         self.stats.xshard_batch_max = self.stats.xshard_batch_max.max(n as u64);
         for qm in batch.drain(..) {
-            self.enqueue_checked(qm);
+            self.enqueue_inbound(qm);
         }
         // `drain` leaves the capacity in place; hand the buffer back as
         // the next swap partner.
@@ -517,6 +570,7 @@ impl KernelShard {
             // Per-port backpressure: one hot port cannot starve the rest
             // of the shard's mailboxes.
             self.stats.record_drop(DropReason::PortQueueFull);
+            self.bp.note_port_drop(qm.port);
             return;
         }
         self.stats.sent += 1;
@@ -607,10 +661,10 @@ impl KernelShard {
         self.delivery_cache.capacity()
     }
 
-    /// Pending messages queued on this shard (mailboxes plus its inbound
-    /// cross-shard channel).
+    /// Pending messages queued on this shard (mailboxes, its inbound
+    /// cross-shard channel, and its backpressure retry queue).
     pub fn queue_len(&self) -> usize {
-        self.mailboxes.len() + self.xshard.len(self.id as usize)
+        self.mailboxes.len() + self.xshard.len(self.id as usize) + self.bp.retry_len()
     }
 
     /// Real nanoseconds this shard's delivery loop has run (see the field
@@ -631,3 +685,24 @@ const _: () = {
     let _ = assert_send::<Box<dyn Service>>;
     let _ = assert_send::<Box<dyn EpService>>;
 };
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn port_queue_limit_parsing() {
+        // Unset, junk, and zero (a port that could never accept a
+        // message) all fall back to the default.
+        assert_eq!(port_queue_limit_from(None), DEFAULT_PORT_QUEUE_LIMIT);
+        assert_eq!(
+            port_queue_limit_from(Some("not-a-number")),
+            DEFAULT_PORT_QUEUE_LIMIT
+        );
+        assert_eq!(port_queue_limit_from(Some("0")), DEFAULT_PORT_QUEUE_LIMIT);
+        assert_eq!(port_queue_limit_from(Some("")), DEFAULT_PORT_QUEUE_LIMIT);
+        // Valid values win, whitespace tolerated.
+        assert_eq!(port_queue_limit_from(Some("64")), 64);
+        assert_eq!(port_queue_limit_from(Some(" 4096 ")), 4096);
+    }
+}

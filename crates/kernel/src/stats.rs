@@ -90,6 +90,17 @@ pub struct Stats {
     pub steals: u64,
     /// Times the tuner resized this shard's delivery cache.
     pub cache_resizes: u64,
+    /// Messages parked in the backpressure retry queue instead of being
+    /// enqueued (credit overrun or shared-capacity pressure). Zero unless
+    /// backpressure is armed.
+    pub sent_deferred: u64,
+    /// Messages shed by overload control: sends refused with
+    /// `WouldBlock` after the sender exhausted its deferral quota, plus
+    /// (silent) retry-queue backstop overflow.
+    pub dropped_shed: u64,
+    /// Parked messages re-admitted from the retry queue once capacity
+    /// returned.
+    pub retry_flushed: u64,
 }
 
 impl Stats {
@@ -101,6 +112,7 @@ impl Stats {
             + self.dropped_no_owner
             + self.dropped_queue_full
             + self.dropped_port_queue_full
+            + self.dropped_shed
     }
 
     /// Records a drop.
@@ -145,6 +157,9 @@ impl Stats {
         self.queue_depth_hwm = self.queue_depth_hwm.max(other.queue_depth_hwm);
         self.steals += other.steals;
         self.cache_resizes += other.cache_resizes;
+        self.sent_deferred += other.sent_deferred;
+        self.dropped_shed += other.dropped_shed;
+        self.retry_flushed += other.retry_flushed;
     }
 }
 

@@ -59,6 +59,12 @@ pub struct ShardSignals {
     /// hottest first. The actuator pre-filters to ports whose owning
     /// process can actually migrate, so a policy may pick any entry.
     pub hot_ports: Vec<(Handle, u64)>,
+    /// This shard's shed threshold right now (point-in-time): the
+    /// mailbox depth at which `Sys::overloaded` reports true.
+    /// `usize::MAX` means never shed; 0 marks a window with no shed
+    /// state at all (synthetic test windows), which the default policy's
+    /// shed loop skips.
+    pub shed_threshold: usize,
 }
 
 /// One observation window across all shards.
@@ -119,6 +125,17 @@ pub enum Action {
         /// Destination shard.
         to_shard: usize,
     },
+    /// Move one shard's shed threshold — the mailbox depth at which
+    /// `Sys::overloaded` tells deployment-side shedders (netd accept
+    /// paths) to refuse new work at the edge. The credit loop itself
+    /// needs no actions (it is self-clocked inside each shard); this is
+    /// the knob that adapts *when load is refused before it is queued*.
+    SetShedThreshold {
+        /// Which shard.
+        shard: usize,
+        /// New threshold (`usize::MAX` = never shed).
+        threshold: usize,
+    },
 }
 
 /// A tuning policy: pure decision logic over counter windows.
@@ -156,6 +173,14 @@ pub const DEFAULT_CACHE_BUDGET_ENTRIES: usize = 4 * crate::DEFAULT_DELIVERY_CACH
 /// Smallest bound the shrink path leaves a live cache.
 pub const DEFAULT_CACHE_FLOOR: usize = 1 << 10;
 
+/// Smallest shed threshold the tightening path ever sets: shedding at a
+/// backlog of a few messages would refuse work on scheduling noise.
+pub const DEFAULT_SHED_FLOOR: usize = 64;
+
+/// Threshold past which the relaxation path stops shedding entirely
+/// (jumps to `usize::MAX`) rather than carrying an ever-doubling number.
+pub const DEFAULT_SHED_CEILING: usize = 1 << 16;
+
 /// The built-in policy: multiplicative cache grow/shrink by hit rate
 /// within a kmem budget, and hot-port stealing after sustained
 /// imbalance. All thresholds are public fields so benches and tests can
@@ -174,6 +199,10 @@ pub struct DefaultPolicy {
     pub cache_budget_entries: usize,
     /// Smallest capacity the shrink path leaves.
     pub cache_floor: usize,
+    /// Smallest shed threshold the tightening path sets.
+    pub shed_floor: usize,
+    /// Shed threshold past which relaxation disables shedding.
+    pub shed_ceiling: usize,
     /// Imbalance streak (bookkeeping fed by `observe`).
     imbalanced_windows: u32,
 }
@@ -187,6 +216,8 @@ impl Default for DefaultPolicy {
             grow_below_hit_rate: DEFAULT_GROW_BELOW_HIT_RATE,
             cache_budget_entries: DEFAULT_CACHE_BUDGET_ENTRIES,
             cache_floor: DEFAULT_CACHE_FLOOR,
+            shed_floor: DEFAULT_SHED_FLOOR,
+            shed_ceiling: DEFAULT_SHED_CEILING,
             imbalanced_windows: 0,
         }
     }
@@ -261,7 +292,42 @@ impl TunePolicy for DefaultPolicy {
             }
         }
 
-        // --- Feedback loop 2: hot-shard work stealing. -----------------
+        // --- Feedback loop 2: adaptive shed threshold. -----------------
+        // AIMD on the overload-shed knob, per shard: port-bound drops
+        // mean queueing has already failed — tighten sharply so netd
+        // refuses work at the edge instead; a clean window relaxes the
+        // threshold multiplicatively until shedding turns off again.
+        // Strictly per-shard signals in, per-shard actions out: one
+        // shard's flood never moves another shard's threshold (the
+        // hygiene test below pins this).
+        for (i, sh) in signals.shards.iter().enumerate() {
+            if sh.shed_threshold == 0 {
+                // No shed state in this window (synthetic tests).
+                continue;
+            }
+            if sh.port_queue_drops > 0 {
+                let target = ((sh.queue_depth_hwm / 2) as usize).max(self.shed_floor);
+                if target < sh.shed_threshold {
+                    actions.push(Action::SetShedThreshold {
+                        shard: i,
+                        threshold: target,
+                    });
+                }
+            } else if sh.shed_threshold != usize::MAX {
+                let relaxed = sh.shed_threshold.saturating_mul(2);
+                let threshold = if relaxed > self.shed_ceiling {
+                    usize::MAX
+                } else {
+                    relaxed
+                };
+                actions.push(Action::SetShedThreshold {
+                    shard: i,
+                    threshold,
+                });
+            }
+        }
+
+        // --- Feedback loop 3: hot-shard work stealing. -----------------
         if self.imbalanced_windows >= self.steal_patience {
             let hottest = signals.hottest();
             let idlest = signals.idlest();
@@ -551,14 +617,22 @@ mod tests {
         // Quiet system: shard 1 idle-but-present.
         let mut quiet = window(&[5_000_000, 5_000_000, 5_000_000, 5_000_000]);
         healthy(&mut quiet);
-        // Flooded system: shard 1 thrashes its cache and dominates busy
-        // time with two steal-eligible ports.
+        // Flooded system: shard 1 thrashes its cache, drops at its port
+        // bounds, and dominates busy time with two steal-eligible ports.
+        for sh in &mut quiet.shards {
+            sh.shed_threshold = usize::MAX;
+        }
         let mut noisy = window(&[5_000_000, 60_000_000, 5_000_000, 5_000_000]);
         healthy(&mut noisy);
+        for sh in &mut noisy.shards {
+            sh.shed_threshold = usize::MAX;
+        }
         noisy.shards[1].cache_hits = 10;
         noisy.shards[1].cache_misses = 990;
         noisy.shards[1].cache_evictions = 500;
         noisy.shards[1].delivered = 10_000;
+        noisy.shards[1].port_queue_drops = 5_000;
+        noisy.shards[1].queue_depth_hwm = 50_000;
         noisy.shards[1].hot_ports =
             vec![(Handle::from_raw(50), 2_000), (Handle::from_raw(51), 1_500)];
 
@@ -572,6 +646,7 @@ mod tests {
             acts.retain(|a| match a {
                 Action::SetCacheCapacity { shard, .. } => *shard == 0,
                 Action::StealPort { port, .. } => *port == Handle::from_raw(40),
+                Action::SetShedThreshold { shard, .. } => *shard == 0,
             });
             acts
         };
@@ -584,6 +659,64 @@ mod tests {
             on_shard0(&noisy).is_empty(),
             "a healthy shard is left alone entirely"
         );
+    }
+
+    #[test]
+    fn drops_tighten_the_shed_threshold_and_clean_windows_relax_it() {
+        let mut p = DefaultPolicy::default();
+        let mut s = window(&[10_000_000, 10_000_000]);
+        for sh in &mut s.shards {
+            sh.shed_threshold = usize::MAX;
+        }
+        // Shard 0 drops at its port bound with a deep backlog: tighten
+        // to half the observed peak.
+        s.shards[0].port_queue_drops = 100;
+        s.shards[0].queue_depth_hwm = 4_000;
+        p.observe(&s);
+        let actions = p.adjust(&s);
+        assert!(actions.contains(&Action::SetShedThreshold {
+            shard: 0,
+            threshold: 2_000,
+        }));
+        assert!(
+            !actions
+                .iter()
+                .any(|a| matches!(a, Action::SetShedThreshold { shard: 1, .. })),
+            "the clean shard's threshold stays at MAX (no relax action needed)"
+        );
+        // Clean windows double the threshold back up, then disable
+        // shedding past the ceiling.
+        s.shards[0].port_queue_drops = 0;
+        s.shards[0].shed_threshold = 2_000;
+        p.observe(&s);
+        let actions = p.adjust(&s);
+        assert!(actions.contains(&Action::SetShedThreshold {
+            shard: 0,
+            threshold: 4_000,
+        }));
+        s.shards[0].shed_threshold = DEFAULT_SHED_CEILING;
+        p.observe(&s);
+        let actions = p.adjust(&s);
+        assert!(actions.contains(&Action::SetShedThreshold {
+            shard: 0,
+            threshold: usize::MAX,
+        }));
+    }
+
+    #[test]
+    fn shed_threshold_never_tightens_below_the_floor() {
+        let mut p = DefaultPolicy::default();
+        let mut s = window(&[10_000_000, 10_000_000]);
+        s.shards[0].shed_threshold = usize::MAX;
+        s.shards[0].port_queue_drops = 10;
+        // A shallow backlog (hwm 20 → half is 10) clamps to the floor.
+        s.shards[0].queue_depth_hwm = 20;
+        p.observe(&s);
+        let actions = p.adjust(&s);
+        assert!(actions.contains(&Action::SetShedThreshold {
+            shard: 0,
+            threshold: DEFAULT_SHED_FLOOR,
+        }));
     }
 
     #[test]

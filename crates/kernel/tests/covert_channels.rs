@@ -9,7 +9,7 @@ use std::sync::Arc;
 use std::sync::Mutex;
 
 use asbestos_kernel::util::{service_with_start, Recorder};
-use asbestos_kernel::{Category, Kernel, Label, Level, SendArgs, Value};
+use asbestos_kernel::{Category, Kernel, Label, Level, SendArgs, SendVerdict, Value};
 
 #[test]
 fn contamination_heartbeat_storage_channel() {
@@ -189,12 +189,128 @@ fn send_success_reveals_nothing() {
         ),
     );
     kernel.run();
-    assert_eq!(*outcomes.lock().unwrap(), vec![Ok(()), Ok(())]);
+    assert_eq!(
+        *outcomes.lock().unwrap(),
+        vec![Ok(SendVerdict::Delivered), Ok(SendVerdict::Delivered)]
+    );
     assert_eq!(
         log.lock().unwrap().len(),
         1,
         "only the untainted message landed"
     );
+}
+
+/// One paced run of the backpressure scenario: a victim sends a fixed
+/// over-budget burst to a shared sink on each injected tick, recording
+/// every syscall-visible observable (verdict or error, plus its remaining
+/// send credit). An attacker process is always present — identical spawn
+/// and allocation sequence — but only floods the same sink when asked.
+fn credit_trace(attacker_floods: bool) -> Vec<String> {
+    let mut kernel = Kernel::new(86);
+    kernel.set_backpressure(true);
+    // A tight shared bound, so the attacker genuinely saturates the sink's
+    // mailbox and the shard's retry machinery while the victim runs.
+    kernel.set_port_queue_limit(8);
+
+    kernel.spawn(
+        "sink",
+        Category::Other,
+        service_with_start(
+            |sys| {
+                let p = sys.new_port(Label::top());
+                sys.set_port_label(p, Label::top()).unwrap();
+                sys.publish_env("sink.port", Value::Handle(p));
+            },
+            |_, _| {},
+        ),
+    );
+    let sink = kernel.global_env("sink.port").unwrap().as_handle().unwrap();
+
+    let trace = Arc::new(Mutex::new(Vec::<String>::new()));
+    let t2 = trace.clone();
+    kernel.spawn(
+        "victim",
+        Category::Other,
+        service_with_start(
+            |sys| {
+                let p = sys.new_port(Label::top());
+                sys.set_port_label(p, Label::top()).unwrap();
+                sys.publish_env("victim.tick", Value::Handle(p));
+            },
+            move |sys, _msg| {
+                // 20 sends against a default window of 16: the tail defers,
+                // and the AIMD loop halves the window on the next tick —
+                // a non-trivial trace, every byte of it derived from the
+                // victim's own history.
+                for _ in 0..20 {
+                    let verdict = sys.send(sink, Value::U64(1));
+                    let credit = sys.send_credit(sink);
+                    t2.lock().unwrap().push(format!("{verdict:?}/{credit}"));
+                }
+            },
+        ),
+    );
+    let victim_tick = kernel
+        .global_env("victim.tick")
+        .unwrap()
+        .as_handle()
+        .unwrap();
+
+    kernel.spawn(
+        "attacker",
+        Category::Other,
+        service_with_start(
+            |sys| {
+                let p = sys.new_port(Label::top());
+                sys.set_port_label(p, Label::top()).unwrap();
+                sys.publish_env("attacker.tick", Value::Handle(p));
+            },
+            move |sys, _msg| {
+                if attacker_floods {
+                    // 10× the victim's fair share, same sink.
+                    for _ in 0..200 {
+                        let _ = sys.send(sink, Value::U64(666));
+                    }
+                }
+            },
+        ),
+    );
+    let attacker_tick = kernel
+        .global_env("attacker.tick")
+        .unwrap()
+        .as_handle()
+        .unwrap();
+
+    for _ in 0..5 {
+        kernel.inject(attacker_tick, Value::Unit);
+        kernel.inject(victim_tick, Value::Unit);
+        kernel.run();
+    }
+    if attacker_floods {
+        // The flood must be real: the shard visibly deferred and shed.
+        assert!(kernel.stats().sent_deferred > 0, "flood never deferred");
+    }
+    let out = trace.lock().unwrap().clone();
+    out
+}
+
+#[test]
+fn credit_trace_is_blind_to_an_attacker_flood() {
+    // The overload-control extension of §4/§8: a send's verdict
+    // (Delivered / Deferred / WouldBlock) and the credit counter behind
+    // it are computed purely from the sender's *own* send history, never
+    // from shared queue occupancy — otherwise backpressure would hand a
+    // tainted flooder a storage channel to any process sharing a sink.
+    // The victim's full observable trace must be byte-identical whether
+    // or not an attacker is flooding the same port at 10× its rate.
+    let quiet = credit_trace(false);
+    let flooded = credit_trace(true);
+    assert!(!quiet.is_empty());
+    // The trace is non-trivial: the victim's own overrun produces both
+    // verdicts and a moving credit counter.
+    assert!(quiet.iter().any(|e| e.contains("Delivered")));
+    assert!(quiet.iter().any(|e| e.contains("Deferred")));
+    assert_eq!(quiet, flooded, "attacker flood modulated the victim's view");
 }
 
 #[test]

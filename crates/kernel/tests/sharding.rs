@@ -127,7 +127,9 @@ fn step_routes_outbox_messages_before_reporting_idle() {
         "sender",
         Category::Other,
         service_with_start(
-            move |sys| sys.send(target, Value::U64(77)).unwrap(),
+            move |sys| {
+                sys.send(target, Value::U64(77)).unwrap();
+            },
             |_, _| {},
         ),
     );

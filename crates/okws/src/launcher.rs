@@ -133,6 +133,15 @@ pub struct OkwsConfig {
     /// prototype; a device makes every acknowledged statement durable
     /// and enables [`crate::Okws::reboot`].
     pub db_store: Option<Box<dyn BlockDev>>,
+    /// Per-port mailbox bound for the deployment's kernel. `None` (the
+    /// default) leaves the kernel's own default in place — which itself
+    /// honours the `ASBESTOS_PORT_QUEUE` environment variable.
+    pub port_queue: Option<usize>,
+    /// Arms the overload-control loop: kernel send credits with deferral
+    /// and `WouldBlock` ([`asbestos_kernel::Kernel::set_backpressure`])
+    /// plus netd edge shedding (the `netd.shed` deployment flag). Off by
+    /// default — the paper's prototype drops silently at the queue bound.
+    pub backpressure: bool,
 }
 
 impl OkwsConfig {
@@ -147,7 +156,22 @@ impl OkwsConfig {
             shards: 1,
             netd_lanes: 1,
             db_store: None,
+            port_queue: None,
+            backpressure: false,
         }
+    }
+
+    /// Bounds every port mailbox at `limit` messages.
+    pub fn port_queue(mut self, limit: usize) -> OkwsConfig {
+        self.port_queue = Some(limit);
+        self
+    }
+
+    /// Arms overload control: kernel send credits plus netd edge
+    /// shedding. See [`OkwsConfig::backpressure`].
+    pub fn with_backpressure(mut self) -> OkwsConfig {
+        self.backpressure = true;
+        self
     }
 
     /// Sets the kernel shard count this deployment targets.

@@ -359,3 +359,115 @@ fn lane_queue_overflow_and_midstream_closes_do_not_wedge() {
     }
     assert_eq!(kernel.queue_len(), 0);
 }
+
+/// One synchronous victim request that survives edge shedding: issue,
+/// run, and re-open the connection whenever netd refused it, until the
+/// response lands. Returns the HTTP status.
+fn request_surviving_sheds(
+    kernel: &mut Kernel,
+    client: &mut OkwsClient,
+    user: &str,
+    pw: &str,
+    extra: &[(&str, &str)],
+) -> u16 {
+    let idx = client.request(kernel, "store", user, pw, extra);
+    for _ in 0..64 {
+        // Bounded: a backpressure livelock should fail fast, not hang CI.
+        kernel.run_limited(1_000_000);
+        client.driver.poll(kernel);
+        if let Some((status, _)) = client.parse_response(idx) {
+            return status;
+        }
+        assert!(
+            client.driver.retry_shed(kernel) > 0,
+            "request neither completed nor was shed — wedged"
+        );
+    }
+    panic!("request did not complete within 64 shed-retry rounds");
+}
+
+/// Sustained flood with overload control armed: 4 shards × 4 netd lanes,
+/// one attacker pouring connections at 10× the victim's rate into a
+/// deployment whose edge has been made deliberately touchy (a tiny shed
+/// threshold). The victim's observable verdicts — every request answered
+/// 200, same as an unloaded run — must be unchanged by the flood; the
+/// edge must visibly defer or shed (that is the graceful degradation);
+/// and once the flood ends the deployment must return to a steady state
+/// with nothing queued and shedding over.
+#[test]
+fn sustained_flood_sheds_gracefully_and_recovers() {
+    let victim_rounds = 6;
+    let flood_factor = 10; // attacker connections per victim request
+
+    let mut config = OkwsConfig::new(80).sharded(4).lanes(4).with_backpressure();
+    config
+        .services
+        .push(ServiceSpec::new("store", || Box::new(EchoStore::new())));
+    for i in 0..USERS {
+        config.users.push((format!("u{i}"), format!("p{i}")));
+    }
+    let (mut kernel, okws, mut client) = {
+        let (kernel, okws) = Okws::deploy(604, config);
+        let client = OkwsClient::new(&okws);
+        (kernel, okws, client)
+    };
+
+    // Unloaded baseline: the victim's verdict trace without any flood.
+    let baseline: Vec<u16> = (0..victim_rounds)
+        .map(|_| request_surviving_sheds(&mut kernel, &mut client, "u0", "p0", &[("data", "v")]))
+        .collect();
+    assert_eq!(baseline, vec![200; victim_rounds]);
+
+    // Make the edge touchy, then flood: before each victim request the
+    // attacker opens 10× as many connections as the victim will.
+    kernel.set_shed_threshold(2);
+    for round in 0..victim_rounds {
+        for _ in 0..flood_factor {
+            client.request(&mut kernel, "store", "u1", "p1", &[("data", "flood")]);
+        }
+        let status =
+            request_surviving_sheds(&mut kernel, &mut client, "u0", "p0", &[("data", "v")]);
+        assert_eq!(
+            status, 200,
+            "flood changed the victim's verdict (round {round})"
+        );
+    }
+
+    // The degradation must have been real and graceful: the edge deferred
+    // or shed accepts instead of letting queues grow without bound.
+    let (mut deferred, mut shed) = (0u64, 0u64);
+    for lane in &okws.netd.lanes {
+        let netd = kernel
+            .service_as::<asbestos::net::Netd>(lane.pid)
+            .expect("netd lane is downcastable");
+        deferred += netd.accepts_deferred();
+        shed += netd.accepts_shed();
+    }
+    assert!(
+        deferred + shed > 0,
+        "a {flood_factor}x flood against a shed threshold of 2 never touched the edge"
+    );
+
+    // Recovery: flood over, threshold relaxed; every outstanding attacker
+    // request drains (retrying any that were shed) and the kernel reaches
+    // a steady state with nothing parked.
+    kernel.set_shed_threshold(usize::MAX);
+    for _ in 0..64 {
+        kernel.run();
+        client.driver.poll(&kernel);
+        if client.driver.completed() == client.driver.requests().len() {
+            break;
+        }
+        client.driver.retry_shed(&mut kernel);
+    }
+    assert_eq!(
+        client.driver.completed(),
+        client.driver.requests().len(),
+        "flood traffic never drained after recovery"
+    );
+    assert_eq!(kernel.queue_len(), 0, "recovery left work parked");
+
+    // Steady state: fresh traffic is served first try again.
+    let status = request_surviving_sheds(&mut kernel, &mut client, "u0", "p0", &[("data", "post")]);
+    assert_eq!(status, 200);
+}
