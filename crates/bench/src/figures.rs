@@ -267,6 +267,95 @@ pub fn okws_latency(sessions: usize, samples: usize, seed: u64) -> Fig8Row {
     }
 }
 
+/// [`okws_latency`] on a sharded kernel with a multi-lane netd front
+/// end — the Figure 8 closed loop ported onto the scaled deployment.
+///
+/// Completions are collected with the per-lane ring walk
+/// ([`asbestos_net::ClientDriver::poll_lane`]): each netd lane owns the
+/// connections the RSS demux hashed to it, so the load generator polls
+/// every lane each scheduling quantum, the way a real multi-queue NIC
+/// client would. Latency is virtual-cycle, so the row is deterministic
+/// under its seed; `shards = lanes = 1` reproduces [`okws_latency`]'s
+/// configuration with the lane-structured poll.
+pub fn okws_latency_sharded(
+    sessions: usize,
+    samples: usize,
+    seed: u64,
+    shards: usize,
+    lanes: usize,
+) -> Fig8Row {
+    let mut env = crate::fixture::deploy_sharded(seed, sessions + samples, true, shards, lanes);
+    env.kernel.set_delivery_cache_capacity(0);
+    for user in 0..sessions {
+        env.request_ok("bench", user, &[]);
+    }
+    env.client.driver.reset_log();
+
+    let mut fresh_user = sessions;
+    let mut cached_rr = 0usize;
+    let mut issued = 0usize;
+    let mut issue_next = |env: &mut BenchEnv, issued: &mut usize| {
+        let user = if (*issued).is_multiple_of(LATENCY_CONCURRENCY) {
+            let u = fresh_user;
+            fresh_user += 1;
+            u
+        } else {
+            cached_rr += 1;
+            cached_rr % sessions.max(1)
+        };
+        *issued += 1;
+        env.issue("bench", user, &[])
+    };
+
+    for _ in 0..LATENCY_CONCURRENCY {
+        issue_next(&mut env, &mut issued);
+    }
+    let mut completed_seen = 0usize;
+    let mut stalled = 0u32;
+    while completed_seen < samples {
+        for _ in 0..40 {
+            if !env.kernel.step() {
+                break;
+            }
+        }
+        for lane in 0..env.client.driver.lanes() {
+            env.client.driver.poll_lane(&env.kernel, lane);
+        }
+        let done = env.client.driver.completed();
+        while issued - done < LATENCY_CONCURRENCY && issued < sessions + samples {
+            issue_next(&mut env, &mut issued);
+        }
+        if done == completed_seen && env.kernel.queue_len() == 0 {
+            stalled += 1;
+            assert!(
+                stalled < 100,
+                "sharded latency workload stalled at {done} completions"
+            );
+        } else {
+            stalled = 0;
+        }
+        completed_seen = done;
+    }
+    env.kernel.run();
+    for lane in 0..env.client.driver.lanes() {
+        env.client.driver.poll_lane(&env.kernel, lane);
+    }
+
+    let lat = env.client.driver.latencies_us();
+    assert!(
+        lat.len() >= samples,
+        "sharded latency workload lost requests: {} of {issued}",
+        lat.len()
+    );
+    let median = asbestos_net::percentile(&lat, 50.0).unwrap_or(0.0);
+    let p90 = asbestos_net::percentile(&lat, 90.0).unwrap_or(0.0);
+    Fig8Row {
+        server: format!("OKWS, {sessions} sessions, {shards}x{lanes}"),
+        median_us: median,
+        p90_us: p90,
+    }
+}
+
 /// Figure 8's baseline rows at concurrency 4.
 pub fn baseline_latencies(seed: u64) -> Vec<Fig8Row> {
     let costs = UnixCosts::default();

@@ -111,6 +111,40 @@ pub fn bench_test_mode() -> bool {
     std::env::args().any(|a| a == "--test")
 }
 
+/// Reads the committed `BENCH_<suffix>.json` at the repository root, or
+/// `None` when no baseline has been committed yet (first run).
+pub fn read_committed(suffix: &str) -> Option<String> {
+    let path: PathBuf = [
+        env!("CARGO_MANIFEST_DIR"),
+        "..",
+        "..",
+        &format!("BENCH_{suffix}.json"),
+    ]
+    .iter()
+    .collect();
+    std::fs::read_to_string(path).ok()
+}
+
+/// Extracts field `key` from the row named `row` in a report produced by
+/// [`BenchReport::to_json`]. The format is this crate's own flat writer
+/// output — one row object per line — so a line scan is a full parser
+/// for it; a row or key that is not present yields `None`.
+pub fn committed_field(json: &str, row: &str, key: &str) -> Option<f64> {
+    let row_tag = format!("\"name\": \"{row}\"");
+    let key_tag = format!("\"{key}\": ");
+    for line in json.lines() {
+        if !line.contains(&row_tag) {
+            continue;
+        }
+        let rest = &line[line.find(&key_tag)? + key_tag.len()..];
+        let end = rest
+            .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
+            .unwrap_or(rest.len());
+        return rest[..end].parse().ok();
+    }
+    None
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -125,5 +159,19 @@ mod tests {
         assert!(json.contains("\"msgs_per_sec\": 1234.568"));
         assert!(json.contains("\"count\": 3"));
         assert!(json.contains("\"speedup\": 2.500"));
+    }
+
+    #[test]
+    fn committed_field_round_trips() {
+        let mut r = BenchReport::new("demo");
+        r.push_row("base/4x4", &[("p99_us", 1234.5678), ("goodput_rps", 42.0)]);
+        let json = r.to_json();
+        assert_eq!(committed_field(&json, "base/4x4", "p99_us"), Some(1234.568));
+        assert_eq!(
+            committed_field(&json, "base/4x4", "goodput_rps"),
+            Some(42.0)
+        );
+        assert_eq!(committed_field(&json, "base/4x4", "missing"), None);
+        assert_eq!(committed_field(&json, "other", "p99_us"), None);
     }
 }

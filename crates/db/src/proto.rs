@@ -50,7 +50,16 @@ pub enum DbMsg {
         taint: Handle,
         /// The user's grant handle `uG`.
         grant: Handle,
+        /// Optional ack port for [`DbMsg::BindR`]. The binder withholds
+        /// the login reply until the ack: the user's first tainted query
+        /// travels a different port than the `Bind`, so without the ack
+        /// the kernel may deliver the query first and label-drop it.
+        reply: Option<Handle>,
     },
+    /// Acknowledges a [`DbMsg::Bind`]: the binding (and the raised
+    /// receive label) is in place, so arbitrarily-tainted traffic from
+    /// the bound user will now be delivered.
+    BindR,
     /// Trusted DDL (CREATE TABLE / CREATE INDEX), admin port only.
     Ddl {
         /// The statement.
@@ -106,12 +115,22 @@ impl DbMsg {
     /// Encodes to a [`Value`] payload.
     pub fn to_value(&self) -> Value {
         match self {
-            DbMsg::Bind { user, taint, grant } => Value::List(vec![
+            DbMsg::Bind {
+                user,
+                taint,
+                grant,
+                reply,
+            } => Value::List(vec![
                 Value::Str("bind".into()),
                 Value::Str(user.clone()),
                 Value::Handle(*taint),
                 Value::Handle(*grant),
+                match reply {
+                    Some(r) => Value::Handle(*r),
+                    None => Value::Unit,
+                },
             ]),
+            DbMsg::BindR => Value::List(vec![Value::Str("bind-r".into())]),
             DbMsg::Ddl { sql } => {
                 Value::List(vec![Value::Str("ddl".into()), Value::Str(sql.clone())])
             }
@@ -160,7 +179,9 @@ impl DbMsg {
                 user: items.get(1)?.as_str()?.to_string(),
                 taint: items.get(2)?.as_handle()?,
                 grant: items.get(3)?.as_handle()?,
+                reply: items.get(4).and_then(|v| v.as_handle()),
             }),
+            "bind-r" => Some(DbMsg::BindR),
             "ddl" => Some(DbMsg::Ddl {
                 sql: items.get(1)?.as_str()?.to_string(),
             }),
@@ -203,7 +224,15 @@ mod tests {
                 user: "u".into(),
                 taint: h,
                 grant: h,
+                reply: None,
             },
+            DbMsg::Bind {
+                user: "u".into(),
+                taint: h,
+                grant: h,
+                reply: Some(h),
+            },
+            DbMsg::BindR,
             DbMsg::Ddl {
                 sql: "CREATE TABLE t (a)".into(),
             },

@@ -198,7 +198,12 @@ impl DbProxy {
 
     fn handle_admin(&mut self, sys: &mut Sys<'_>, msg: DbMsg) {
         match msg {
-            DbMsg::Bind { user, taint, grant } => {
+            DbMsg::Bind {
+                user,
+                taint,
+                grant,
+                reply,
+            } => {
                 // The binder granted us taint ⋆ via D_S on this message;
                 // raise our receive label so arbitrarily-tainted workers
                 // can still reach us.
@@ -210,6 +215,11 @@ impl DbProxy {
                 let uid = self.lookup_or_assign_uid(&user);
                 self.uid_taint.insert(uid, taint);
                 self.users.insert(user, Binding { uid, taint, grant });
+                // Ack once the receive label is raised; the binder gates
+                // the user's first tainted query on this.
+                if let Some(reply) = reply {
+                    let _ = sys.send(reply, DbMsg::BindR.to_value());
+                }
             }
             DbMsg::Ddl { sql } => {
                 sys.charge(PROXY_MSG_CYCLES);

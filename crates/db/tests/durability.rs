@@ -142,6 +142,7 @@ fn spawn_trusted(kernel: &mut Kernel) {
                                 user: user.clone(),
                                 taint: ut,
                                 grant: ug,
+                                reply: None,
                             }
                             .to_value(),
                             &SendArgs::new()

@@ -55,6 +55,7 @@ fn spawn_trusted(kernel: &mut Kernel) {
                                 user: user.clone(),
                                 taint: ut,
                                 grant: ug,
+                                reply: None,
                             }
                             .to_value(),
                             &SendArgs::new()

@@ -324,7 +324,23 @@ impl KernelShard {
         pid: ProcessId,
         qm: QueuedMessage,
     ) -> SysResult<SendVerdict> {
-        match self.bp.bill(pid, qm.port) {
+        // A send to the sender's own port is a self-wakeup, not a
+        // cross-process flow: it cannot flood anyone but the sender, and
+        // billing it can refuse the one wakeup a process armed to drain
+        // its own backlog — netd's deferred accepts would then park
+        // forever with no event left to revive the lane. Self-sends skip
+        // the credit loop; shared-capacity overflow still parks (never
+        // drops) them, so delivery remains guaranteed.
+        let self_send = self
+            .handles
+            .port(qm.port)
+            .is_some_and(|p| p.owner == Some(crate::handle_table::PortOwner::Process(pid)));
+        let admission = if self_send {
+            Admission::Admit
+        } else {
+            self.bp.bill(pid, qm.port)
+        };
+        match admission {
             Admission::Admit => {
                 let full = self.mailboxes.len() >= self.queue_limit
                     || self.mailboxes.port_len(qm.port) >= self.port_queue_limit;

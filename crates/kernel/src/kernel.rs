@@ -930,6 +930,27 @@ impl Kernel {
         self.shards.iter().map(|s| s.clock.now()).max().unwrap_or(0)
     }
 
+    /// Every shard's virtual clock, in shard order. The maximum is
+    /// [`Kernel::elapsed_cycles`]; the spread between the busiest and the
+    /// mean is the load-imbalance signal the latency harness records per
+    /// scenario row (a skewed workload shows up here before it shows up
+    /// in tail latency).
+    pub fn per_shard_elapsed_cycles(&self) -> Vec<u64> {
+        self.shards.iter().map(|s| s.clock.now()).collect()
+    }
+
+    /// Every shard's mailbox-depth high-water mark, in shard order — the
+    /// deepest any port queue got on that shard since boot. The queueing
+    /// counterpart of [`Kernel::per_shard_elapsed_cycles`]: tail latency
+    /// under open-loop load is queueing delay, and this is where it
+    /// accumulates.
+    pub fn per_shard_queue_depth_hwm(&self) -> Vec<u64> {
+        self.shards
+            .iter()
+            .map(|s| s.stats.queue_depth_hwm)
+            .collect()
+    }
+
     /// The cost model in effect.
     pub fn cost_model(&self) -> &CostModel {
         &self.shards[0].cost

@@ -4,6 +4,13 @@
 //! simulated TCP connections carrying HTTP requests, injects the connection
 //! events into netd, and collects responses and latency samples. The driver
 //! is outside the label system — it is the network, not a process.
+//!
+//! With a multi-lane netd front end the driver is also the multi-queue NIC:
+//! each connection is hashed by the RSS demultiplexer to one lane, and the
+//! driver keeps a per-lane index of outstanding requests so completion
+//! polling is per lane and O(outstanding-in-lane) — the structure the
+//! load/latency harness (`crates/loadgen`) and the sharded Figure 8 port
+//! depend on at large request counts.
 
 use std::sync::Arc;
 use std::sync::Mutex;
@@ -21,6 +28,8 @@ pub struct ClientRequest {
     pub conn: ConnId,
     /// The server TCP port the request targets (kept for shed retries).
     pub tcp_port: u16,
+    /// The netd lane the RSS demux hashed the current connection to.
+    pub lane: usize,
     /// Virtual time when the connection event was injected.
     pub started_at: u64,
     /// Virtual time when the full response was observed, if finished.
@@ -31,6 +40,9 @@ pub struct ClientRequest {
     pub request_bytes: Vec<u8>,
     /// Times this request was refused at the edge and re-opened.
     pub retries: u32,
+    /// The client killed this connection mid-stream: it will never
+    /// complete and must not be mistaken for an edge shed and retried.
+    pub aborted: bool,
 }
 
 impl ClientRequest {
@@ -57,6 +69,10 @@ pub struct ClientDriver {
     device_ports: Vec<Handle>,
     demux: MultiQueue,
     requests: Vec<ClientRequest>,
+    /// Open request indices, per lane — the poll working set. A request
+    /// leaves its lane's list when it completes, aborts, or (on a shed
+    /// retry) re-hashes to another lane.
+    outstanding: Vec<Vec<usize>>,
 }
 
 impl ClientDriver {
@@ -64,12 +80,19 @@ impl ClientDriver {
     pub fn new(netd: &NetdHandle) -> ClientDriver {
         let device_ports: Vec<Handle> = netd.lanes.iter().map(|l| l.device_port).collect();
         let demux = MultiQueue::new(device_ports.len());
+        let outstanding = vec![Vec::new(); device_ports.len()];
         ClientDriver {
             net: netd.net.clone(),
             device_ports,
             demux,
             requests: Vec::new(),
+            outstanding,
         }
+    }
+
+    /// Number of netd lanes the driver feeds.
+    pub fn lanes(&self) -> usize {
+        self.device_ports.len()
     }
 
     /// Opens a connection carrying `request_bytes` to `tcp_port` and tells
@@ -89,13 +112,17 @@ impl ClientDriver {
         self.requests.push(ClientRequest {
             conn,
             tcp_port,
+            lane,
             started_at: kernel.elapsed_cycles(),
             finished_at: None,
             response: Vec::new(),
             request_bytes: request_bytes.to_vec(),
             retries: 0,
+            aborted: false,
         });
-        self.requests.len() - 1
+        let idx = self.requests.len() - 1;
+        self.outstanding[lane].push(idx);
+        idx
     }
 
     /// Connections accepted per lane so far (the RSS spread observable).
@@ -110,23 +137,67 @@ impl ClientDriver {
         self.open(kernel, tcp_port, req.as_bytes())
     }
 
-    /// Collects newly arrived response bytes; a request completes when the
-    /// server has closed the connection with a non-empty response (HTTP/1.0
-    /// close-delimited framing, which is what OKWS and the baselines use).
-    /// Completed connections are reaped from the substrate.
-    pub fn poll(&mut self, kernel: &Kernel) {
+    /// Kills a request's connection from the client side mid-stream (the
+    /// disconnect scenarios: a user closing the tab). The request is
+    /// marked aborted — it will never complete, and neither polling nor
+    /// shed-retry will touch it again; the substrate connection is reaped
+    /// once the server side is done with it.
+    pub fn abort(&mut self, idx: usize) {
+        let req = &mut self.requests[idx];
+        if req.finished_at.is_some() || req.aborted {
+            return;
+        }
+        req.aborted = true;
+        self.net.lock().unwrap().close(req.conn);
+        self.outstanding[req.lane].retain(|&i| i != idx);
+    }
+
+    /// Reaps the substrate connection of an aborted request (call after
+    /// the kernel has drained, so the server side has observed the close).
+    pub fn reap_aborted(&mut self) {
         let mut net = self.net.lock().unwrap();
-        for req in &mut self.requests {
-            if req.finished_at.is_some() {
-                continue;
+        for req in &self.requests {
+            if req.aborted {
+                net.reap(req.conn);
+            }
+        }
+    }
+
+    /// Collects newly arrived response bytes for every lane. A request
+    /// completes when the server has closed the connection with a
+    /// non-empty response (HTTP/1.0 close-delimited framing, which is what
+    /// OKWS and the baselines use). Completed connections are reaped from
+    /// the substrate.
+    pub fn poll(&mut self, kernel: &Kernel) {
+        for lane in 0..self.device_ports.len() {
+            self.poll_lane(kernel, lane);
+        }
+    }
+
+    /// Per-lane completion polling: collects response bytes for the
+    /// outstanding requests of `lane` only. This is the multi-queue
+    /// analogue of a NIC completion ring — the latency harness polls each
+    /// lane as its shard drains instead of scanning every request ever
+    /// issued, which is what keeps polling O(outstanding) under
+    /// million-session logs.
+    pub fn poll_lane(&mut self, kernel: &Kernel, lane: usize) {
+        let now = kernel.elapsed_cycles();
+        let mut net = self.net.lock().unwrap();
+        let requests = &mut self.requests;
+        self.outstanding[lane].retain(|&idx| {
+            let req = &mut requests[idx];
+            if req.finished_at.is_some() || req.aborted {
+                return false;
             }
             let bytes = net.client_take_response(req.conn);
             req.response.extend_from_slice(&bytes);
             if !net.is_open(req.conn) && !req.response.is_empty() {
-                req.finished_at = Some(kernel.elapsed_cycles());
+                req.finished_at = Some(now);
                 net.reap(req.conn);
+                return false;
             }
-        }
+            true
+        });
     }
 
     /// Re-issues requests whose connection the server closed without a
@@ -135,29 +206,40 @@ impl ClientDriver {
     /// backs off and retries; this models the retry. The original
     /// `started_at` is kept, so the measured latency of a shed-then-served
     /// request includes the refusal round-trip — that *is* the price of
-    /// graceful degradation, and the stress suite asserts it stays bounded.
-    /// Returns how many requests were re-opened.
+    /// graceful degradation. Shed-then-retried requests are reported as
+    /// the *retried* latency series ([`ClientDriver::retried_latencies_us`]),
+    /// distinct from the fresh series, so the refusal round-trips never
+    /// silently inflate a scenario's p999. Client-aborted requests are
+    /// never retried. Returns how many requests were re-opened.
     pub fn retry_shed(&mut self, kernel: &mut Kernel) -> usize {
         let mut retried = 0;
-        for i in 0..self.requests.len() {
-            let (conn, shed) = {
-                let req = &self.requests[i];
-                if req.finished_at.is_some() || !req.response.is_empty() {
-                    continue;
+        // Only outstanding requests can have been shed; collect the
+        // candidates per lane first (a retry re-hashes to a new lane, so
+        // the lists are edited after the scan).
+        let mut shed_idxs = Vec::new();
+        {
+            let net = self.net.lock().unwrap();
+            for lane in &self.outstanding {
+                for &idx in lane {
+                    let req = &self.requests[idx];
+                    if req.finished_at.is_none()
+                        && !req.aborted
+                        && req.response.is_empty()
+                        && !net.is_open(req.conn)
+                    {
+                        shed_idxs.push(idx);
+                    }
                 }
-                let net = self.net.lock().unwrap();
-                (req.conn, !net.is_open(req.conn))
-            };
-            if !shed {
-                continue;
             }
-            let (tcp_port, bytes) = {
-                let req = &self.requests[i];
-                (req.tcp_port, req.request_bytes.clone())
+        }
+        for idx in shed_idxs {
+            let (old_conn, old_lane, tcp_port, bytes) = {
+                let req = &self.requests[idx];
+                (req.conn, req.lane, req.tcp_port, req.request_bytes.clone())
             };
             let new_conn = {
                 let mut net = self.net.lock().unwrap();
-                net.reap(conn);
+                net.reap(old_conn);
                 net.client_open(tcp_port, &bytes)
             };
             let lane = self.demux.accept(new_conn, tcp_port);
@@ -169,9 +251,14 @@ impl ClientDriver {
                 }
                 .to_value(),
             );
-            let req = &mut self.requests[i];
+            let req = &mut self.requests[idx];
             req.conn = new_conn;
             req.retries += 1;
+            if lane != old_lane {
+                req.lane = lane;
+                self.outstanding[old_lane].retain(|&i| i != idx);
+                self.outstanding[lane].push(idx);
+            }
             retried += 1;
         }
         retried
@@ -192,15 +279,32 @@ impl ClientDriver {
         &self.requests[idx]
     }
 
-    /// Completed-request latencies in microseconds, sorted ascending.
-    pub fn latencies_us(&self) -> Vec<f64> {
+    fn collect_latencies(&self, retried: bool) -> Vec<f64> {
         let mut out: Vec<f64> = self
             .requests
             .iter()
+            .filter(|r| (r.retries > 0) == retried)
             .filter_map(ClientRequest::latency_us)
             .collect();
         out.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
         out
+    }
+
+    /// Completed *fresh* request latencies in microseconds, sorted
+    /// ascending: requests that were served on their first connection.
+    /// Shed-then-retried requests are deliberately excluded — their
+    /// latency includes edge-refusal round-trips and belongs to the
+    /// distinct [`ClientDriver::retried_latencies_us`] series, not in the
+    /// tail of this one.
+    pub fn latencies_us(&self) -> Vec<f64> {
+        self.collect_latencies(false)
+    }
+
+    /// Completed latencies of shed-then-retried requests, sorted
+    /// ascending (includes the refusal round-trips — the price of
+    /// graceful degradation, reported as its own series).
+    pub fn retried_latencies_us(&self) -> Vec<f64> {
+        self.collect_latencies(true)
     }
 
     /// Number of completed requests.
@@ -211,9 +315,22 @@ impl ClientDriver {
             .count()
     }
 
+    /// Number of requests aborted from the client side.
+    pub fn aborted(&self) -> usize {
+        self.requests.iter().filter(|r| r.aborted).count()
+    }
+
+    /// Requests still awaiting a response (not completed, not aborted).
+    pub fn outstanding(&self) -> usize {
+        self.outstanding.iter().map(Vec::len).sum()
+    }
+
     /// Clears the request log (keeps connections).
     pub fn reset_log(&mut self) {
         self.requests.clear();
+        for lane in &mut self.outstanding {
+            lane.clear();
+        }
     }
 }
 
@@ -222,7 +339,10 @@ pub fn percentile(sorted: &[f64], p: f64) -> Option<f64> {
     if sorted.is_empty() {
         return None;
     }
-    let rank = ((p / 100.0) * sorted.len() as f64).ceil().max(1.0) as usize;
+    // The epsilon keeps exact ranks exact: 99.9% of 1000 must be rank
+    // 999, but (99.9 / 100) * 1000 lands a few ulps above 999.0 and a
+    // bare ceil would skip to the max sample.
+    let rank = ((p / 100.0) * sorted.len() as f64 - 1e-9).ceil().max(1.0) as usize;
     Some(sorted[rank.min(sorted.len()) - 1])
 }
 

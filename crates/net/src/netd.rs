@@ -183,6 +183,18 @@ impl Netd {
         self.accepts_shed
     }
 
+    /// Accepts currently held back awaiting a cooler shard (the live
+    /// backlog, not the cumulative count — the load harness watches this
+    /// reach zero during recovery).
+    pub fn deferred_backlog(&self) -> usize {
+        self.deferred_accepts.len()
+    }
+
+    /// Whether a self-wakeup is in flight for this lane.
+    pub fn wakeup_armed(&self) -> bool {
+        self.wakeup_armed
+    }
+
     /// Whether the operator armed edge shedding for this deployment.
     fn shed_enabled(&self, sys: &Sys<'_>) -> bool {
         sys.env(NETD_SHED_ENV).and_then(|v| v.as_u64()).unwrap_or(0) != 0

@@ -215,10 +215,20 @@ impl Service for OkCache {
 
     fn on_message(&mut self, sys: &mut Sys<'_>, msg: &Message) {
         if Some(msg.port) == self.admin_port {
-            if let Some(DbMsg::Bind { user, taint, grant }) = DbMsg::from_value(&msg.body) {
+            if let Some(DbMsg::Bind {
+                user,
+                taint,
+                grant,
+                reply,
+            }) = DbMsg::from_value(&msg.body)
+            {
                 sys.raise_recv(taint, Level::L3)
                     .expect("Bind arrives with a ⋆ grant for the taint handle");
                 self.users.insert(user, Binding { taint, grant });
+                // Ack so the binder can release the user's first request.
+                if let Some(reply) = reply {
+                    let _ = sys.send(reply, DbMsg::BindR.to_value());
+                }
             }
             return;
         }

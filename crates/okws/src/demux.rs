@@ -375,8 +375,13 @@ impl Service for OkDemux {
                 }
                 Some(OkwsMsg::SessionEnd { user, service }) => {
                     // §7.3: "ok-demux cleans u's user-worker pairs out of
-                    // its session table." Drop the uW ⋆ entry too.
+                    // its session table." Ack on the session port before
+                    // releasing the uW ⋆: connections handed off before
+                    // this point share uW's per-port FIFO with the ack, so
+                    // the draining event process sheds them all and exits
+                    // only once nothing more can arrive.
                     if let Some(port) = self.sessions.remove(&(user, service)) {
+                        let _ = sys.send(port, OkwsMsg::SessionEndR.to_value());
                         sys.self_contaminate(&Label::from_pairs(Level::Star, &[(port, Level::L1)]));
                     }
                 }

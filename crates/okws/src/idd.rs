@@ -8,7 +8,7 @@
 //! handle pairs on first login, caches them, and grants every new taint
 //! handle to ok-dbproxy at `⋆` (§7.5).
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use asbestos_db::{DbMsg, SqlValue, DB_TRUSTED_ENV};
 use asbestos_kernel::{
@@ -41,6 +41,9 @@ struct PendingLogin {
     user: String,
     password_matched: bool,
     reply: Handle,
+    /// Outstanding `BindR` acks this login is waiting on (first login of
+    /// a user only; zero once every admin party holds the binding).
+    awaiting_binds: usize,
 }
 
 /// The idd service.
@@ -55,6 +58,16 @@ pub struct Idd {
     cache: BTreeMap<String, (Handle, Handle)>,
     /// In-flight logins keyed by their private reply port.
     pending: BTreeMap<Handle, PendingLogin>,
+    /// Users whose `Bind` every admin party has acked. A `LoginR` is
+    /// released only for bound users: the worker's first tainted query
+    /// takes a different port than the `Bind`, so the kernel gives no
+    /// ordering between them — without the ack the query can be
+    /// label-dropped and the event process wedges awaiting the reply.
+    bound: BTreeSet<String>,
+    /// Logins parked behind another login's in-flight `Bind` for the
+    /// same user (they hit the handle cache but must not overtake the
+    /// registration).
+    bind_waiters: BTreeMap<String, Vec<Handle>>,
 }
 
 impl Idd {
@@ -68,6 +81,8 @@ impl Idd {
             cache_admin: None,
             cache: BTreeMap::new(),
             pending: BTreeMap::new(),
+            bound: BTreeSet::new(),
+            bind_waiters: BTreeMap::new(),
         }
     }
 
@@ -79,7 +94,7 @@ impl Idd {
     }
 
     fn finish_login(&mut self, sys: &mut Sys<'_>, port: Handle) {
-        let Some(pending) = self.pending.remove(&port) else {
+        let Some(mut pending) = self.pending.remove(&port) else {
             return;
         };
         sys.charge(IDD_LOGIN_CYCLES);
@@ -100,35 +115,64 @@ impl Idd {
         // Get or mint the user's handles (§7.2 step 4: "it either generates
         // new uT and uG handles (if u has not logged in recently), or
         // returns cached uT and uG handles").
-        let (taint, grant) = match self.cache.get(&pending.user) {
-            Some(&pair) => pair,
-            None => {
-                let taint = sys.new_handle();
-                let grant = sys.new_handle();
-                // Accept this user's taint from now on: tainted worker
-                // event processes send us password-change requests, and we
-                // hold ⋆ (as creator), so contamination never sticks.
-                sys.raise_recv(taint, Level::L3)
-                    .expect("we created the taint handle");
-                self.cache.insert(pending.user.clone(), (taint, grant));
-                // §7.5: register the binding with ok-dbproxy — and with the
-                // shared cache when one is deployed — granting each the
-                // handles at ⋆.
-                let bind = DbMsg::Bind {
-                    user: pending.user.clone(),
-                    taint,
-                    grant,
-                };
-                let grant_args = SendArgs::new().grant(Label::from_pairs(
-                    Level::L3,
-                    &[(taint, Level::Star), (grant, Level::Star)],
-                ));
-                for admin in [self.admin, self.cache_admin].into_iter().flatten() {
-                    let _ = sys.send_args(admin, bind.to_value(), &grant_args);
-                }
-                (taint, grant)
+        if !self.cache.contains_key(&pending.user) {
+            let taint = sys.new_handle();
+            let grant = sys.new_handle();
+            // Accept this user's taint from now on: tainted worker
+            // event processes send us password-change requests, and we
+            // hold ⋆ (as creator), so contamination never sticks.
+            sys.raise_recv(taint, Level::L3)
+                .expect("we created the taint handle");
+            self.cache.insert(pending.user.clone(), (taint, grant));
+            // §7.5: register the binding with ok-dbproxy — and with the
+            // shared cache when one is deployed — granting each the
+            // handles at ⋆. Each party acks on our per-login port; the
+            // LoginR is withheld until every ack is in (see `bound`).
+            let bind = DbMsg::Bind {
+                user: pending.user.clone(),
+                taint,
+                grant,
+                reply: Some(port),
+            };
+            let grant_args = SendArgs::new().grant(Label::from_pairs(
+                Level::L3,
+                &[
+                    (taint, Level::Star),
+                    (grant, Level::Star),
+                    (port, Level::Star),
+                ],
+            ));
+            let mut sent = 0;
+            for admin in [self.admin, self.cache_admin].into_iter().flatten() {
+                let _ = sys.send_args(admin, bind.to_value(), &grant_args);
+                sent += 1;
             }
-        };
+            if sent > 0 {
+                pending.awaiting_binds = sent;
+                self.pending.insert(port, pending);
+                return;
+            }
+        } else if !self.bound.contains(&pending.user) {
+            // Another login's Bind for this user is still in flight; park
+            // behind it so this session cannot overtake the registration.
+            self.bind_waiters
+                .entry(pending.user.clone())
+                .or_default()
+                .push(port);
+            self.pending.insert(port, pending);
+            return;
+        }
+        self.bound.insert(pending.user.clone());
+        self.complete_login(sys, port, pending);
+    }
+
+    /// Releases the `LoginR` for a login whose binding is registered
+    /// everywhere it needs to be.
+    fn complete_login(&mut self, sys: &mut Sys<'_>, port: Handle, pending: PendingLogin) {
+        let &(taint, grant) = self
+            .cache
+            .get(&pending.user)
+            .expect("binding cached before any Bind was sent");
         // §7.2 step 4: grant ok-demux both handles at ⋆.
         let _ = sys.send_args(
             pending.reply,
@@ -145,6 +189,31 @@ impl Idd {
             )),
         );
         self.release_login_caps(sys, port, pending.reply);
+    }
+
+    /// One admin party acked a `Bind` on per-login port `port`. Once all
+    /// acks are in, the user is bound: release the initiating login and
+    /// any same-user logins parked behind it.
+    fn on_bind_ack(&mut self, sys: &mut Sys<'_>, port: Handle) {
+        let done = match self.pending.get_mut(&port) {
+            Some(p) => {
+                p.awaiting_binds = p.awaiting_binds.saturating_sub(1);
+                p.awaiting_binds == 0
+            }
+            None => false,
+        };
+        if !done {
+            return;
+        }
+        let pending = self.pending.remove(&port).expect("checked above");
+        let user = pending.user.clone();
+        self.bound.insert(user.clone());
+        self.complete_login(sys, port, pending);
+        for waiter in self.bind_waiters.remove(&user).unwrap_or_default() {
+            if let Some(parked) = self.pending.remove(&waiter) {
+                self.complete_login(sys, waiter, parked);
+            }
+        }
     }
 
     /// Drops the per-login capabilities: our private reply port and the
@@ -230,6 +299,7 @@ impl Service for Idd {
                             user: user.clone(),
                             taint,
                             grant,
+                            reply: None,
                         }
                         .to_value(),
                         &SendArgs::new().grant(Label::from_pairs(
@@ -250,6 +320,9 @@ impl Service for Idd {
                 }
                 Some(DbMsg::Done) => {
                     self.finish_login(sys, msg.port);
+                }
+                Some(DbMsg::BindR) => {
+                    self.on_bind_ack(sys, msg.port);
                 }
                 _ => {}
             }
@@ -357,6 +430,7 @@ impl Service for Idd {
                         user: user.clone(),
                         password_matched: false,
                         reply,
+                        awaiting_binds: 0,
                     },
                 );
                 let _ = sys.send_args(

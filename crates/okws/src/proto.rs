@@ -94,6 +94,12 @@ pub enum OkwsMsg {
         /// Service name.
         service: String,
     },
+    /// ok-demux → worker event process (on the ending session's `uW`):
+    /// the session-table entry is gone. Connections ok-demux handed off
+    /// before processing the `SessionEnd` travel the same per-port FIFO
+    /// as this ack, so once it arrives no further handoffs can target
+    /// the port and the event process may safely `ep_exit`.
+    SessionEndR,
 }
 
 impl OkwsMsg {
@@ -174,6 +180,7 @@ impl OkwsMsg {
                 Value::Str(user.clone()),
                 Value::Str(service.clone()),
             ]),
+            OkwsMsg::SessionEndR => Value::List(vec![Value::Str("session-end-r".into())]),
         }
     }
 
@@ -224,6 +231,7 @@ impl OkwsMsg {
                 user: items.get(1)?.as_str()?.to_string(),
                 service: items.get(2)?.as_str()?.to_string(),
             }),
+            "session-end-r" => Some(OkwsMsg::SessionEndR),
             _ => None,
         }
     }
@@ -286,6 +294,7 @@ mod tests {
                 user: "u".into(),
                 service: "s".into(),
             },
+            OkwsMsg::SessionEndR,
         ];
         for m in msgs {
             assert_eq!(OkwsMsg::from_value(&m.to_value()), Some(m));

@@ -1,6 +1,6 @@
 //! OKWS assembly, reboot, and a test/bench client.
 
-use asbestos_kernel::{Category, CostModel, Kernel, ProcessId, Value};
+use asbestos_kernel::{Category, CostModel, Kernel, Level, ProcessId, Value};
 use asbestos_net::{spawn_netd_lanes, ClientDriver, NetdHandle, NETD_SHED_ENV};
 use asbestos_store::Store;
 
@@ -120,6 +120,24 @@ impl Okws {
     pub fn shutdown(self, kernel: &mut Kernel) {
         kernel.run();
         kernel.teardown();
+    }
+
+    /// Every handle idd currently holds at `⋆` — its ports plus the
+    /// per-user `uT`/`uG` pairs it minted this boot. The login-storm
+    /// scenarios snapshot this before and after a reboot to pin §5.1
+    /// across boots: handles are unique since boot, so no boot-N handle
+    /// may ever be observed after boot N+1 comes up.
+    pub fn idd_star_handles(kernel: &Kernel) -> Vec<u64> {
+        let idd = kernel
+            .find_process("idd")
+            .expect("a deployed OKWS always has an idd");
+        kernel
+            .process(idd)
+            .send_label
+            .iter()
+            .filter(|(_, level)| *level == Level::Star)
+            .map(|(h, _)| h.raw())
+            .collect()
     }
 }
 

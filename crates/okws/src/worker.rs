@@ -62,6 +62,12 @@ const ST_AWAIT_REQUEST: u64 = 1;
 const ST_AWAIT_DB_ROWS: u64 = 2;
 const ST_AWAIT_DB_EXEC: u64 = 3;
 const ST_AWAIT_CACHE: u64 = 4;
+/// Logged out, waiting for ok-demux's [`OkwsMsg::SessionEndR`] before
+/// `ep_exit`: handoffs ok-demux sent before it dropped the session-table
+/// entry are still in flight on `uW`, and exiting under them would strand
+/// their connections (dropped `NoPort`, the client never sees a close).
+/// While draining, every arriving or queued connection is shed.
+const ST_DRAINING: u64 = 5;
 
 /// Environment key prefix for worker service ports.
 pub fn worker_port_env(service: &str) -> String {
@@ -228,14 +234,21 @@ impl Worker {
     ) {
         // A session event process serves one request at a time; connections
         // arriving mid-request wait in the pending queue (served from
-        // `respond`). Beyond the queue bound the connection is shed — the
-        // client sees a drop, never another user's data.
+        // `respond`). Beyond the queue bound — or after logout, while the
+        // session drains — the connection is shed: the client sees a drop,
+        // never another user's data.
         let state = Self::read_u64(sys, SESSION_PAGE + OFF_STATE);
+        if state == ST_DRAINING {
+            Self::shed_conn(sys, conn);
+            return;
+        }
         if state != ST_IDLE {
             let count = Self::read_u64(sys, SESSION_PAGE + OFF_PENDING_COUNT);
             if count < PENDING_MAX {
                 Self::write_u64(sys, SESSION_PAGE + OFF_PENDING + 8 * count, conn.raw());
                 Self::write_u64(sys, SESSION_PAGE + OFF_PENDING_COUNT, count + 1);
+            } else {
+                Self::shed_conn(sys, conn);
             }
             return;
         }
@@ -285,7 +298,18 @@ impl Worker {
         self.touch_scratch(sys);
     }
 
-    fn respond(&self, sys: &mut Sys<'_>, status: u16, body: &[u8]) {
+    /// Closes `conn` unserved: the client observes the closed-empty shed
+    /// signature and retries. Best-effort like the sends in `respond`;
+    /// the uC ⋆ is released either way so the send label does not grow
+    /// per shed connection.
+    fn shed_conn(sys: &mut Sys<'_>, conn: Handle) {
+        let _ = sys.send(conn, NetMsg::Close.to_value());
+        sys.self_contaminate(&Label::from_pairs(Level::Star, &[(conn, Level::L1)]));
+    }
+
+    /// Writes the HTTP response on the current connection, closes it, and
+    /// releases its uC ⋆. State-machine continuation is the caller's.
+    fn send_response(&self, sys: &mut Sys<'_>, status: u16, body: &[u8]) {
         let conn = Self::read_handle(sys, SESSION_PAGE + OFF_UC);
         let reason = if status == 200 { "OK" } else { "Error" };
         let response = http::build_response(status, reason, body);
@@ -302,6 +326,10 @@ impl Worker {
         // many connections, and without this the event process's send label
         // would grow by one uC ⋆ per connection served.
         sys.self_contaminate(&Label::from_pairs(Level::Star, &[(conn, Level::L1)]));
+    }
+
+    fn respond(&self, sys: &mut Sys<'_>, status: u16, body: &[u8]) {
+        self.send_response(sys, status, body);
         Self::write_u64(sys, SESSION_PAGE + OFF_STATE, ST_IDLE);
         self.cleanup(sys);
         // Serve the next queued connection, if any arrived mid-request.
@@ -324,7 +352,19 @@ impl Worker {
         match action {
             Action::Respond { body, status } => self.respond(sys, status, &body),
             Action::RespondAndLogout { body } => {
-                self.respond(sys, 200, &body);
+                // Answer the logout itself, then shed (rather than serve)
+                // every queued connection: the session is over, and each
+                // shed client retries into a fresh login.
+                self.send_response(sys, 200, &body);
+                self.cleanup(sys);
+                let count = Self::read_u64(sys, SESSION_PAGE + OFF_PENDING_COUNT);
+                for i in 0..count {
+                    let queued =
+                        Handle::from_raw(Self::read_u64(sys, SESSION_PAGE + OFF_PENDING + 8 * i));
+                    Self::shed_conn(sys, queued);
+                }
+                Self::write_u64(sys, SESSION_PAGE + OFF_PENDING_COUNT, 0);
+                Self::write_u64(sys, SESSION_PAGE + OFF_STATE, ST_DRAINING);
                 let user = Self::load_user(sys);
                 if let Some(demux) = sys.env("okws.demux.port").and_then(|v| v.as_handle()) {
                     let _ = sys.send(
@@ -336,8 +376,9 @@ impl Worker {
                         .to_value(),
                     );
                 }
-                // §7.3: "u's worker event processes call ep_exit".
-                let _ = sys.ep_exit();
+                // §7.3: "u's worker event processes call ep_exit" — but
+                // only once ok-demux acks SessionEndR (see ST_DRAINING):
+                // exiting now would strand handoffs already in flight.
             }
             Action::DbQuery { sql, params } => {
                 let db = sys
@@ -504,6 +545,17 @@ impl EpService for Worker {
         }) = OkwsMsg::from_value(&msg.body)
         {
             self.begin_connection(sys, conn, &user, taint, grant);
+            return;
+        }
+
+        if OkwsMsg::from_value(&msg.body) == Some(OkwsMsg::SessionEndR) {
+            // ok-demux dropped our session entry; every handoff it sent
+            // beforehand has been shed above (same per-port FIFO), so the
+            // drain is complete (§7.3: "u's worker event processes call
+            // ep_exit").
+            if Self::read_u64(sys, SESSION_PAGE + OFF_STATE) == ST_DRAINING {
+                let _ = sys.ep_exit();
+            }
             return;
         }
 

@@ -9,7 +9,7 @@
 //! unique since boot), grants ok-dbproxy `⋆` on each, and the proxy's
 //! persisted uid map re-binds the fresh handles to the recovered rows.
 
-use asbestos_kernel::{Kernel, Level};
+use asbestos_kernel::Kernel;
 use asbestos_okws::logic::Profile;
 use asbestos_okws::{Okws, OkwsClient, OkwsConfig, ServiceSpec};
 use asbestos_store::MemDev;
@@ -32,14 +32,7 @@ fn profile_config(dev: &MemDev, with_users: bool) -> OkwsConfig {
 
 /// `uT`/`uG`-style handles idd holds at ⋆ (its per-user grants).
 fn idd_star_handles(kernel: &Kernel) -> Vec<u64> {
-    let idd = kernel.find_process("idd").unwrap();
-    kernel
-        .process(idd)
-        .send_label
-        .iter()
-        .filter(|(_, level)| *level == Level::Star)
-        .map(|(h, _)| h.raw())
-        .collect()
+    Okws::idd_star_handles(kernel)
 }
 
 #[test]

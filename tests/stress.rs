@@ -2,6 +2,12 @@
 //! of logins, session hits, logouts, and DB traffic must never violate the
 //! §2 isolation invariant, leak memory after session teardown, or wedge
 //! the kernel.
+//!
+//! The overflow and flood stresses are [`asbestos_loadgen`] scenarios:
+//! the declarative structs in `loadgen::scenarios` own the phases and
+//! assertions, and the engine (`run_scenario`) owns deployment, open-loop
+//! pacing, polling, and drain. The same scenarios run at measurement size
+//! in `benches/loadgen.rs`.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -9,6 +15,7 @@ use rand::{Rng, SeedableRng};
 use asbestos::kernel::Kernel;
 use asbestos::okws::logic::{EchoStore, Profile};
 use asbestos::okws::{Okws, OkwsClient, OkwsConfig, ServiceSpec};
+use asbestos_loadgen::{run_scenario, LaneOverflowChurn, SustainedFlood};
 
 const USERS: usize = 12;
 
@@ -260,214 +267,32 @@ fn sharded_okws_preserves_isolation() {
     );
 }
 
-/// 4 shards × 4 netd lanes under hostile conditions: a burst of
-/// connections with a tiny per-port queue bound (so lane → demux
-/// notifications overflow and take the `PortQueueFull` drop path) and
-/// mid-stream client closes (so workers write into dead connections).
-/// The deployment must never deadlock the worker pool, must account the
-/// overflow drops, and must serve ordinary traffic again once the bound
-/// is lifted.
+/// 4 shards × 4 netd lanes under hostile conditions, as a declarative
+/// scenario: warm burst, mid-stream client disconnects, a connection
+/// burst into a 2-deep port bound (lane → demux notifications overflow
+/// and take the `PortQueueFull` drop path), and recovery once the bound
+/// is lifted. The scenario's own `check` asserts no deadlock, accounted
+/// drops, lane spread, and ordinary service afterwards.
 #[test]
 fn lane_queue_overflow_and_midstream_closes_do_not_wedge() {
-    let (mut kernel, okws, mut client) = deploy_laned(603, 4, 4);
-    assert_eq!(kernel.num_shards(), 4);
-
-    // Phase 1: a clean burst proves the 4×4 deployment serves traffic and
-    // the RSS demux actually spreads it.
-    for i in 0..USERS {
-        let (status, _) = client
-            .request_sync(
-                &mut kernel,
-                "store",
-                &format!("u{i}"),
-                &format!("p{i}"),
-                &[("data", "warm")],
-            )
-            .expect("warm request responds");
-        assert_eq!(status, 200);
-    }
-    let spread = client.driver.lane_accepts().to_vec();
-    assert_eq!(spread.len(), 4);
-    assert!(
-        spread.iter().filter(|&&n| n > 0).count() >= 2,
-        "RSS demux used one lane for every connection: {spread:?}"
-    );
-
-    // Phase 2: mid-stream closes. Issue requests but kill the client side
-    // of half of them before running the kernel: the demux and workers
-    // process connections whose substrate is already dead, and their
-    // writes are discarded by the closed connection, not wedged.
-    let mut doomed = Vec::new();
-    for i in 0..USERS {
-        let idx = client.request(
-            &mut kernel,
-            "store",
-            &format!("u{i}"),
-            &format!("p{i}"),
-            &[("data", "doomed")],
-        );
-        if i % 2 == 0 {
-            let conn = client.driver.request(idx).conn;
-            okws.netd.net.lock().unwrap().close(conn);
-            doomed.push(conn);
-        }
-    }
-    kernel.run();
-    client.driver.poll(&kernel);
-    for conn in doomed {
-        okws.netd.net.lock().unwrap().reap(conn);
-    }
-    assert_eq!(kernel.queue_len(), 0, "mid-stream closes left work queued");
-
-    // Phase 3: clamp the per-port bound so the connection burst overflows
-    // the demux's notify port (every lane funnels NewConn announcements
-    // into one port). The overflow must drop, not deadlock.
-    let drops_before = kernel.stats().dropped_port_queue_full;
-    kernel.set_port_queue_limit(2);
-    for i in 0..USERS {
-        client.request(
-            &mut kernel,
-            "store",
-            &format!("u{i}"),
-            &format!("p{i}"),
-            &[("data", "burst")],
-        );
-    }
-    kernel.run();
-    client.driver.poll(&kernel);
-    let drops = kernel.stats().dropped_port_queue_full - drops_before;
-    assert!(
-        drops > 0,
-        "a {USERS}-connection burst against a 2-deep port bound must overflow"
-    );
-    assert_eq!(kernel.queue_len(), 0, "overflow left the kernel wedged");
-
-    // Phase 4: lift the bound; the deployment serves again on every lane.
-    kernel.set_port_queue_limit(asbestos::kernel::DEFAULT_PORT_QUEUE_LIMIT);
-    for i in 0..USERS {
-        let (status, body) = client
-            .request_sync(
-                &mut kernel,
-                "store",
-                &format!("u{i}"),
-                &format!("p{i}"),
-                &[("data", "recovered")],
-            )
-            .expect("post-overflow request responds");
-        assert_eq!(status, 200, "user {i} did not recover after the overflow");
-        let _ = body;
-    }
-    assert_eq!(kernel.queue_len(), 0);
-}
-
-/// One synchronous victim request that survives edge shedding: issue,
-/// run, and re-open the connection whenever netd refused it, until the
-/// response lands. Returns the HTTP status.
-fn request_surviving_sheds(
-    kernel: &mut Kernel,
-    client: &mut OkwsClient,
-    user: &str,
-    pw: &str,
-    extra: &[(&str, &str)],
-) -> u16 {
-    let idx = client.request(kernel, "store", user, pw, extra);
-    for _ in 0..64 {
-        // Bounded: a backpressure livelock should fail fast, not hang CI.
-        kernel.run_limited(1_000_000);
-        client.driver.poll(kernel);
-        if let Some((status, _)) = client.parse_response(idx) {
-            return status;
-        }
-        assert!(
-            client.driver.retry_shed(kernel) > 0,
-            "request neither completed nor was shed — wedged"
-        );
-    }
-    panic!("request did not complete within 64 shed-retry rounds");
+    run_scenario(&mut LaneOverflowChurn::new(USERS, 12, 4, 4), 603);
 }
 
 /// Sustained flood with overload control armed: 4 shards × 4 netd lanes,
 /// one attacker pouring connections at 10× the victim's rate into a
 /// deployment whose edge has been made deliberately touchy (a tiny shed
-/// threshold). The victim's observable verdicts — every request answered
-/// 200, same as an unloaded run — must be unchanged by the flood; the
-/// edge must visibly defer or shed (that is the graceful degradation);
-/// and once the flood ends the deployment must return to a steady state
-/// with nothing queued and shedding over.
+/// threshold). The scenario's `check` asserts the victim's verdicts are
+/// unchanged by the flood (every request 200), the edge visibly deferred
+/// or shed, and the deployment returned to a steady state.
 #[test]
 fn sustained_flood_sheds_gracefully_and_recovers() {
-    let victim_rounds = 6;
-    let flood_factor = 10; // attacker connections per victim request
-
-    let mut config = OkwsConfig::new(80).sharded(4).lanes(4).with_backpressure();
-    config
-        .services
-        .push(ServiceSpec::new("store", || Box::new(EchoStore::new())));
-    for i in 0..USERS {
-        config.users.push((format!("u{i}"), format!("p{i}")));
-    }
-    let (mut kernel, okws, mut client) = {
-        let (kernel, okws) = Okws::deploy(604, config);
-        let client = OkwsClient::new(&okws);
-        (kernel, okws, client)
-    };
-
-    // Unloaded baseline: the victim's verdict trace without any flood.
-    let baseline: Vec<u16> = (0..victim_rounds)
-        .map(|_| request_surviving_sheds(&mut kernel, &mut client, "u0", "p0", &[("data", "v")]))
-        .collect();
-    assert_eq!(baseline, vec![200; victim_rounds]);
-
-    // Make the edge touchy, then flood: before each victim request the
-    // attacker opens 10× as many connections as the victim will.
-    kernel.set_shed_threshold(2);
-    for round in 0..victim_rounds {
-        for _ in 0..flood_factor {
-            client.request(&mut kernel, "store", "u1", "p1", &[("data", "flood")]);
-        }
-        let status =
-            request_surviving_sheds(&mut kernel, &mut client, "u0", "p0", &[("data", "v")]);
-        assert_eq!(
-            status, 200,
-            "flood changed the victim's verdict (round {round})"
-        );
-    }
-
-    // The degradation must have been real and graceful: the edge deferred
-    // or shed accepts instead of letting queues grow without bound.
-    let (mut deferred, mut shed) = (0u64, 0u64);
-    for lane in &okws.netd.lanes {
-        let netd = kernel
-            .service_as::<asbestos::net::Netd>(lane.pid)
-            .expect("netd lane is downcastable");
-        deferred += netd.accepts_deferred();
-        shed += netd.accepts_shed();
-    }
-    assert!(
-        deferred + shed > 0,
-        "a {flood_factor}x flood against a shed threshold of 2 never touched the edge"
+    run_scenario(
+        &mut SustainedFlood {
+            requests: 110,
+            flood_factor: 10,
+            shards: 4,
+            lanes: 4,
+        },
+        604,
     );
-
-    // Recovery: flood over, threshold relaxed; every outstanding attacker
-    // request drains (retrying any that were shed) and the kernel reaches
-    // a steady state with nothing parked.
-    kernel.set_shed_threshold(usize::MAX);
-    for _ in 0..64 {
-        kernel.run();
-        client.driver.poll(&kernel);
-        if client.driver.completed() == client.driver.requests().len() {
-            break;
-        }
-        client.driver.retry_shed(&mut kernel);
-    }
-    assert_eq!(
-        client.driver.completed(),
-        client.driver.requests().len(),
-        "flood traffic never drained after recovery"
-    );
-    assert_eq!(kernel.queue_len(), 0, "recovery left work parked");
-
-    // Steady state: fresh traffic is served first try again.
-    let status = request_surviving_sheds(&mut kernel, &mut client, "u0", "p0", &[("data", "post")]);
-    assert_eq!(status, 200);
 }
