@@ -1,0 +1,151 @@
+//! The federation switch: the hub every kernel's gateway connects to.
+//!
+//! The switch is the Portus-style controller of the cluster: it owns the
+//! *port directory* (which kernel registered which port) and relays
+//! traffic between gateways. It never looks inside labels or bodies —
+//! routing is purely `port → owning kernel` — so the Figure 4 decision
+//! stays where it belongs, on the destination kernel.
+//!
+//! Directory updates are push-based: a `Register` from kernel `k` is
+//! broadcast to every *other* gateway as `ResolveR { port, Some(k) }`,
+//! so by the time any kernel could hold a handle it learned through the
+//! environment or a message body, the route for it is already on the
+//! wire ahead of any `Forward` (the switch relays each connection's
+//! frames in order, and gateways announce ports before the frames that
+//! carry them).
+
+use std::collections::HashMap;
+use std::io;
+
+use asbestos_labels::Handle;
+
+use crate::conn::FrameConn;
+use crate::wire::WireMsg;
+
+/// The cluster's directory + relay hub.
+pub struct Switch {
+    /// One connection per kernel, indexed by kernel id.
+    conns: Vec<FrameConn>,
+    directory: HashMap<Handle, u16>,
+    /// `Forward`s relayed to their destination kernel.
+    pub forwarded: u64,
+    /// `Forward`s for ports no kernel has registered (dropped, like a
+    /// send to a dead port — the sender learns nothing).
+    pub dropped_unroutable: u64,
+}
+
+impl Switch {
+    /// Builds the switch over one connection per kernel; index = kernel id.
+    pub fn new(conns: Vec<FrameConn>) -> Switch {
+        Switch {
+            conns,
+            directory: HashMap::new(),
+            forwarded: 0,
+            dropped_unroutable: 0,
+        }
+    }
+
+    /// Which kernel owns `port`, per the directory.
+    pub fn owner_of(&self, port: Handle) -> Option<u16> {
+        self.directory.get(&port).copied()
+    }
+
+    /// Number of directory entries.
+    pub fn directory_len(&self) -> usize {
+        self.directory.len()
+    }
+
+    /// Drains every connection, handles/relays its frames in arrival
+    /// order, then flushes all connections. Returns progress units
+    /// (frames handled + bytes flushed) — zero means fully quiescent.
+    pub fn pump(&mut self) -> io::Result<u64> {
+        let mut progress = 0u64;
+        for k in 0..self.conns.len() {
+            let msgs = self.conns[k].pump()?;
+            for msg in msgs {
+                progress += 1;
+                self.handle(k as u16, msg);
+            }
+        }
+        for conn in &mut self.conns {
+            progress += conn.flush()? as u64;
+        }
+        Ok(progress)
+    }
+
+    fn handle(&mut self, from: u16, msg: WireMsg) {
+        match msg {
+            // Gateways never send ResolveR (it's the switch's answer);
+            // one arriving is harmless noise.
+            WireMsg::Hello { .. } | WireMsg::ResolveR { .. } | WireMsg::Bye => {}
+            WireMsg::Register { port } => {
+                self.directory.insert(port, from);
+                self.broadcast_except(
+                    from,
+                    &WireMsg::ResolveR {
+                        port,
+                        kernel: Some(from),
+                    },
+                );
+            }
+            WireMsg::Unregister { port } => {
+                // Only the owner may withdraw a port.
+                if self.directory.get(&port) == Some(&from) {
+                    self.directory.remove(&port);
+                    self.broadcast_except(from, &WireMsg::ResolveR { port, kernel: None });
+                }
+            }
+            WireMsg::Resolve { port } => {
+                let kernel = self.owner_of(port);
+                self.conns[from as usize].send(&WireMsg::ResolveR { port, kernel });
+            }
+            WireMsg::EnvSet { key, value } => {
+                // Environment writes replicate everywhere (§4 bootstrap
+                // namespace is cluster-global).
+                self.broadcast_except(from, &WireMsg::EnvSet { key, value });
+            }
+            WireMsg::Forward {
+                port,
+                es,
+                ds,
+                dr,
+                v,
+                body,
+            } => match self.owner_of(port) {
+                Some(owner) if owner != from => {
+                    self.forwarded += 1;
+                    self.conns[owner as usize].send(&WireMsg::Forward {
+                        port,
+                        es,
+                        ds,
+                        dr,
+                        v,
+                        body,
+                    });
+                }
+                Some(_) => {
+                    // Port moved home before the frame arrived: bounce it
+                    // back so the origin kernel delivers locally.
+                    self.forwarded += 1;
+                    self.conns[from as usize].send(&WireMsg::Forward {
+                        port,
+                        es,
+                        ds,
+                        dr,
+                        v,
+                        body,
+                    });
+                }
+                None => self.dropped_unroutable += 1,
+            },
+        }
+    }
+
+    fn broadcast_except(&mut self, from: u16, msg: &WireMsg) {
+        for (k, conn) in self.conns.iter_mut().enumerate() {
+            if k as u16 != from {
+                conn.send(msg);
+            }
+        }
+    }
+}

@@ -1,0 +1,611 @@
+//! The federation wire format: labels and payloads in serialized form.
+//!
+//! Every cross-kernel exchange is one [`WireMsg`] inside one *frame*:
+//!
+//! ```text
+//! magic "ASWM" (4) | version u8 | body-len u32 LE | crc32 u32 LE | body
+//! ```
+//!
+//! The CRC (the store crate's snapshot polynomial) covers exactly the
+//! body, so a flipped bit anywhere in a frame is detected before any
+//! field is interpreted, and the version byte sits *outside* the body so
+//! a future v2 can change the body layout freely — same discipline as
+//! the snapshot codec's header.
+//!
+//! Labels travel as their §5.6 packed form: the default level's bits,
+//! then each explicit `(handle, level)` entry as `handle << 3 | bits` —
+//! the same u64 packing the in-memory chunks use, so serialization is a
+//! plain iteration and deserialization re-validates every entry
+//! ([`Level::from_bits`] rejects bit patterns 5–7, [`Handle::new`]
+//! rejects values over 61 bits). A label off the wire is therefore
+//! *checked*, never trusted.
+//!
+//! Payload bytes are zero-copy on both sides of the boundary that
+//! matters: encoding appends a [`Payload`]'s bytes straight out of its
+//! backing store (no intermediate `Payload` materialization), and
+//! [`decode_frame`] pins the whole received body in one `Arc<[u8]>` so
+//! every `Value::Bytes` in the decoded message is a [`Payload::from_arc`]
+//! slice view of it — one copy per frame (socket buffer → body arc), no
+//! matter how many payloads the message carries.
+
+use std::sync::Arc;
+
+use asbestos_kernel::{Payload, Value};
+use asbestos_labels::{Handle, Label, Level};
+use asbestos_store::crc32;
+
+/// Frame magic: "ASbestos Wire Message".
+pub const MAGIC: [u8; 4] = *b"ASWM";
+
+/// Current wire format version.
+pub const WIRE_VERSION: u8 = 1;
+
+/// Frame header size: magic + version + body length + CRC.
+pub const HEADER_LEN: usize = 4 + 1 + 4 + 4;
+
+/// Upper bound on a frame body. Far above anything the kernel can emit
+/// (message payloads are bounded by queue limits long before this), it
+/// exists so garbage that happens to spell a huge length cannot make a
+/// connection buffer gigabytes waiting for bytes that never come.
+pub const MAX_BODY_LEN: usize = 1 << 26;
+
+/// Recursion bound for `Value::List` nesting on decode.
+const MAX_VALUE_DEPTH: u32 = 64;
+
+/// Everything that can be wrong with bytes claiming to be a frame.
+///
+/// `decode_frame` distinguishes "not enough bytes yet" (`Ok(None)` — a
+/// streaming read mid-frame) from these, which are all *corruption*: the
+/// bytes can never become a valid frame no matter what arrives next.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum WireError {
+    /// The first four bytes are not `ASWM`.
+    BadMagic,
+    /// The version byte is not one this decoder speaks.
+    BadVersion(u8),
+    /// The declared body length exceeds [`MAX_BODY_LEN`].
+    FrameTooLong(usize),
+    /// The body checksum does not match.
+    BadCrc,
+    /// An unknown message tag.
+    BadTag(u8),
+    /// An unknown `Value` variant tag.
+    BadValueTag(u8),
+    /// A CRC-valid body ended before its fields did.
+    Truncated,
+    /// A CRC-valid body has bytes left over after its message.
+    TrailingBytes,
+    /// A string field is not UTF-8.
+    BadText,
+    /// A packed label entry encodes a handle over 61 bits.
+    BadHandle,
+    /// A packed label entry encodes level bits 5–7.
+    BadLevel,
+    /// `Value::List` nesting deeper than the decoder's recursion bound.
+    TooDeep,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::BadMagic => write!(f, "bad frame magic"),
+            WireError::BadVersion(v) => write!(f, "unsupported wire version {v}"),
+            WireError::FrameTooLong(n) => write!(f, "frame body of {n} bytes exceeds limit"),
+            WireError::BadCrc => write!(f, "frame body failed CRC"),
+            WireError::BadTag(t) => write!(f, "unknown message tag {t}"),
+            WireError::BadValueTag(t) => write!(f, "unknown value tag {t}"),
+            WireError::Truncated => write!(f, "frame body truncated"),
+            WireError::TrailingBytes => write!(f, "frame body has trailing bytes"),
+            WireError::BadText => write!(f, "string field is not UTF-8"),
+            WireError::BadHandle => write!(f, "handle exceeds 61 bits"),
+            WireError::BadLevel => write!(f, "invalid level bits"),
+            WireError::TooDeep => write!(f, "value nesting too deep"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// A federation message.
+///
+/// `Hello`/`Bye` bracket a connection; `Register`/`Unregister`/`Resolve`/
+/// `ResolveR` are the port directory protocol (the switch answers
+/// `Resolve` and pushes `ResolveR` on every `Register`, so gateways
+/// normally never need to ask); `EnvSet` replicates the global
+/// environment (§4's bootstrap namespace) across kernels; `Forward`
+/// carries one cross-kernel message — the sender's effective send label
+/// `E_S` and the `SEND` arguments, exactly what the destination kernel
+/// needs to re-run the Figure 4 check against *its own* state.
+#[derive(Clone, PartialEq, Debug)]
+pub enum WireMsg {
+    /// Connection preamble: "I am kernel `kernel` of `kernels`".
+    Hello { kernel: u16, kernels: u16 },
+    /// The sending kernel owns this port; route `Forward`s for it here.
+    Register { port: Handle },
+    /// The port is gone (its owner died or revoked it).
+    Unregister { port: Handle },
+    /// Where does this port live? (Pull path; push via `ResolveR` is the norm.)
+    Resolve { port: Handle },
+    /// Directory answer/update: `kernel` owns `port` (`None`: nobody does).
+    ResolveR { port: Handle, kernel: Option<u16> },
+    /// Replicate one global-environment binding.
+    EnvSet { key: String, value: Value },
+    /// One cross-kernel message: deliver `body` to `port` under these labels.
+    Forward {
+        port: Handle,
+        /// The sender's effective send label `E_S = P_S ⊔ C_S`, snapshotted
+        /// at send time on the source kernel.
+        es: Label,
+        /// Decontamination argument `D_S` (already privilege-checked at send).
+        ds: Label,
+        /// Receiver decontamination bound `D_R`.
+        dr: Label,
+        /// Verification label `V`.
+        v: Label,
+        body: Value,
+    },
+    /// Orderly goodbye.
+    Bye,
+}
+
+const TAG_HELLO: u8 = 0;
+const TAG_REGISTER: u8 = 1;
+const TAG_UNREGISTER: u8 = 2;
+const TAG_RESOLVE: u8 = 3;
+const TAG_RESOLVE_R: u8 = 4;
+const TAG_ENV_SET: u8 = 5;
+const TAG_FORWARD: u8 = 6;
+const TAG_BYE: u8 = 7;
+
+const VTAG_UNIT: u8 = 0;
+const VTAG_BOOL: u8 = 1;
+const VTAG_U64: u8 = 2;
+const VTAG_BYTES: u8 = 3;
+const VTAG_STR: u8 = 4;
+const VTAG_HANDLE: u8 = 5;
+const VTAG_LIST: u8 = 6;
+
+// ---------------------------------------------------------------- encode
+
+/// Appends `msg` as one complete frame to `out`.
+pub fn encode_frame(msg: &WireMsg, out: &mut Vec<u8>) {
+    let header_at = out.len();
+    out.extend_from_slice(&MAGIC);
+    out.push(WIRE_VERSION);
+    out.extend_from_slice(&[0u8; 8]); // length + CRC, patched below
+    let body_at = out.len();
+    encode_body(msg, out);
+    let body_len = out.len() - body_at;
+    debug_assert!(body_len <= MAX_BODY_LEN, "kernel emitted an absurd frame");
+    let crc = crc32(&out[body_at..]);
+    out[header_at + 5..header_at + 9].copy_from_slice(&(body_len as u32).to_le_bytes());
+    out[header_at + 9..header_at + 13].copy_from_slice(&crc.to_le_bytes());
+}
+
+fn encode_body(msg: &WireMsg, out: &mut Vec<u8>) {
+    match msg {
+        WireMsg::Hello { kernel, kernels } => {
+            out.push(TAG_HELLO);
+            out.extend_from_slice(&kernel.to_le_bytes());
+            out.extend_from_slice(&kernels.to_le_bytes());
+        }
+        WireMsg::Register { port } => {
+            out.push(TAG_REGISTER);
+            out.extend_from_slice(&port.raw().to_le_bytes());
+        }
+        WireMsg::Unregister { port } => {
+            out.push(TAG_UNREGISTER);
+            out.extend_from_slice(&port.raw().to_le_bytes());
+        }
+        WireMsg::Resolve { port } => {
+            out.push(TAG_RESOLVE);
+            out.extend_from_slice(&port.raw().to_le_bytes());
+        }
+        WireMsg::ResolveR { port, kernel } => {
+            out.push(TAG_RESOLVE_R);
+            out.extend_from_slice(&port.raw().to_le_bytes());
+            match kernel {
+                Some(k) => {
+                    out.push(1);
+                    out.extend_from_slice(&k.to_le_bytes());
+                }
+                None => out.push(0),
+            }
+        }
+        WireMsg::EnvSet { key, value } => {
+            out.push(TAG_ENV_SET);
+            encode_str(key, out);
+            encode_value(value, out);
+        }
+        WireMsg::Forward {
+            port,
+            es,
+            ds,
+            dr,
+            v,
+            body,
+        } => {
+            out.push(TAG_FORWARD);
+            out.extend_from_slice(&port.raw().to_le_bytes());
+            encode_label(es, out);
+            encode_label(ds, out);
+            encode_label(dr, out);
+            encode_label(v, out);
+            encode_value(body, out);
+        }
+        WireMsg::Bye => out.push(TAG_BYE),
+    }
+}
+
+fn encode_str(s: &str, out: &mut Vec<u8>) {
+    out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// §5.6 packed form: default-level bits, entry count, then each explicit
+/// entry as `handle << 3 | level-bits` — identical to the in-memory
+/// chunk packing, so the wire is just the label's native shape.
+fn encode_label(label: &Label, out: &mut Vec<u8>) {
+    out.push(label.default_level().to_bits() as u8);
+    out.extend_from_slice(&(label.entry_count() as u32).to_le_bytes());
+    for (handle, level) in label.iter() {
+        let packed = (handle.raw() << 3) | level.to_bits();
+        out.extend_from_slice(&packed.to_le_bytes());
+    }
+}
+
+fn encode_value(value: &Value, out: &mut Vec<u8>) {
+    match value {
+        Value::Unit => out.push(VTAG_UNIT),
+        Value::Bool(b) => {
+            out.push(VTAG_BOOL);
+            out.push(*b as u8);
+        }
+        Value::U64(n) => {
+            out.push(VTAG_U64);
+            out.extend_from_slice(&n.to_le_bytes());
+        }
+        Value::Bytes(p) => {
+            out.push(VTAG_BYTES);
+            out.extend_from_slice(&(p.len() as u32).to_le_bytes());
+            // Straight out of the payload's backing store — egress never
+            // materializes an intermediate Payload.
+            out.extend_from_slice(p.as_slice());
+        }
+        Value::Str(s) => {
+            out.push(VTAG_STR);
+            encode_str(s, out);
+        }
+        Value::Handle(h) => {
+            out.push(VTAG_HANDLE);
+            out.extend_from_slice(&h.raw().to_le_bytes());
+        }
+        Value::List(items) => {
+            out.push(VTAG_LIST);
+            out.extend_from_slice(&(items.len() as u32).to_le_bytes());
+            for item in items {
+                encode_value(item, out);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------- decode
+
+/// Tries to decode one frame from the front of `buf`.
+///
+/// * `Ok(Some((msg, consumed)))` — a complete frame; the caller should
+///   drop the first `consumed` bytes.
+/// * `Ok(None)` — `buf` holds a valid prefix of a frame; read more.
+/// * `Err(_)` — the bytes are corrupt and the connection should die.
+pub fn decode_frame(buf: &[u8]) -> Result<Option<(WireMsg, usize)>, WireError> {
+    if buf.len() < HEADER_LEN {
+        if !MAGIC.starts_with(&buf[..buf.len().min(4)]) {
+            return Err(WireError::BadMagic);
+        }
+        return Ok(None);
+    }
+    if buf[..4] != MAGIC {
+        return Err(WireError::BadMagic);
+    }
+    if buf[4] != WIRE_VERSION {
+        return Err(WireError::BadVersion(buf[4]));
+    }
+    let body_len = u32::from_le_bytes(buf[5..9].try_into().unwrap()) as usize;
+    if body_len > MAX_BODY_LEN {
+        return Err(WireError::FrameTooLong(body_len));
+    }
+    let crc_want = u32::from_le_bytes(buf[9..13].try_into().unwrap());
+    let total = HEADER_LEN + body_len;
+    if buf.len() < total {
+        return Ok(None);
+    }
+    let body = &buf[HEADER_LEN..total];
+    if crc32(body) != crc_want {
+        return Err(WireError::BadCrc);
+    }
+    // Pin the body once; every Bytes payload below is a slice view of it.
+    let arc: Arc<[u8]> = Arc::from(body);
+    let mut r = Reader { data: arc, pos: 0 };
+    let msg = decode_body(&mut r)?;
+    if r.pos != body_len {
+        return Err(WireError::TrailingBytes);
+    }
+    Ok(Some((msg, total)))
+}
+
+struct Reader {
+    data: Arc<[u8]>,
+    pos: usize,
+}
+
+impl Reader {
+    fn take(&mut self, n: usize) -> Result<&[u8], WireError> {
+        if self.data.len() - self.pos < n {
+            return Err(WireError::Truncated);
+        }
+        let s = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, WireError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn handle(&mut self) -> Result<Handle, WireError> {
+        Handle::new(self.u64()?).ok_or(WireError::BadHandle)
+    }
+
+    fn str(&mut self) -> Result<String, WireError> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        std::str::from_utf8(bytes)
+            .map(str::to_owned)
+            .map_err(|_| WireError::BadText)
+    }
+
+    fn label(&mut self) -> Result<Label, WireError> {
+        let default = Level::from_bits(self.u8()? as u64).ok_or(WireError::BadLevel)?;
+        let count = self.u32()? as usize;
+        // Each entry is 8 bytes; reject counts the body cannot hold
+        // before allocating for them.
+        if self.data.len() - self.pos < count * 8 {
+            return Err(WireError::Truncated);
+        }
+        let mut pairs = Vec::with_capacity(count);
+        for _ in 0..count {
+            let packed = self.u64()?;
+            let level = Level::from_bits(packed & 0x7).ok_or(WireError::BadLevel)?;
+            let handle = Handle::new(packed >> 3).ok_or(WireError::BadHandle)?;
+            pairs.push((handle, level));
+        }
+        Ok(Label::from_pairs(default, &pairs))
+    }
+
+    fn value(&mut self, depth: u32) -> Result<Value, WireError> {
+        if depth > MAX_VALUE_DEPTH {
+            return Err(WireError::TooDeep);
+        }
+        let tag = self.u8()?;
+        Ok(match tag {
+            VTAG_UNIT => Value::Unit,
+            VTAG_BOOL => Value::Bool(self.u8()? != 0),
+            VTAG_U64 => Value::U64(self.u64()?),
+            VTAG_BYTES => {
+                let len = self.u32()? as usize;
+                if self.data.len() - self.pos < len {
+                    return Err(WireError::Truncated);
+                }
+                let at = self.pos;
+                self.pos += len;
+                // Zero-copy ingest: a slice view of the pinned frame body.
+                Value::Bytes(Payload::from_arc(Arc::clone(&self.data)).slice(at..at + len))
+            }
+            VTAG_STR => Value::Str(self.str()?),
+            VTAG_HANDLE => Value::Handle(self.handle()?),
+            VTAG_LIST => {
+                let count = self.u32()? as usize;
+                // Every element takes at least its tag byte.
+                if self.data.len() - self.pos < count {
+                    return Err(WireError::Truncated);
+                }
+                let mut items = Vec::with_capacity(count);
+                for _ in 0..count {
+                    items.push(self.value(depth + 1)?);
+                }
+                Value::List(items)
+            }
+            t => return Err(WireError::BadValueTag(t)),
+        })
+    }
+}
+
+fn decode_body(r: &mut Reader) -> Result<WireMsg, WireError> {
+    let tag = r.u8()?;
+    Ok(match tag {
+        TAG_HELLO => WireMsg::Hello {
+            kernel: r.u16()?,
+            kernels: r.u16()?,
+        },
+        TAG_REGISTER => WireMsg::Register { port: r.handle()? },
+        TAG_UNREGISTER => WireMsg::Unregister { port: r.handle()? },
+        TAG_RESOLVE => WireMsg::Resolve { port: r.handle()? },
+        TAG_RESOLVE_R => {
+            let port = r.handle()?;
+            let kernel = match r.u8()? {
+                0 => None,
+                _ => Some(r.u16()?),
+            };
+            WireMsg::ResolveR { port, kernel }
+        }
+        TAG_ENV_SET => WireMsg::EnvSet {
+            key: r.str()?,
+            value: r.value(0)?,
+        },
+        TAG_FORWARD => WireMsg::Forward {
+            port: r.handle()?,
+            es: r.label()?,
+            ds: r.label()?,
+            dr: r.label()?,
+            v: r.label()?,
+            body: r.value(0)?,
+        },
+        TAG_BYE => WireMsg::Bye,
+        t => return Err(WireError::BadTag(t)),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asbestos_labels::HANDLE_SPACE;
+
+    fn roundtrip(msg: &WireMsg) -> WireMsg {
+        let mut buf = Vec::new();
+        encode_frame(msg, &mut buf);
+        let (got, used) = decode_frame(&buf).unwrap().unwrap();
+        assert_eq!(used, buf.len());
+        got
+    }
+
+    #[test]
+    fn every_variant_roundtrips() {
+        let label = Label::from_pairs(
+            Level::L1,
+            &[
+                (Handle::from_raw(7), Level::Star),
+                (Handle::from_raw(HANDLE_SPACE - 1), Level::L3),
+            ],
+        );
+        let msgs = [
+            WireMsg::Hello {
+                kernel: 1,
+                kernels: 4,
+            },
+            WireMsg::Register {
+                port: Handle::from_raw(0),
+            },
+            WireMsg::Unregister {
+                port: Handle::from_raw(HANDLE_SPACE - 1),
+            },
+            WireMsg::Resolve {
+                port: Handle::from_raw(42),
+            },
+            WireMsg::ResolveR {
+                port: Handle::from_raw(42),
+                kernel: Some(3),
+            },
+            WireMsg::ResolveR {
+                port: Handle::from_raw(42),
+                kernel: None,
+            },
+            WireMsg::EnvSet {
+                key: "okws.worker.ws.port".into(),
+                value: Value::Handle(Handle::from_raw(9)),
+            },
+            WireMsg::Forward {
+                port: Handle::from_raw(5),
+                es: label.clone(),
+                ds: Label::top(),
+                dr: label.clone(),
+                v: Label::bottom(),
+                body: Value::List(vec![
+                    Value::Unit,
+                    Value::Bool(true),
+                    Value::U64(u64::MAX),
+                    Value::Bytes(Payload::copy_from_slice(b"hello")),
+                    Value::Str("s".into()),
+                    Value::Handle(Handle::from_raw(1)),
+                ]),
+            },
+            WireMsg::Bye,
+        ];
+        for msg in &msgs {
+            assert_eq!(&roundtrip(msg), msg);
+        }
+    }
+
+    #[test]
+    fn streaming_prefixes_ask_for_more() {
+        let mut buf = Vec::new();
+        encode_frame(
+            &WireMsg::EnvSet {
+                key: "k".into(),
+                value: Value::U64(7),
+            },
+            &mut buf,
+        );
+        for cut in 0..buf.len() {
+            assert_eq!(decode_frame(&buf[..cut]).unwrap(), None);
+        }
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let mut buf = Vec::new();
+        encode_frame(
+            &WireMsg::Register {
+                port: Handle::from_raw(3),
+            },
+            &mut buf,
+        );
+        // Flip one bit in the body: CRC must catch it.
+        let mut bad = buf.clone();
+        *bad.last_mut().unwrap() ^= 0x10;
+        assert_eq!(decode_frame(&bad), Err(WireError::BadCrc));
+        // Wrong magic.
+        let mut bad = buf.clone();
+        bad[0] = b'X';
+        assert_eq!(decode_frame(&bad), Err(WireError::BadMagic));
+        // Future version.
+        let mut bad = buf.clone();
+        bad[4] = 2;
+        assert_eq!(decode_frame(&bad), Err(WireError::BadVersion(2)));
+    }
+
+    #[test]
+    fn ingest_payloads_share_the_frame_body() {
+        let msg = WireMsg::Forward {
+            port: Handle::from_raw(1),
+            es: Label::bottom(),
+            ds: Label::bottom(),
+            dr: Label::bottom(),
+            v: Label::bottom(),
+            body: Value::List(vec![
+                Value::Bytes(Payload::copy_from_slice(b"abc")),
+                Value::Bytes(Payload::copy_from_slice(b"defg")),
+            ]),
+        };
+        let mut buf = Vec::new();
+        encode_frame(&msg, &mut buf);
+        let (got, _) = decode_frame(&buf).unwrap().unwrap();
+        let WireMsg::Forward {
+            body: Value::List(items),
+            ..
+        } = got
+        else {
+            panic!("wrong shape")
+        };
+        let ids: Vec<_> = items
+            .iter()
+            .map(|v| v.as_payload().unwrap().backing_id())
+            .collect();
+        // Both payloads are views of the one pinned frame body.
+        assert_eq!(ids[0], ids[1]);
+        assert_eq!(items[0].as_bytes().unwrap(), b"abc");
+        assert_eq!(items[1].as_bytes().unwrap(), b"defg");
+    }
+}

@@ -1,0 +1,166 @@
+//! OKWS across the federation: the §7 web server with its front end on
+//! kernel 0 and worker processes on other kernels, plus the golden pin —
+//! a two-kernel deployment's Figure 4 verdict trace must be bit-identical
+//! to the single-kernel run of the same workload.
+
+use asbestos_cluster::{deploy_okws, Cluster};
+use asbestos_kernel::Stats;
+use asbestos_okws::logic::EchoStore;
+use asbestos_okws::{OkwsClient, OkwsConfig, ServiceSpec};
+
+fn store_config(users: &[(&str, &str)]) -> OkwsConfig {
+    let mut config = OkwsConfig::new(80);
+    config
+        .services
+        .push(ServiceSpec::new("store", || Box::new(EchoStore::new())));
+    for (u, p) in users {
+        config.users.push((u.to_string(), p.to_string()));
+    }
+    config
+}
+
+/// One federated request: issue on kernel 0, run the cluster (not just
+/// the kernel — the worker lives elsewhere), then poll the driver.
+fn fed_request(
+    cluster: &mut Cluster,
+    client: &mut OkwsClient,
+    service: &str,
+    user: &str,
+    password: &str,
+    extra: &[(&str, &str)],
+) -> Option<(u16, Vec<u8>)> {
+    let idx = client.request(&mut cluster.nodes[0].kernel, service, user, password, extra);
+    cluster.run();
+    client.driver.poll(&cluster.nodes[0].kernel);
+    client.parse_response(idx)
+}
+
+#[test]
+fn federated_okws_serves_the_figure5_flow() {
+    let mut cluster = Cluster::new(301, 2, 1);
+    let okws = deploy_okws(&mut cluster, store_config(&[("alice", "pw-a")]));
+    let mut client = OkwsClient::new(&okws);
+
+    // The worker really lives on kernel 1; the front end on kernel 0.
+    assert!(cluster.nodes[1]
+        .kernel
+        .find_process("worker-store")
+        .is_some());
+    assert!(cluster.nodes[0]
+        .kernel
+        .find_process("worker-store")
+        .is_none());
+    assert!(cluster.nodes[0].kernel.find_process("ok-demux").is_some());
+
+    // First request: authenticates, forks W[alice] on kernel 1, stores.
+    let (status, body) = fed_request(
+        &mut cluster,
+        &mut client,
+        "store",
+        "alice",
+        "pw-a",
+        &[("data", "first-secret")],
+    )
+    .expect("response crosses the wire");
+    assert_eq!(status, 200);
+    assert!(body.is_empty(), "no previous data");
+
+    // Second request: the cached session returns the stored state (§7.3).
+    let (status, body) = fed_request(&mut cluster, &mut client, "store", "alice", "pw-a", &[])
+        .expect("response crosses the wire");
+    assert_eq!(status, 200);
+    assert!(body.starts_with(b"first-secret"));
+    assert_eq!(body.len(), 1024, "§9.1's ~1K response");
+
+    // The session state lives in an event process on the worker kernel.
+    let worker = cluster.nodes[1]
+        .kernel
+        .find_process("worker-store")
+        .unwrap();
+    assert_eq!(cluster.nodes[1].kernel.live_eps(worker).len(), 1);
+
+    // Request and response traffic genuinely crossed the switch.
+    assert!(cluster.switch().forwarded >= 4);
+    let wire = cluster.wire_stats();
+    assert!(wire.frames_out > 0 && wire.bytes_out > 0);
+}
+
+#[test]
+fn federated_authentication_still_gates() {
+    let mut cluster = Cluster::new(302, 2, 1);
+    let okws = deploy_okws(&mut cluster, store_config(&[("alice", "pw-a")]));
+    let mut client = OkwsClient::new(&okws);
+
+    let (status, _) = fed_request(&mut cluster, &mut client, "store", "alice", "wrong", &[])
+        .expect("error response still arrives");
+    assert_eq!(status, 403);
+    let (status, _) = fed_request(&mut cluster, &mut client, "nosuch", "alice", "pw-a", &[])
+        .expect("unknown service responds");
+    assert_eq!(status, 404);
+}
+
+/// The verdict-relevant counters after each request, merged across the
+/// whole deployment: one entry per request, cumulative.
+fn verdict_entry(stats: &Stats) -> (u64, u64, u64, u64, u64, u64, u64) {
+    (
+        stats.sent,
+        stats.delivered,
+        stats.dropped_label_check,
+        stats.dropped_port_decont,
+        stats.dropped_no_port,
+        stats.dropped_no_owner,
+        stats.eps_created,
+    )
+}
+
+/// Runs the golden workload against a cluster of `kernels` kernels and
+/// returns the full observable trace: per request, the HTTP status, the
+/// body, and the cumulative merged Figure 4 verdict counters.
+#[allow(clippy::type_complexity)]
+fn golden_trace(kernels: usize) -> Vec<(u16, Vec<u8>, (u64, u64, u64, u64, u64, u64, u64))> {
+    let mut cluster = Cluster::new(303, kernels, 1);
+    let okws = deploy_okws(
+        &mut cluster,
+        store_config(&[("alice", "pw-a"), ("bob", "pw-b")]),
+    );
+    let mut client = OkwsClient::new(&okws);
+    let workload: &[(&str, &str, &str, &[(&str, &str)])] = &[
+        ("store", "alice", "pw-a", &[("data", "alice-secret")]),
+        ("store", "bob", "pw-b", &[("data", "bob-secret")]),
+        ("store", "alice", "pw-a", &[]),
+        ("store", "bob", "pw-b", &[]),
+        ("store", "alice", "wrong", &[]),
+        ("store", "mallory", "pw-a", &[]),
+        ("nosuch", "alice", "pw-a", &[]),
+        ("store", "alice", "pw-a", &[("logout", "1")]),
+        ("store", "alice", "pw-a", &[]),
+    ];
+    let mut trace = Vec::new();
+    for (service, user, pw, extra) in workload {
+        let (status, body) = fed_request(&mut cluster, &mut client, service, user, pw, extra)
+            .expect("every request gets a response");
+        trace.push((status, body, verdict_entry(&cluster.stats())));
+    }
+    trace
+}
+
+/// The golden pin: federation changes *placement*, never *semantics*.
+/// Every status, every body byte, and every cumulative verdict counter
+/// of the two-kernel deployment matches the single-kernel run exactly —
+/// remote sends are counted once, on the kernel that rules on them.
+#[test]
+fn two_kernel_verdict_trace_is_bit_identical_to_single_kernel() {
+    let single = golden_trace(1);
+    let double = golden_trace(2);
+    assert_eq!(single.len(), double.len());
+    for (i, (s, d)) in single.iter().zip(double.iter()).enumerate() {
+        assert_eq!(s.0, d.0, "request {i}: status diverged");
+        assert_eq!(s.1, d.1, "request {i}: body diverged");
+        assert_eq!(s.2, d.2, "request {i}: verdict counters diverged");
+    }
+    // And the workload is non-trivial: successes, auth failures, and at
+    // least one label-check drop are all represented.
+    assert!(single.iter().any(|(s, ..)| *s == 200));
+    assert!(single.iter().any(|(s, ..)| *s == 403));
+    assert!(single.iter().any(|(s, ..)| *s == 404));
+}

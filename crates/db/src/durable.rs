@@ -269,9 +269,10 @@ pub struct DbRecovery {
 /// installs the adaptive controller, a number >= 1 fixes the batch,
 /// anything else means 1 — sync per mutation.
 fn group_commit_from(value: Option<&str>) -> GroupCommit {
-    match value.map(str::trim) {
-        Some(v) if v.eq_ignore_ascii_case("auto") => GroupCommit::Auto(AdaptiveBatch::default()),
-        Some(v) => GroupCommit::Fixed(v.parse::<usize>().ok().filter(|&n| n >= 1).unwrap_or(1)),
+    use asbestos_kernel::knobs::{parse_auto_or_count, AutoOrCount};
+    match parse_auto_or_count(value) {
+        Some(AutoOrCount::Auto) => GroupCommit::Auto(AdaptiveBatch::default()),
+        Some(AutoOrCount::Count(n)) => GroupCommit::Fixed(n),
         None => GroupCommit::Fixed(1),
     }
 }
@@ -353,8 +354,9 @@ impl DurableDb {
                 None => skipped += 1,
             }
         }
-        let group_commit =
-            group_commit_from(std::env::var("ASBESTOS_DB_GROUP_COMMIT").ok().as_deref());
+        let group_commit = group_commit_from(
+            asbestos_kernel::knobs::raw(asbestos_kernel::knobs::DB_GROUP_COMMIT_ENV).as_deref(),
+        );
         DurableDb {
             db,
             store: Some(store),

@@ -50,9 +50,7 @@ pub const DEFAULT_DELIVERY_CACHE_CAP: usize = 1 << 16;
 /// value; anything unset or unparsable falls back to the compiled-in
 /// default. `0` is legal and disables caching entirely.
 pub(crate) fn cache_cap_from(value: Option<&str>) -> usize {
-    value
-        .and_then(|v| v.parse::<usize>().ok())
-        .unwrap_or(DEFAULT_DELIVERY_CACHE_CAP)
+    crate::knobs::parse_count(value).unwrap_or(DEFAULT_DELIVERY_CACHE_CAP)
 }
 
 /// The per-shard delivery-cache bound newly-built kernels start with:
@@ -61,7 +59,7 @@ pub(crate) fn cache_cap_from(value: Option<&str>) -> usize {
 /// golden-trace suites pin cache counters under the default, so CI sets
 /// this only for jobs that do not compare against golden stats.
 pub(crate) fn default_cache_cap() -> usize {
-    cache_cap_from(std::env::var("ASBESTOS_CACHE_CAP").ok().as_deref())
+    cache_cap_from(crate::knobs::raw(crate::knobs::CACHE_CAP_ENV).as_deref())
 }
 
 /// What one call to [`crate::Kernel::step_outcome`] did.

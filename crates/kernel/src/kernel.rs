@@ -76,9 +76,7 @@ pub const DEFAULT_QUEUE_LIMIT: usize = 1 << 20;
 /// 0 or 1 — both mean "no worker threads") gets the sequential sweep
 /// scheduler, which is also the fully deterministic configuration.
 fn default_worker_target() -> usize {
-    std::env::var("ASBESTOS_WORKERS")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
+    crate::knobs::count(crate::knobs::WORKERS_ENV)
         .map(|n| n.max(1))
         .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, usize::from))
 }
@@ -226,10 +224,33 @@ impl Kernel {
     /// other boot's — §5.1's "unique since boot" across actual reboots.
     /// Epoch 0 is bit-for-bit the ordinary constructor.
     pub fn with_boot_epoch(seed: u64, cost: CostModel, shards: usize, epoch: u64) -> Kernel {
+        Kernel::with_cluster_slot(seed, cost, shards, epoch, 0, 1)
+    }
+
+    /// Creates the kernel for cluster slot `slot` of a `slots`-kernel
+    /// federation (see `crates/cluster`). Shard `i` of slot `k` mints
+    /// handles from cipher lane `k*shards + i` of `slots*shards`, so
+    /// handle values are unique across the *whole* federation — the
+    /// property that lets a serialized handle cross the wire and stay
+    /// meaningful (§5.1's uniqueness, cluster-wide). Slot 0 of 1 is
+    /// bit-for-bit the ordinary constructor.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= shards <= MAX_SHARDS` and `slot < slots`.
+    pub fn with_cluster_slot(
+        seed: u64,
+        cost: CostModel,
+        shards: usize,
+        epoch: u64,
+        slot: usize,
+        slots: usize,
+    ) -> Kernel {
         assert!(
             (1..=MAX_SHARDS).contains(&shards),
             "shard count must be in 1..={MAX_SHARDS}"
         );
+        assert!(slot < slots, "cluster slot must be in 0..{slots}");
         let handle_seed = mix_epoch(seed, epoch);
         let xshard = Arc::new(InboxSet::new(shards));
         Kernel {
@@ -238,7 +259,8 @@ impl Kernel {
                     KernelShard::new(
                         handle_seed,
                         i as u16,
-                        shards,
+                        (slot * shards + i) as u64,
+                        (slots * shards) as u64,
                         cost.clone(),
                         Arc::clone(&xshard),
                     )
@@ -400,6 +422,82 @@ impl Kernel {
             from: None,
         });
         shard.note_queue_depth();
+    }
+
+    // ------------------------------------------------------------------
+    // Federation (the gateway's surface; see `crates/cluster`).
+    // ------------------------------------------------------------------
+
+    /// Records that `port` lives on remote kernel `kernel`. Sends that
+    /// resolve neither locally nor in the shard directory and match this
+    /// map park in the egress queue instead of hash-routing — the
+    /// gateway drains them with [`Kernel::take_remote_egress`]. Ignored
+    /// (with a debug assertion) for ports this kernel owns: the local
+    /// vnode table is always authoritative.
+    pub fn register_remote_port(&mut self, port: Handle, kernel: u16) {
+        debug_assert!(
+            !self.is_local_port(port),
+            "a local port cannot be remote-registered"
+        );
+        if self.is_local_port(port) {
+            return;
+        }
+        self.router.register_remote_port(port, kernel);
+    }
+
+    /// Forgets a remote port binding.
+    pub fn unregister_remote_port(&mut self, port: Handle) {
+        self.router.unregister_remote_port(port);
+    }
+
+    /// Drains every message parked for another kernel, in send order.
+    /// The sender-side Figure 4 checks already ran; the destination
+    /// kernel applies the delivery-time check when these are injected
+    /// there ([`Kernel::inject_remote`]).
+    pub fn take_remote_egress(&mut self) -> Vec<crate::message::RemoteSend> {
+        self.router.take_egress()
+    }
+
+    /// Ingests one message forwarded from another kernel: it joins the
+    /// destination shard's queues under exactly the rules a local
+    /// cross-shard arrival faces — destination-side queue bounds (or
+    /// backpressure parking when armed), `Stats::sent` accounting, and
+    /// the delivery-time Figure 4 check against this kernel's state when
+    /// it is popped. An unknown port hash-routes and drops `NoSuchPort`,
+    /// as everywhere else.
+    pub fn inject_remote(&mut self, rs: crate::message::RemoteSend) {
+        let dest = if self.is_local_port(rs.port) {
+            // The directory only tracks multi-shard kernels; resolve by
+            // scanning the vnode tables so single-shard federations work
+            // identically.
+            self.shards
+                .iter()
+                .position(|s| s.handles.get(rs.port).is_some())
+                .expect("is_local_port found a shard") as u16
+        } else {
+            self.router.shard_of(rs.port)
+        };
+        self.shards[dest as usize].enqueue_inbound(QueuedMessage {
+            port: rs.port,
+            body: rs.body,
+            es: rs.es,
+            ds: rs.ds,
+            dr: rs.dr,
+            v: rs.v,
+            from: None,
+        });
+    }
+
+    /// Whether any shard of this kernel owns a vnode for `port`.
+    pub fn is_local_port(&self, port: Handle) -> bool {
+        self.shards.iter().any(|s| s.handles.get(port).is_some())
+    }
+
+    /// Snapshot of the whole global environment, in key order (the
+    /// gateway diffs this against its mirror to replicate §4 bootstrap
+    /// state across kernels).
+    pub fn global_env_snapshot(&self) -> Vec<(String, Value)> {
+        self.router.env_snapshot()
     }
 
     /// Sets a global environment entry (the §4 bootstrapping namespace,

@@ -1,0 +1,163 @@
+//! The consolidated `ASBESTOS_*` environment knobs.
+//!
+//! Every runtime knob the workspace reads from the environment is named
+//! here, and the three parse shapes they share live here too. The
+//! subsystems keep their own defaults and domain types (the kernel's
+//! cache capacity, the store's group-commit policy) and delegate the
+//! string handling to this module, so a new knob is one constant plus a
+//! call to an already-tested parser — not a seventh ad-hoc
+//! `env::var(..).parse()` chain.
+//!
+//! | knob | shape | consumer |
+//! |---|---|---|
+//! | `ASBESTOS_WORKERS` | count | worker-thread budget (`kernel.rs`) |
+//! | `ASBESTOS_CACHE_CAP` | count (0 = off) | delivery-cache bound (`delivery.rs`) |
+//! | `ASBESTOS_PORT_QUEUE` | positive count | per-port queue bound (`shard.rs`) |
+//! | `ASBESTOS_TUNE` | on/off flag | self-tuning loop (`tuner.rs`) |
+//! | `ASBESTOS_DB_GROUP_COMMIT` | auto-or-count | WAL group commit (`db::durable`) |
+//! | `ASBESTOS_NETD_LANES` | count | CI matrix lane count (tests) |
+//! | `ASBESTOS_TEST_SHARDS` | count | CI matrix shard count (tests) |
+//! | `ASBESTOS_KERNELS` | count | federation kernel count (`cluster`) |
+//! | `ASBESTOS_CLUSTER_SOCKET` | path | federation socket directory (`cluster`) |
+
+/// Worker-thread budget for multi-shard rounds.
+pub const WORKERS_ENV: &str = "ASBESTOS_WORKERS";
+/// Per-shard delivery-decision cache bound (`0` disables caching).
+pub const CACHE_CAP_ENV: &str = "ASBESTOS_CACHE_CAP";
+/// Per-port message-queue bound.
+pub const PORT_QUEUE_ENV: &str = "ASBESTOS_PORT_QUEUE";
+/// Self-tuning control loop arm/disarm flag.
+pub const TUNE_ENV: &str = "ASBESTOS_TUNE";
+/// WAL group-commit batch: a number, or `auto` for the adaptive
+/// controller.
+pub const DB_GROUP_COMMIT_ENV: &str = "ASBESTOS_DB_GROUP_COMMIT";
+/// netd lane count exercised by the CI matrix.
+pub const NETD_LANES_ENV: &str = "ASBESTOS_NETD_LANES";
+/// Shard count exercised by the CI matrix.
+pub const TEST_SHARDS_ENV: &str = "ASBESTOS_TEST_SHARDS";
+/// Federated kernel count exercised by the CI matrix (see
+/// `crates/cluster`).
+pub const KERNELS_ENV: &str = "ASBESTOS_KERNELS";
+/// Directory for the federation's path-based Unix sockets; unset means
+/// anonymous in-process socket pairs.
+pub const CLUSTER_SOCKET_ENV: &str = "ASBESTOS_CLUSTER_SOCKET";
+
+/// Reads a knob's raw value.
+pub fn raw(name: &str) -> Option<String> {
+    std::env::var(name).ok()
+}
+
+/// Parses a count knob: a whitespace-tolerant `usize`. Unset or
+/// unparsable is `None`; `0` is a legal count (some knobs use it to mean
+/// "disabled").
+pub fn parse_count(value: Option<&str>) -> Option<usize> {
+    value.and_then(|v| v.trim().parse::<usize>().ok())
+}
+
+/// Parses a count knob that must be at least 1 (queue bounds, lane
+/// counts): like [`parse_count`], but `0` is rejected too.
+pub fn parse_positive(value: Option<&str>) -> Option<usize> {
+    parse_count(value).filter(|&n| n > 0)
+}
+
+/// Parses an on/off flag that defaults to *on*: everything except
+/// `off`/`0`/`false` (case-insensitive, whitespace-tolerant) — including
+/// unset — means enabled.
+pub fn parse_enabled(value: Option<&str>) -> bool {
+    !matches!(
+        value.map(str::trim).map(str::to_ascii_lowercase).as_deref(),
+        Some("off") | Some("0") | Some("false")
+    )
+}
+
+/// Parsed value of an auto-or-count knob (`ASBESTOS_DB_GROUP_COMMIT`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AutoOrCount {
+    /// The self-tuning controller.
+    Auto,
+    /// A fixed count, at least 1.
+    Count(usize),
+}
+
+/// Parses an auto-or-count knob: `auto` (any case) selects the adaptive
+/// controller, a number `>= 1` fixes the count, and unset, junk, or `0`
+/// are `None` (the consumer's default applies).
+pub fn parse_auto_or_count(value: Option<&str>) -> Option<AutoOrCount> {
+    let v = value.map(str::trim)?;
+    if v.eq_ignore_ascii_case("auto") {
+        return Some(AutoOrCount::Auto);
+    }
+    parse_positive(Some(v)).map(AutoOrCount::Count)
+}
+
+/// Reads a count knob from the environment.
+pub fn count(name: &str) -> Option<usize> {
+    parse_count(raw(name).as_deref())
+}
+
+/// Reads an at-least-1 count knob from the environment.
+pub fn positive(name: &str) -> Option<usize> {
+    parse_positive(raw(name).as_deref())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts() {
+        assert_eq!(parse_count(None), None);
+        assert_eq!(parse_count(Some("not-a-number")), None);
+        assert_eq!(parse_count(Some("")), None);
+        assert_eq!(parse_count(Some("0")), Some(0));
+        assert_eq!(parse_count(Some("4096")), Some(4096));
+        assert_eq!(parse_count(Some(" 64 ")), Some(64));
+    }
+
+    #[test]
+    fn positive_counts_reject_zero() {
+        assert_eq!(parse_positive(Some("0")), None);
+        assert_eq!(parse_positive(Some("1")), Some(1));
+        assert_eq!(parse_positive(Some(" 4096 ")), Some(4096));
+        assert_eq!(parse_positive(None), None);
+    }
+
+    #[test]
+    fn flags_default_on() {
+        assert!(parse_enabled(None));
+        assert!(parse_enabled(Some("on")));
+        assert!(parse_enabled(Some("ON")));
+        assert!(parse_enabled(Some("anything")));
+        assert!(!parse_enabled(Some("off")));
+        assert!(!parse_enabled(Some(" OFF ")));
+        assert!(!parse_enabled(Some("0")));
+        assert!(!parse_enabled(Some("false")));
+    }
+
+    #[test]
+    fn auto_or_count_shapes() {
+        assert_eq!(parse_auto_or_count(None), None);
+        assert_eq!(parse_auto_or_count(Some("junk")), None);
+        assert_eq!(parse_auto_or_count(Some("0")), None);
+        assert_eq!(parse_auto_or_count(Some("8")), Some(AutoOrCount::Count(8)));
+        assert_eq!(parse_auto_or_count(Some("auto")), Some(AutoOrCount::Auto));
+        assert_eq!(parse_auto_or_count(Some(" AUTO ")), Some(AutoOrCount::Auto));
+    }
+
+    #[test]
+    fn knob_names_are_namespaced() {
+        for name in [
+            WORKERS_ENV,
+            CACHE_CAP_ENV,
+            PORT_QUEUE_ENV,
+            TUNE_ENV,
+            DB_GROUP_COMMIT_ENV,
+            NETD_LANES_ENV,
+            TEST_SHARDS_ENV,
+            KERNELS_ENV,
+            CLUSTER_SOCKET_ENV,
+        ] {
+            assert!(name.starts_with("ASBESTOS_"), "{name}");
+        }
+    }
+}

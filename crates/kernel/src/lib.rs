@@ -106,6 +106,7 @@ pub mod event_process;
 pub mod handle_table;
 pub mod ids;
 pub mod kernel;
+pub mod knobs;
 pub mod memory;
 pub mod message;
 mod pool;
@@ -127,7 +128,7 @@ pub use handle_table::{PortOwner, VNODE_BYTES};
 pub use ids::{EpId, ExecCtx, ProcessId, MAX_SHARDS};
 pub use kernel::{Kernel, KmemReport, DEFAULT_QUEUE_LIMIT};
 pub use memory::PAGE_SIZE;
-pub use message::{Message, SendArgs};
+pub use message::{Message, RemoteSend, SendArgs};
 pub use process::{EpService, Process, Service, PROCESS_STRUCT_BYTES};
 pub use shard::{KernelShard, DEFAULT_PORT_QUEUE_LIMIT};
 pub use stats::{DropReason, Stats};

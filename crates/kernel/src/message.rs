@@ -97,6 +97,33 @@ pub struct Message {
     pub verify: Label,
 }
 
+/// A message bound for a port on another *kernel* (federation; see
+/// `crates/cluster`).
+///
+/// The sender-side Figure 4 checks — the two decontamination privilege
+/// requirements and the `E_S = P_S ⊔ C_S` snapshot — already ran on the
+/// source kernel when `send` resolved; what crosses the wire is exactly
+/// the label state a [`QueuedMessage`] would carry, minus the sending
+/// context (an `ExecCtx` is meaningless outside its own kernel, and
+/// receivers never learn sender identity except through `V` anyway).
+/// The delivery-time check runs on the destination kernel, against
+/// destination-side state only.
+#[derive(Clone, Debug)]
+pub struct RemoteSend {
+    /// Destination port (owned by another kernel).
+    pub port: Handle,
+    /// Payload.
+    pub body: Value,
+    /// The sender's effective send label `E_S`, snapshotted at send time.
+    pub es: Arc<Label>,
+    /// Decontaminate-send label.
+    pub ds: Label,
+    /// Decontaminate-receive label.
+    pub dr: Label,
+    /// Verification label.
+    pub v: Label,
+}
+
 /// A message queued in the kernel, before delivery-time label checks.
 #[derive(Clone, Debug)]
 pub(crate) struct QueuedMessage {

@@ -37,12 +37,12 @@
 //! single-shard kernels take none of these paths.
 
 use std::collections::{BTreeMap, HashMap};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Mutex, RwLock};
 
 use asbestos_labels::Handle;
 
-use crate::message::QueuedMessage;
+use crate::message::{QueuedMessage, RemoteSend};
 use crate::value::Value;
 
 /// Shared cross-shard state: the port directory and the global
@@ -54,6 +54,18 @@ pub(crate) struct Router {
     ports: RwLock<HashMap<Handle, u16>>,
     /// The §4 global environment (init/launcher bootstrap namespace).
     env: RwLock<BTreeMap<String, Value>>,
+    /// Port handle → remote *kernel* id (federation; see
+    /// `crates/cluster`). Written only by the gateway between runs;
+    /// empty on every non-federated kernel.
+    remote_ports: RwLock<HashMap<Handle, u16>>,
+    /// Fast-path guard for the remote directory: sends only take the
+    /// `remote_ports` read lock once a gateway has registered something,
+    /// so non-federated kernels pay one relaxed atomic load — and the
+    /// pre-federation goldens are untouched.
+    has_remote: AtomicBool,
+    /// Outbound cross-kernel messages, parked until the gateway drains
+    /// them ([`crate::Kernel::take_remote_egress`]).
+    egress: Mutex<Vec<RemoteSend>>,
 }
 
 impl Router {
@@ -62,6 +74,9 @@ impl Router {
             num_shards: num_shards as u16,
             ports: RwLock::new(HashMap::new()),
             env: RwLock::new(BTreeMap::new()),
+            remote_ports: RwLock::new(HashMap::new()),
+            has_remote: AtomicBool::new(false),
+            egress: Mutex::new(Vec::new()),
         }
     }
 
@@ -103,6 +118,61 @@ impl Router {
             return shard;
         }
         (port.raw() % self.num_shards as u64) as u16
+    }
+
+    /// Records that `port` lives on another kernel (federation). The
+    /// gateway only registers ports that are *not* local, so the local
+    /// vnode check in `send_from` stays authoritative.
+    pub fn register_remote_port(&self, port: Handle, kernel: u16) {
+        self.remote_ports
+            .write()
+            .expect("remote directory lock")
+            .insert(port, kernel);
+        self.has_remote.store(true, Ordering::Release);
+    }
+
+    /// Forgets a remote port (the owning kernel unregistered it). Later
+    /// sends fall through to the hash shard and drop `NoSuchPort`, the
+    /// same outcome a dissociated local port produces.
+    pub fn unregister_remote_port(&self, port: Handle) {
+        self.remote_ports
+            .write()
+            .expect("remote directory lock")
+            .remove(&port);
+    }
+
+    /// The kernel owning `port`, when it is a registered remote port.
+    /// One relaxed atomic load on every non-federated kernel.
+    pub fn remote_kernel_of(&self, port: Handle) -> Option<u16> {
+        if !self.has_remote.load(Ordering::Acquire) {
+            return None;
+        }
+        self.remote_ports
+            .read()
+            .expect("remote directory lock")
+            .get(&port)
+            .copied()
+    }
+
+    /// Parks one outbound cross-kernel message for the gateway.
+    pub fn push_egress(&self, rs: RemoteSend) {
+        self.egress.lock().expect("egress lock").push(rs);
+    }
+
+    /// Drains every parked outbound cross-kernel message, in send order.
+    pub fn take_egress(&self) -> Vec<RemoteSend> {
+        std::mem::take(&mut *self.egress.lock().expect("egress lock"))
+    }
+
+    /// Snapshot of the whole global environment, in key order (the
+    /// gateway diffs this against its mirror to sync env across kernels).
+    pub fn env_snapshot(&self) -> Vec<(String, Value)> {
+        self.env
+            .read()
+            .expect("env lock")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
     }
 
     /// Reads a global environment entry.

@@ -46,22 +46,19 @@ use crate::value::Value;
 pub const DEFAULT_PORT_QUEUE_LIMIT: usize = DEFAULT_QUEUE_LIMIT;
 
 /// Environment variable overriding the per-port queue bound.
-pub const PORT_QUEUE_ENV: &str = "ASBESTOS_PORT_QUEUE";
+pub use crate::knobs::PORT_QUEUE_ENV;
 
 /// Parses a per-port queue bound from an env-var value. Unset,
 /// unparsable, or zero (a port that could never accept a message) fall
 /// back to [`DEFAULT_PORT_QUEUE_LIMIT`].
 pub(crate) fn port_queue_limit_from(value: Option<&str>) -> usize {
-    value
-        .and_then(|v| v.trim().parse::<usize>().ok())
-        .filter(|&n| n > 0)
-        .unwrap_or(DEFAULT_PORT_QUEUE_LIMIT)
+    crate::knobs::parse_positive(value).unwrap_or(DEFAULT_PORT_QUEUE_LIMIT)
 }
 
 /// The per-port queue bound for new shards: `ASBESTOS_PORT_QUEUE` if set
 /// and valid, else [`DEFAULT_PORT_QUEUE_LIMIT`].
 pub(crate) fn default_port_queue_limit() -> usize {
-    port_queue_limit_from(std::env::var(PORT_QUEUE_ENV).ok().as_deref())
+    port_queue_limit_from(crate::knobs::raw(PORT_QUEUE_ENV).as_deref())
 }
 
 /// Everything one process owns, packed to cross a shard boundary during
@@ -122,10 +119,17 @@ pub struct KernelShard {
 }
 
 impl KernelShard {
+    /// `lane`/`lanes` partition the handle-cipher counter space: shard
+    /// `i` of an ordinary kernel is lane `i` of `num_shards`; shard `i`
+    /// of federated kernel `k` (slot `k` of `slots`) is lane
+    /// `k*num_shards + i` of `slots*num_shards`, so every handle minted
+    /// anywhere in a cluster is unique cluster-wide (§5.1's "unique
+    /// since boot", across the whole federation).
     pub(crate) fn new(
         seed: u64,
         id: u16,
-        num_shards: usize,
+        lane: u64,
+        lanes: u64,
         cost: CostModel,
         xshard: Arc<InboxSet>,
     ) -> KernelShard {
@@ -133,7 +137,7 @@ impl KernelShard {
             id,
             cost,
             clock: CycleClock::new(),
-            handles: HandleTable::with_partition(seed, id as u64, num_shards as u64),
+            handles: HandleTable::with_partition(seed, lane, lanes),
             processes: Vec::new(),
             eps: Vec::new(),
             frames: FramePool::new(),
@@ -494,6 +498,23 @@ impl KernelShard {
         // destination shard, when the message is popped.
         let dest = if self.handles.get(port).is_some() {
             self.id
+        } else if router.remote_kernel_of(port).is_some() {
+            // Federation: the port lives on another kernel. Park the
+            // message for the gateway; the delivery-time Figure 4 check
+            // (and the destination-side queue bounds, and `Stats::sent`)
+            // run on the *destination* kernel, so verdicts derive only
+            // from destination state. Credits never apply here — a
+            // remote verdict would be a cross-kernel covert channel, the
+            // same reason injections are credit-free.
+            router.push_egress(crate::message::RemoteSend {
+                port: qm.port,
+                body: qm.body,
+                es: qm.es,
+                ds: qm.ds,
+                dr: qm.dr,
+                v: qm.v,
+            });
+            return Ok(SendVerdict::Delivered);
         } else {
             router.shard_of(port)
         };

@@ -127,8 +127,9 @@ impl Stats {
         }
     }
 
-    /// Adds another counter set into this one (shard merging).
-    pub(crate) fn absorb(&mut self, other: &Stats) {
+    /// Adds another counter set into this one (shard merging; the
+    /// cluster crate uses it to merge per-kernel views the same way).
+    pub fn absorb(&mut self, other: &Stats) {
         self.sent += other.sent;
         self.injected += other.injected;
         self.delivered += other.delivered;

@@ -419,15 +419,12 @@ impl TunerState {
 /// (case-insensitive) arms the loop. Unset means on — the tuner already
 /// gates itself on nondeterministic scheduling being in effect.
 pub(crate) fn tune_enabled_from(value: Option<&str>) -> bool {
-    !matches!(
-        value.map(str::trim).map(str::to_ascii_lowercase).as_deref(),
-        Some("off") | Some("0") | Some("false")
-    )
+    crate::knobs::parse_enabled(value)
 }
 
 /// Reads the `ASBESTOS_TUNE` knob.
 pub(crate) fn default_tune_enabled() -> bool {
-    tune_enabled_from(std::env::var("ASBESTOS_TUNE").ok().as_deref())
+    tune_enabled_from(crate::knobs::raw(crate::knobs::TUNE_ENV).as_deref())
 }
 
 #[cfg(test)]

@@ -23,16 +23,24 @@
 //! Everything is deterministic under a seed: same seed, same schedule,
 //! same ops, same percentiles — which is what lets CI gate on the
 //! committed numbers.
+//!
+//! The same engine also runs *federated*: [`cluster::run_federated`]
+//! deploys the scenario over an `asbestos-cluster` federation (front end
+//! on kernel 0, workers on the rest, labels crossing the wire in
+//! serialized form) with the identical schedule and accounting — the
+//! federated baseline in `BENCH_cluster.json` is measured this way.
 
 #![warn(missing_docs)]
 
 pub mod arrival;
+pub mod cluster;
 pub mod metrics;
 pub mod scenario;
 pub mod scenarios;
 pub mod zipf;
 
 pub use arrival::OpenLoopSchedule;
+pub use cluster::{kernels_from_env, run_federated, ClusterWorld, FederatedReport};
 pub use metrics::{LatencyStats, ScenarioReport};
 pub use scenario::{run_scenario, Op, Scenario, ScenarioConfig, ServiceKind, World};
 pub use scenarios::{Baseline, LaneOverflowChurn, LoginStorm, SustainedFlood, ZipfChurn};

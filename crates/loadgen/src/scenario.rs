@@ -224,7 +224,11 @@ impl World {
         }
     }
 
-    fn okws_config(cfg: &ScenarioConfig, dev: Option<&MemDev>, with_users: bool) -> OkwsConfig {
+    pub(crate) fn okws_config(
+        cfg: &ScenarioConfig,
+        dev: Option<&MemDev>,
+        with_users: bool,
+    ) -> OkwsConfig {
         let mut config = OkwsConfig::new(80).sharded(cfg.shards).lanes(cfg.lanes);
         if cfg.backpressure {
             config = config.with_backpressure();
@@ -500,7 +504,7 @@ pub trait Scenario {
 /// How often the engine interleaves completion polling and shed retries
 /// with arrivals (every N arrivals — keeps per-arrival overhead low while
 /// bounding how long a shed connection waits for its retry).
-const POLL_EVERY: usize = 16;
+pub(crate) const POLL_EVERY: usize = 16;
 
 /// Deploys, drives, drains, reports: the whole scenario lifecycle.
 pub fn run_scenario(scenario: &mut dyn Scenario, seed: u64) -> ScenarioReport {

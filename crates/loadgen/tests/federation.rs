@@ -1,0 +1,91 @@
+//! The Baseline scenario federated: the same open-loop engine over a
+//! multi-kernel cluster, with the single-kernel run as the semantic pin.
+//!
+//! The CI matrix sets `ASBESTOS_KERNELS` to sweep the kernel count; a
+//! bare `cargo test` runs the federated cases at two kernels.
+
+use asbestos_loadgen::{kernels_from_env, run_federated, run_scenario, Baseline};
+
+/// Kernel count under test: the `ASBESTOS_KERNELS` knob, floored at 2 so
+/// a bare run still exercises the wire.
+fn kernels() -> usize {
+    kernels_from_env().max(2)
+}
+
+fn baseline(shards: usize, lanes: usize) -> Baseline {
+    Baseline {
+        users: 32,
+        requests: 192,
+        shards,
+        lanes,
+    }
+}
+
+#[test]
+fn federated_baseline_serves_every_request() {
+    let fed = run_federated(&mut baseline(1, 1), kernels(), 0xBA5E);
+    let r = &fed.report;
+    // The Baseline invariants, across the wire.
+    assert_eq!(r.completed, r.issued, "federated baseline lost requests");
+    assert_eq!(r.retries, 0, "sub-capacity traffic must never shed");
+    assert_eq!(r.aborted, 0);
+    assert!(r.goodput_rps > 0.0);
+    // And the traffic genuinely federated: every request/response pair
+    // crossed the switch, as frames with bytes on real sockets.
+    assert!(
+        fed.forwarded as usize >= r.issued,
+        "requests never crossed the switch ({} forwards for {} requests)",
+        fed.forwarded,
+        r.issued
+    );
+    assert!(fed.wire_frames > 0 && fed.wire_bytes > 0);
+}
+
+#[test]
+fn federated_baseline_is_deterministic() {
+    let a = run_federated(&mut baseline(1, 1), kernels(), 0xF00D);
+    let b = run_federated(&mut baseline(1, 1), kernels(), 0xF00D);
+    assert_eq!(a.report.completed, b.report.completed);
+    assert_eq!(a.report.fresh.p50_us, b.report.fresh.p50_us);
+    assert_eq!(a.report.fresh.p99_us, b.report.fresh.p99_us);
+    assert_eq!(a.report.fresh.p999_us, b.report.fresh.p999_us);
+    assert_eq!(a.report.goodput_rps, b.report.goodput_rps);
+    assert_eq!(a.report.elapsed_us, b.report.elapsed_us);
+    assert_eq!(a.wire_frames, b.wire_frames);
+    assert_eq!(a.wire_bytes, b.wire_bytes);
+}
+
+/// Slot 0 of 1 is bit-for-bit the ordinary kernel constructor, and the
+/// federated engine replays the identical schedule — so a one-kernel
+/// federation must reproduce the plain engine's numbers exactly. This is
+/// the loadgen-level echo of the cluster crate's golden verdict pin.
+#[test]
+fn one_kernel_federation_matches_the_plain_engine() {
+    let plain = run_scenario(&mut baseline(1, 1), 0x0501);
+    let fed = run_federated(&mut baseline(1, 1), 1, 0x0501);
+    let r = &fed.report;
+    assert_eq!(r.issued, plain.issued);
+    assert_eq!(r.completed, plain.completed);
+    assert_eq!(r.fresh.p50_us, plain.fresh.p50_us);
+    assert_eq!(r.fresh.p99_us, plain.fresh.p99_us);
+    assert_eq!(r.fresh.max_us, plain.fresh.max_us);
+    assert_eq!(r.elapsed_us, plain.elapsed_us);
+    assert_eq!(r.goodput_rps, plain.goodput_rps);
+    // Nothing to federate: the switch relayed no cross-kernel traffic.
+    assert_eq!(fed.forwarded, 0);
+}
+
+/// The federated world scales the deployment grid too: multi-shard
+/// kernels mint handles from disjoint cluster-wide cipher lanes while
+/// the front end fans requests across lanes.
+#[test]
+fn federated_baseline_runs_sharded() {
+    let fed = run_federated(&mut baseline(2, 2), kernels(), 0x5A4D);
+    let r = &fed.report;
+    assert_eq!(
+        r.completed, r.issued,
+        "sharded federated baseline lost requests"
+    );
+    assert_eq!(r.retries, 0);
+    assert!(fed.forwarded as usize >= r.issued);
+}

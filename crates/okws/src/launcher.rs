@@ -84,11 +84,24 @@ impl ServiceSpec {
         self
     }
 
+    /// Whether this spec's worker body was already taken by a deployment
+    /// assembler ([`ServiceSpec::take_body`]) — the launcher (and the
+    /// single-kernel shard placer) must activate it, not spawn it.
+    pub fn is_placed(&self) -> bool {
+        matches!(self.kind, WorkerKind::Placed)
+    }
+
     /// Builds this service's worker body and marks the spec as placed —
-    /// the deployment assembler calls this when it spawns worker base
-    /// processes onto their shards itself, so the launcher knows to
-    /// activate rather than spawn.
-    pub(crate) fn take_body(&mut self) -> Box<dyn asbestos_kernel::EpService> {
+    /// a deployment assembler (the sharded `Okws::start` path, or the
+    /// cluster crate's cross-kernel deploy) calls this when it spawns
+    /// worker base processes onto their shards — or kernels — itself, so
+    /// the launcher knows to activate rather than spawn.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called twice for one spec; check
+    /// [`ServiceSpec::is_placed`] first.
+    pub fn take_body(&mut self) -> Box<dyn asbestos_kernel::EpService> {
         let kind = std::mem::replace(&mut self.kind, WorkerKind::Placed);
         match kind {
             WorkerKind::Logic(mut factory) => {

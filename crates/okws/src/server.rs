@@ -49,6 +49,12 @@ impl Okws {
         let launcher = if shards > 1 {
             let launcher_shard = 1 % shards;
             for (i, spec) in config.services.iter_mut().enumerate() {
+                if spec.is_placed() {
+                    // A cluster assembler already spawned this worker on
+                    // another kernel; the launcher will activate it
+                    // through the port directory.
+                    continue;
+                }
                 let body = spec.take_body();
                 let shard = (launcher_shard + 1 + i) % shards;
                 kernel.spawn_ep_service_on(
